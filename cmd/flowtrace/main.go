@@ -1,0 +1,163 @@
+// Command flowtrace renders the paper's protocol figures as time
+// sequence charts produced by real protocol runs on the simulator.
+//
+// Usage:
+//
+//	flowtrace -figure N    render figure N (1,2,3,4,6,7,8)
+//	flowtrace -all         render every figure
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+)
+
+func main() {
+	figure := flag.Int("figure", 0, "figure number to render (1,2,3,4,6,7,8)")
+	all := flag.Bool("all", false, "render every figure")
+	mermaid := flag.Bool("mermaid", false, "emit Mermaid sequenceDiagram instead of ASCII")
+	flag.Parse()
+
+	figures := map[int]func() (string, *core.Engine, []core.NodeID){
+		1: figure1, 2: figure2, 3: figure3, 4: figure4,
+		6: figure6, 7: figure7, 8: figure8,
+	}
+	render := func(n int) {
+		f, ok := figures[n]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "flowtrace: no figure %d (figure 5 is the leave-out hazard; see the Figure-5 test)\n", n)
+			os.Exit(2)
+		}
+		title, eng, order := f()
+		fmt.Printf("=== Figure %d: %s ===\n\n", n, title)
+		cols := make([]string, len(order))
+		for i, id := range order {
+			cols[i] = string(id)
+		}
+		if *mermaid {
+			fmt.Println("```mermaid")
+			fmt.Print(eng.Trace().Mermaid(cols...))
+			fmt.Println("```")
+		} else {
+			fmt.Println(eng.Trace().Render(cols...))
+		}
+		t := eng.Metrics().ProtocolTriplet()
+		fmt.Printf("totals: %d flows, %d log writes (%d forced)\n\n", t.Flows, t.Writes, t.Forced)
+	}
+
+	switch {
+	case *all:
+		for _, n := range []int{1, 2, 3, 4, 6, 7, 8} {
+			render(n)
+		}
+	case *figure != 0:
+		render(*figure)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func pairEngine(cfg core.Config) (*core.Engine, *core.Tx) {
+	eng := core.NewEngine(cfg)
+	eng.AddNode("Coordinator").AttachResource(core.NewStaticResource("rc"))
+	eng.AddNode("Subordinate").AttachResource(core.NewStaticResource("rs"))
+	tx := eng.Begin("Coordinator")
+	must(tx.Send("Coordinator", "Subordinate", "work"))
+	return eng, tx
+}
+
+func chainEngine(cfg core.Config, leafOpts ...core.StaticOption) (*core.Engine, *core.Tx) {
+	eng := core.NewEngine(cfg)
+	eng.AddNode("Coordinator").AttachResource(core.NewStaticResource("rc"))
+	eng.AddNode("Cascaded").AttachResource(core.NewStaticResource("rm"))
+	eng.AddNode("Subordinate").AttachResource(core.NewStaticResource("rl", leafOpts...))
+	tx := eng.Begin("Coordinator")
+	must(tx.Send("Coordinator", "Cascaded", "work"))
+	must(tx.Send("Cascaded", "Subordinate", "work"))
+	return eng, tx
+}
+
+func figure1() (string, *core.Engine, []core.NodeID) {
+	eng, tx := pairEngine(core.Config{Variant: core.VariantBaseline})
+	tx.Commit("Coordinator")
+	return "Simple Two-Phase Commit Processing", eng, []core.NodeID{"Coordinator", "Subordinate"}
+}
+
+func figure2() (string, *core.Engine, []core.NodeID) {
+	eng, tx := chainEngine(core.Config{Variant: core.VariantBaseline})
+	tx.Commit("Coordinator")
+	return "2PC with a Cascaded Coordinator", eng, []core.NodeID{"Coordinator", "Cascaded", "Subordinate"}
+}
+
+func figure3() (string, *core.Engine, []core.NodeID) {
+	eng, tx := chainEngine(core.Config{Variant: core.VariantPN})
+	tx.Commit("Coordinator")
+	return "Presumed Nothing Commit Processing with Intermediate Coordinator", eng,
+		[]core.NodeID{"Coordinator", "Cascaded", "Subordinate"}
+}
+
+func figure4() (string, *core.Engine, []core.NodeID) {
+	eng := core.NewEngine(core.Config{Variant: core.VariantPA, Options: core.Options{ReadOnly: true}})
+	eng.AddNode("Coordinator").AttachResource(core.NewStaticResource("rc"))
+	eng.AddNode("ReadOnly").AttachResource(core.NewStaticResource("ro", core.StaticVote(core.VoteReadOnly)))
+	eng.AddNode("Updater").AttachResource(core.NewStaticResource("up"))
+	tx := eng.Begin("Coordinator")
+	must(tx.Send("Coordinator", "ReadOnly", "read"))
+	must(tx.Send("Coordinator", "Updater", "write"))
+	tx.Commit("Coordinator")
+	return "Partial Read-Only Commit Processing", eng,
+		[]core.NodeID{"Coordinator", "ReadOnly", "Updater"}
+}
+
+func figure6() (string, *core.Engine, []core.NodeID) {
+	eng, tx := pairEngine(core.Config{Variant: core.VariantPA, Options: core.Options{ReadOnly: true, LastAgent: true}})
+	tx.Commit("Coordinator")
+	eng.FlushSessions()
+	return "Last-Agent Commit Processing", eng, []core.NodeID{"Coordinator", "Subordinate"}
+}
+
+func figure7() (string, *core.Engine, []core.NodeID) {
+	eng := core.NewEngine(core.Config{Variant: core.VariantPA, Options: core.Options{ReadOnly: true, LongLocks: true}})
+	eng.AddNode("Coordinator").AttachResource(core.NewStaticResource("rc"))
+	eng.AddNode("Subordinate").AttachResource(core.NewStaticResource("rs"))
+	tx1 := eng.Begin("Coordinator")
+	must(tx1.Send("Coordinator", "Subordinate", "tx1 work"))
+	p := tx1.CommitAsync("Coordinator")
+	eng.Drain()
+	tx2 := eng.Begin("Subordinate")
+	must(tx2.Send("Subordinate", "Coordinator", "tx2 begins (carries buffered ack)"))
+	must(tx2.Send("Coordinator", "Subordinate", "tx2 work"))
+	tx2.Commit("Coordinator")
+	eng.FlushSessions()
+	if r, done := p.Result(); !done || r.Err != nil {
+		fmt.Fprintln(os.Stderr, "flowtrace: figure 7 chain incomplete")
+	}
+	return "Long Locks Across Chained Transactions", eng, []core.NodeID{"Coordinator", "Subordinate"}
+}
+
+func figure8() (string, *core.Engine, []core.NodeID) {
+	eng, tx := chainEngine(core.Config{Variant: core.VariantPA, Options: core.Options{ReadOnly: true, VoteReliable: true}})
+	// All three resources reliable: rebuild with reliable resources.
+	eng = core.NewEngine(core.Config{Variant: core.VariantPA, Options: core.Options{ReadOnly: true, VoteReliable: true}})
+	eng.AddNode("Coordinator").AttachResource(core.NewStaticResource("rc", core.StaticReliable()))
+	eng.AddNode("Cascaded").AttachResource(core.NewStaticResource("rm", core.StaticReliable()))
+	eng.AddNode("Subordinate").AttachResource(core.NewStaticResource("rl", core.StaticReliable()))
+	tx = eng.Begin("Coordinator")
+	must(tx.Send("Coordinator", "Cascaded", "work"))
+	must(tx.Send("Cascaded", "Subordinate", "work"))
+	tx.Commit("Coordinator")
+	eng.FlushSessions()
+	return "Two-Phase Commit Processing, All Resources Voted Reliable", eng,
+		[]core.NodeID{"Coordinator", "Cascaded", "Subordinate"}
+}
+
+func must(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flowtrace:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,141 @@
+// Orders: an order-processing pipeline combining both resource-manager
+// types under one atomic commit — the key-value store holds inventory,
+// the transactional message queue carries shipment requests — driven
+// through the X/Open-style TM API (the standard that adopted presumed
+// abort, §3 of the paper).
+//
+// Producer transactions reserve stock AND enqueue a shipment
+// atomically; a failed reservation aborts both. Consumer transactions
+// dequeue a shipment provisionally — an abort puts the message back,
+// so no shipment is ever lost or double-processed.
+//
+// Run with:
+//
+//	go run ./examples/orders
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"strconv"
+
+	twopc "repro"
+	"repro/internal/xa"
+)
+
+func main() {
+	eng := twopc.NewEngine(twopc.Config{
+		Variant: twopc.VariantPA,
+		Options: twopc.Options{ReadOnly: true},
+	})
+	tm := xa.NewTransactionManager(eng, "app")
+
+	inventory := twopc.NewKVStore("inventory", nil, eng)
+	shipments := twopc.NewMQueue("shipments", nil)
+	must(tm.RegisterRM("inventory", "warehouse", inventory))
+	must(tm.RegisterRM("shipments", "dispatch", shipments))
+
+	ctx := context.Background()
+
+	// Seed stock.
+	seed := xa.XID{FormatID: 1, GTRID: "seed"}
+	must(tm.Begin(seed))
+	txid, err := tm.Enlist(seed, "inventory")
+	must(err)
+	must(inventory.Put(ctx, txid, "widget", "5"))
+	if _, err := tm.Commit(seed); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("seeded: 5 widgets in stock")
+
+	// Take three orders; the third one is vetoed (out of stock rule).
+	for i := 1; i <= 3; i++ {
+		if err := placeOrder(tm, inventory, shipments, i, i == 3); err != nil {
+			fmt.Printf("order %d: rolled back (%v)\n", i, err)
+		} else {
+			fmt.Printf("order %d: committed (stock reserved + shipment queued atomically)\n", i)
+		}
+	}
+	fmt.Printf("shipment queue depth: %d\n\n", shipments.Depth())
+
+	// The dispatcher consumes shipments. The first attempt fails
+	// mid-processing and aborts: the message returns to the queue.
+	fmt.Println("dispatch attempt 1 (fails mid-processing):")
+	if err := processShipment(tm, shipments, true); err != nil {
+		fmt.Printf("  aborted: %v; queue depth back to %d\n", err, shipments.Depth())
+	}
+	fmt.Println("dispatch attempt 2 (succeeds):")
+	if err := processShipment(tm, shipments, false); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  done; queue depth now %d\n", shipments.Depth())
+
+	fmt.Println("\nprotocol traffic:")
+	fmt.Print(eng.Metrics().Summary())
+}
+
+func placeOrder(tm *xa.TransactionManager, inv *twopc.KVStore, ship *twopc.MQueue, n int, veto bool) error {
+	ctx := context.Background()
+	xid := xa.XID{FormatID: 1, GTRID: "order-" + strconv.Itoa(1000+n)}
+	if err := tm.Begin(xid); err != nil {
+		return err
+	}
+	txid, err := tm.Enlist(xid, "inventory")
+	if err != nil {
+		return err
+	}
+	if _, err := tm.Enlist(xid, "shipments"); err != nil {
+		return err
+	}
+
+	cur, err := inv.Get(ctx, txid, "widget")
+	if err != nil {
+		tm.Rollback(xid)
+		return err
+	}
+	stock, _ := strconv.Atoi(cur)
+	if veto || stock <= 0 {
+		tm.Rollback(xid)
+		return fmt.Errorf("insufficient stock / credit check failed")
+	}
+	if err := inv.Put(ctx, txid, "widget", strconv.Itoa(stock-1)); err != nil {
+		tm.Rollback(xid)
+		return err
+	}
+	if _, err := ship.Enqueue(txid, xid.GTRID); err != nil {
+		tm.Rollback(xid)
+		return err
+	}
+	_, err = tm.Commit(xid)
+	return err
+}
+
+func processShipment(tm *xa.TransactionManager, ship *twopc.MQueue, failMidway bool) error {
+	xid := xa.XID{FormatID: 2, GTRID: fmt.Sprintf("dispatch-%v", failMidway)}
+	if err := tm.Begin(xid); err != nil {
+		return err
+	}
+	txid, err := tm.Enlist(xid, "shipments")
+	if err != nil {
+		return err
+	}
+	m, err := ship.Dequeue(txid)
+	if err != nil {
+		tm.Rollback(xid)
+		return err
+	}
+	fmt.Printf("  processing shipment %q (msg %d)\n", m.Payload, m.ID)
+	if failMidway {
+		tm.Rollback(xid) // e.g. the label printer jammed
+		return fmt.Errorf("printer jam while handling %q", m.Payload)
+	}
+	_, err = tm.Commit(xid)
+	return err
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,74 @@
+// Quickstart: a two-node distributed transaction using the public
+// API — one coordinator, one subordinate, each with a transactional
+// key-value store — committed with Presumed Abort, then a second
+// transaction aborted by a NO vote.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	twopc "repro"
+)
+
+func main() {
+	eng := twopc.NewEngine(twopc.Config{
+		Variant: twopc.VariantPA,
+		Options: twopc.Options{ReadOnly: true},
+	})
+
+	// Two nodes, each hosting a transactional key-value store.
+	a := eng.AddNode("A")
+	b := eng.AddNode("B")
+	kvA := twopc.NewKVStore("db@A", nil, eng)
+	kvB := twopc.NewKVStore("db@B", nil, eng)
+	a.AttachResource(kvA)
+	b.AttachResource(kvB)
+
+	ctx := context.Background()
+
+	// --- Transaction 1: a distributed update that commits. ---
+	tx := eng.Begin("A")
+	if err := tx.Send("A", "B", "begin transfer"); err != nil {
+		log.Fatal(err)
+	}
+	must(kvA.Put(ctx, tx.ID(), "alice", "90"))
+	must(kvB.Put(ctx, tx.ID(), "bob", "110"))
+
+	res := tx.Commit("A")
+	fmt.Printf("transaction 1: %v in %v (virtual)\n", res.Outcome, res.Latency)
+	v, _ := kvB.ReadCommitted("bob")
+	fmt.Printf("  bob's balance at B: %s\n", v)
+
+	// --- Transaction 2: a participant votes NO; everything rolls back. ---
+	veto := twopc.NewStaticResource("veto", twopc.StaticVote(twopc.VoteNo))
+	b.AttachResource(veto)
+
+	tx2 := eng.Begin("A")
+	must(tx2.Send("A", "B", "risky update"))
+	must(kvA.Put(ctx, tx2.ID(), "alice", "0"))
+	must(kvB.Put(ctx, tx2.ID(), "bob", "999"))
+
+	res2 := tx2.Commit("A")
+	fmt.Printf("transaction 2: %v (a resource voted NO)\n", res2.Outcome)
+	v, _ = kvB.ReadCommitted("bob")
+	fmt.Printf("  bob's balance is unchanged: %s\n", v)
+
+	// --- What did the protocol cost? ---
+	fmt.Println("\nprotocol metrics:")
+	fmt.Print(eng.Metrics().Summary())
+
+	fmt.Println("message sequence of transaction 1 and 2:")
+	fmt.Print(eng.Trace().Render("A", "B"))
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,75 @@
+// Package clock provides the time abstraction used throughout the
+// twopc engine.
+//
+// The discrete-event simulator advances a Virtual clock
+// deterministically: every protocol action (a network hop, a forced
+// log write) contributes a configurable cost, so commit latency and
+// lock-hold times are exact, reproducible quantities. Live runs (the
+// TCP transport, the examples that sleep for real) use a Wall clock.
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is a read-only time source. Durations are used instead of
+// time.Time because the simulator's epoch is arbitrary: time zero is
+// the start of the run.
+type Clock interface {
+	// Now returns the elapsed time since the start of the run.
+	Now() time.Duration
+}
+
+// Virtual is a manually advanced clock. It is safe for concurrent
+// use, although the deterministic simulator drives it from a single
+// dispatcher goroutine.
+type Virtual struct {
+	mu  sync.Mutex
+	now time.Duration
+}
+
+// NewVirtual returns a virtual clock positioned at time zero.
+func NewVirtual() *Virtual { return &Virtual{} }
+
+// Now returns the current virtual time.
+func (v *Virtual) Now() time.Duration {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// Advance moves the clock forward by d. Negative d is ignored:
+// simulated time never runs backwards.
+func (v *Virtual) Advance(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	v.mu.Lock()
+	v.now += d
+	v.mu.Unlock()
+}
+
+// AdvanceTo moves the clock to t if t is later than the current time.
+// It returns the resulting time, which callers may use to detect
+// whether the target was in the past.
+func (v *Virtual) AdvanceTo(t time.Duration) time.Duration {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if t > v.now {
+		v.now = t
+	}
+	return v.now
+}
+
+// Wall is a Clock backed by the real time.Now, measured from the
+// moment it was created.
+type Wall struct {
+	start time.Time
+}
+
+// NewWall returns a wall clock whose zero is the moment of the call.
+func NewWall() *Wall { return &Wall{start: time.Now()} }
+
+// Now returns the elapsed wall time since the clock was created.
+func (w *Wall) Now() time.Duration { return time.Since(w.start) }

@@ -1,0 +1,76 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestVirtualStartsAtZero(t *testing.T) {
+	v := NewVirtual()
+	if got := v.Now(); got != 0 {
+		t.Fatalf("new virtual clock at %v, want 0", got)
+	}
+}
+
+func TestVirtualAdvance(t *testing.T) {
+	v := NewVirtual()
+	v.Advance(5 * time.Millisecond)
+	v.Advance(3 * time.Millisecond)
+	if got, want := v.Now(), 8*time.Millisecond; got != want {
+		t.Fatalf("Now() = %v, want %v", got, want)
+	}
+}
+
+func TestVirtualAdvanceIgnoresNonPositive(t *testing.T) {
+	v := NewVirtual()
+	v.Advance(10 * time.Millisecond)
+	v.Advance(0)
+	v.Advance(-4 * time.Millisecond)
+	if got, want := v.Now(), 10*time.Millisecond; got != want {
+		t.Fatalf("Now() = %v, want %v (negative advance must be ignored)", got, want)
+	}
+}
+
+func TestVirtualAdvanceTo(t *testing.T) {
+	v := NewVirtual()
+	if got := v.AdvanceTo(7 * time.Millisecond); got != 7*time.Millisecond {
+		t.Fatalf("AdvanceTo returned %v, want 7ms", got)
+	}
+	// Moving to an earlier time must not rewind.
+	if got := v.AdvanceTo(2 * time.Millisecond); got != 7*time.Millisecond {
+		t.Fatalf("AdvanceTo(earlier) returned %v, want 7ms", got)
+	}
+	if got := v.Now(); got != 7*time.Millisecond {
+		t.Fatalf("Now() = %v, want 7ms", got)
+	}
+}
+
+func TestVirtualConcurrentAdvance(t *testing.T) {
+	v := NewVirtual()
+	const workers = 8
+	const perWorker = 1000
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perWorker; j++ {
+				v.Advance(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := v.Now(), workers*perWorker*time.Microsecond; got != want {
+		t.Fatalf("Now() = %v, want %v", got, want)
+	}
+}
+
+func TestWallMonotone(t *testing.T) {
+	w := NewWall()
+	a := w.Now()
+	b := w.Now()
+	if b < a {
+		t.Fatalf("wall clock went backwards: %v then %v", a, b)
+	}
+}

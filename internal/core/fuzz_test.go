@@ -1,0 +1,25 @@
+package core
+
+import "testing"
+
+// FuzzParseTxID checks that ParseTxID never panics and that
+// String/Parse round-trips for well-formed ids.
+func FuzzParseTxID(f *testing.F) {
+	f.Add("A:1")
+	f.Add("node-with-dashes:18446744073709551615")
+	f.Add("a:b:c:3")
+	f.Add("")
+	f.Add(":")
+	f.Add("no-colon")
+	f.Add("trailing:")
+	f.Fuzz(func(t *testing.T, s string) {
+		id := ParseTxID(s) // must not panic
+		if id.Origin == "" && id.Seq == 0 {
+			return // malformed input maps to the zero id
+		}
+		back := ParseTxID(id.String())
+		if back != id {
+			t.Fatalf("round trip: %q -> %v -> %v", s, id, back)
+		}
+	})
+}

@@ -1,0 +1,627 @@
+package core
+
+import (
+	"repro/internal/protocol"
+)
+
+// trigger distinguishes why a subordinate entered phase one.
+type trigger int
+
+const (
+	normalTrigger      trigger = iota // a Prepare message arrived
+	unsolicitedTrigger                // the script called Tx.UnsolicitedVote
+	delegatedTrigger                  // a VoteYes+LastAgent arrived: we own the decision
+)
+
+// handleData processes application data: it establishes the
+// conversation edge, wakes dormant partners, and serves as the
+// implied acknowledgment for completed transactions awaiting one.
+func (n *Node) handleData(from NodeID, m protocol.Message) {
+	tx := ParseTxID(m.Tx)
+	c := n.ctx(tx)
+	s := c.sub(from)
+	s.activeInTx = true
+	l := n.link(from)
+	l.established = true
+	l.dormant = false
+	l.weAreSuspended = false
+	if !c.firstContactSet {
+		c.firstContact = from
+		c.firstContactSet = true
+	}
+	// Any data from a partner is an implied ack for transactions that
+	// were awaiting one from that partner (§4 Last Agent, Figure 6).
+	n.processImpliedAck(from)
+	if n.onData != nil {
+		n.onData(tx, from, m.Payload)
+	}
+}
+
+// processImpliedAck completes transactions at this node that were
+// holding their END record until the given partner demonstrated, by
+// sending more data, that it received our last commit message.
+func (n *Node) processImpliedAck(from NodeID) {
+	for _, c := range n.snapshotTxs() {
+		if c.state == stCompleted && c.awaitingImplied && c.impliedFrom == from {
+			n.trcApp("implied ack from " + string(from) + " (" + c.id.String() + ")")
+			n.finishCompleted(c)
+		}
+	}
+}
+
+// initiateCommit makes this node the root coordinator of tx's commit.
+func (n *Node) initiateCommit(tx TxID, done func(Result)) {
+	c := n.ctx(tx)
+	if c.state != stActive {
+		// A second initiation for the same transaction at the same
+		// node: report failure to the second caller.
+		done(Result{Outcome: OutcomeAborted, Err: ErrIncomplete})
+		return
+	}
+	c.isRoot = true
+	c.onComplete = done
+	c.startAt = n.localTime
+	n.trcState(tx, "commit-initiated")
+
+	members := n.phase1Members(c)
+	variant := n.eng.cfg.Variant
+	if (variant == VariantPN || variant == VariantPC) && (len(members) > 0 || len(n.resources) > 0) {
+		// PN: the coordinator must remember its subordinates before
+		// any of them can become in-doubt (§3 Presumed Nothing).
+		// PC: the collecting record is what makes the commit
+		// presumption safe — absence of information can only mean
+		// commit if every transaction that reached phase one is
+		// stably known.
+		p := recPayload{Subs: memberIDs(members)}
+		if agent := n.earlyLastAgent(c, members); agent != "" {
+			// Single-partner last-agent case: the pending record also
+			// covers the delegation, so recovery knows to inquire the
+			// agent rather than presume the transaction its own.
+			p.Agent = agent
+			c.pnPendingAgent = agent
+		}
+		n.logTx(c, recCommitPending, p, true)
+		c.pnPendingLogged = true
+	}
+	n.runPhase1(c, members)
+}
+
+// earlyLastAgent reports the agent that will receive the delegation
+// when it is already known at initiation time (the single-remote-
+// partner fast path the paper motivates Last Agent with).
+func (n *Node) earlyLastAgent(c *txCtx, members []*subInfo) NodeID {
+	if !n.eng.cfg.Options.LastAgent || len(members) != 1 {
+		return ""
+	}
+	if c.lastAgentChoice != "" && c.lastAgentChoice != members[0].id {
+		return ""
+	}
+	return members[0].id
+}
+
+// initiateAbort backs the Tx.Abort script call: the whole tree
+// discards the transaction. Abort initiation needs no voting phase.
+func (n *Node) initiateAbort(tx TxID, done func(Result)) {
+	c := n.ctx(tx)
+	c.isRoot = true
+	c.onComplete = done
+	c.startAt = n.localTime
+	n.trcState(tx, "abort-initiated")
+	members := n.phase1Members(c)
+	for _, s := range members {
+		// They never voted; they are notified and (baseline/PN) ack.
+		s.prepareSent = true
+	}
+	n.ownDecision(c, false)
+}
+
+// phase1Members computes the partners this node must include in the
+// commit operation: everyone it exchanged data with this transaction,
+// plus every established session partner that is not dormant — the
+// peer-to-peer model cannot assume an idle partner did nothing unless
+// it was explicitly left out (§4 Leaving Inactive Partners Out).
+func (n *Node) phase1Members(c *txCtx) []*subInfo {
+	for peer, l := range n.links {
+		if l.established && !l.dormant && (!c.haveCoord || peer != c.coord) {
+			c.sub(peer)
+		}
+	}
+	var out []*subInfo
+	for _, s := range c.orderedSubs() {
+		if c.haveCoord && s.id == c.coord {
+			continue
+		}
+		if l := n.link(s.id); l.dormant && !s.activeInTx {
+			continue // left out
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// runPhase1 drives the voting phase at a node that owns (or will
+// own) the decision or must vote upstream: Prepares go out in
+// parallel, local resources prepare synchronously, and checkVotes
+// continues when everything has answered.
+func (n *Node) runPhase1(c *txCtx, members []*subInfo) {
+	c.state = stPreparing
+	la := n.chooseLastAgent(c, members)
+	for _, s := range members {
+		if s.isLastAgent || s.voted {
+			continue
+		}
+		s.prepareSent = true
+		c.votesPending++
+		n.send(s.id, protocol.Message{
+			Type:      protocol.MsgPrepare,
+			Tx:        c.id.String(),
+			LongLocks: n.eng.cfg.Options.LongLocks,
+		})
+	}
+	if la != nil {
+		c.delegationPlanned = true
+	}
+	if c.votesPending > 0 {
+		n.armVoteTimer(c)
+	}
+	n.prepareLocal(c)
+	n.checkVotes(c)
+}
+
+// armVoteTimer bounds phase one: a subordinate that never answers the
+// Prepare is presumed failed and the transaction aborts.
+func (n *Node) armVoteTimer(c *txCtx) {
+	c.voteTimerGen++
+	gen := c.voteTimerGen
+	at := n.localTime + n.eng.cfg.VoteTimeout
+	n.eng.queue.pushTimer(at, n.id, func() {
+		if n.crashed {
+			return
+		}
+		cur, ok := n.txs[c.id]
+		if !ok || cur != c || c.voteTimerGen != gen {
+			return
+		}
+		if c.state != stPreparing || c.votesPending == 0 {
+			return
+		}
+		n.eng.arriveAt(n, at)
+		n.trcApp("vote timeout: presuming failed subordinate(s), aborting " + c.id.String())
+		for _, s := range c.orderedSubs() {
+			if s.prepareSent && !s.voted {
+				s.voted = true
+				s.vote = VoteNo
+			}
+		}
+		c.votesPending = 0
+		c.anyNo = true
+		c.allReadOnly = false
+		n.checkVotes(c)
+	})
+}
+
+// chooseLastAgent picks the member that will receive the delegation,
+// if the option is on and this node owns the decision. The designated
+// choice wins; otherwise the last member in contact order (the paper
+// suggests preparing the close partners first and leaving the distant
+// one for the single round trip).
+func (n *Node) chooseLastAgent(c *txCtx, members []*subInfo) *subInfo {
+	if !n.eng.cfg.Options.LastAgent || len(members) == 0 {
+		return nil
+	}
+	if !c.isRoot && !c.lastAgentAsked {
+		return nil // only the decision owner may delegate
+	}
+	var la *subInfo
+	if c.lastAgentChoice != "" {
+		for _, s := range members {
+			if s.id == c.lastAgentChoice {
+				la = s
+			}
+		}
+	} else {
+		la = members[len(members)-1]
+	}
+	if la != nil {
+		if la.voted {
+			return nil // an unsolicited vote already arrived; no delegation needed
+		}
+		la.isLastAgent = true
+	}
+	return la
+}
+
+// prepareLocal drives the node's resource managers through Prepare,
+// folding their votes and attributes into the transaction aggregate.
+func (n *Node) prepareLocal(c *txCtx) {
+	opts := n.eng.cfg.Options
+	for _, r := range n.resources {
+		res, err := r.Prepare(c.id)
+		if err != nil {
+			res = PrepareResult{Vote: VoteNo}
+			n.trcApp("resource " + r.Name() + " prepare failed: " + err.Error())
+		}
+		c.resources = append(c.resources, r)
+		c.resVotes = append(c.resVotes, res)
+		eff := res.Vote
+		if eff == VoteReadOnly && !opts.ReadOnly {
+			eff = VoteYes // read-only votes disabled: full participation
+		}
+		switch eff {
+		case VoteNo:
+			c.anyNo = true
+			c.allReadOnly = false
+		case VoteYes:
+			c.allReadOnly = false
+		}
+		if !res.Reliable {
+			c.allReliable = false
+		}
+		if !res.OKToLeaveOut {
+			c.allLeaveOut = false
+		}
+	}
+	c.localPrepared = true
+}
+
+// handlePrepare begins phase one at a subordinate.
+func (n *Node) handlePrepare(from NodeID, m protocol.Message) {
+	tx := ParseTxID(m.Tx)
+	c := n.ctx(tx)
+	c.sub(from) // the coordinator is a partner too
+	if c.state == stPreparing && c.isRoot {
+		// Two participants initiated commit independently: the
+		// transaction must abort (§3 PN rules).
+		n.trcState(tx, "dual-initiation")
+		n.send(from, protocol.Message{Type: protocol.MsgVote, Tx: m.Tx, Vote: protocol.VoteNo})
+		n.ownDecision(c, false)
+		return
+	}
+	if c.state != stActive {
+		return // duplicate Prepare
+	}
+	c.haveCoord = true
+	c.coord = from
+	c.longLocksAsked = m.LongLocks
+	n.startSubordinatePhase1(c, normalTrigger)
+}
+
+// startSubordinatePhase1 runs phase one at a node that will vote
+// upstream (normal or unsolicited) or owns a delegated decision.
+func (n *Node) startSubordinatePhase1(c *txCtx, trig trigger) {
+	if c.state != stActive {
+		return
+	}
+	c.trigger = trig
+	if trig == unsolicitedTrigger && !c.haveCoord {
+		// The server's coordinator is the partner that brought it
+		// into the transaction.
+		c.coord = c.firstContact
+		c.haveCoord = c.firstContactSet
+	}
+	members := n.phase1Members(c)
+	if v := n.eng.cfg.Variant; (v == VariantPN || v == VariantPC) && len(members) > 0 {
+		// A cascaded coordinator must remember its subordinates
+		// before they can be put in doubt (Figure 3; same for the
+		// PC collecting record).
+		n.logTx(c, recCommitPending, recPayload{Coord: c.coord, Subs: memberIDs(members)}, true)
+		c.pnPendingLogged = true
+	}
+	n.runPhase1(c, members)
+}
+
+// handleVote processes a vote arriving at a coordinator (or a
+// delegation arriving at a last agent).
+func (n *Node) handleVote(from NodeID, m protocol.Message) {
+	tx := ParseTxID(m.Tx)
+	if m.LastAgent {
+		n.handleDelegation(from, m)
+		return
+	}
+	c, ok := n.txs[tx]
+	if !ok {
+		return // forgotten transaction: stray vote
+	}
+	s := c.sub(from)
+	if s.voted {
+		return // duplicate
+	}
+	if m.Unsolicited && !n.eng.cfg.Options.UnsolicitedVote && c.state == stActive {
+		// Receiver not configured for unsolicited votes: note and
+		// accept anyway (the vote is still valid; the option gate is
+		// about what coordinators are prepared to exploit).
+		n.trcApp("unexpected unsolicited vote from " + string(from))
+	}
+	s.voted = true
+	s.vote = voteFromWire(m.Vote)
+	s.reliable = m.Reliable
+	s.okToLeave = m.OKToLeaveOut
+	s.unsolicited = m.Unsolicited
+
+	if c.state == stPreparing && s.prepareSent {
+		c.votesPending--
+	}
+	opts := n.eng.cfg.Options
+	eff := s.vote
+	if eff == VoteReadOnly && !opts.ReadOnly {
+		// Cannot happen in a homogeneous configuration (the sub would
+		// not have sent it), but downgrade defensively.
+		eff = VoteYes
+	}
+	switch eff {
+	case VoteNo:
+		c.anyNo = true
+		c.allReadOnly = false
+	case VoteYes:
+		c.allReadOnly = false
+	}
+	if !m.Reliable {
+		c.allReliable = false
+	}
+	if !m.OKToLeaveOut {
+		c.allLeaveOut = false
+	}
+	if c.state == stPreparing {
+		n.checkVotes(c)
+	}
+}
+
+func voteFromWire(v protocol.VoteValue) Vote {
+	switch v {
+	case protocol.VoteNo:
+		return VoteNo
+	case protocol.VoteReadOnly:
+		return VoteReadOnly
+	default:
+		return VoteYes
+	}
+}
+
+func voteToWire(v Vote) protocol.VoteValue {
+	switch v {
+	case VoteNo:
+		return protocol.VoteNo
+	case VoteReadOnly:
+		return protocol.VoteReadOnly
+	default:
+		return protocol.VoteYes
+	}
+}
+
+// handleDelegation makes this node the last agent: the sender has
+// prepared everything else and hands over the decision (§4 Last
+// Agent, Figure 6).
+func (n *Node) handleDelegation(from NodeID, m protocol.Message) {
+	tx := ParseTxID(m.Tx)
+	c := n.ctx(tx)
+	if c.state != stActive {
+		return
+	}
+	c.haveCoord = true
+	c.coord = from
+	c.coordVotedReadOnly = m.Vote == protocol.VoteReadOnly
+	c.lastAgentAsked = true
+	if m.Vote == protocol.VoteNo {
+		// Degenerate: a delegation never carries No; treat as abort.
+		n.ownDecision(c, false)
+		return
+	}
+	n.startSubordinatePhase1(c, delegatedTrigger)
+}
+
+// checkVotes continues the protocol once every expected vote is in.
+func (n *Node) checkVotes(c *txCtx) {
+	if c.state != stPreparing || !c.localPrepared || c.votesPending > 0 {
+		return
+	}
+	if c.anyNo {
+		if c.isRoot || c.lastAgentAsked {
+			n.ownDecision(c, false)
+		} else {
+			n.voteUpstream(c)
+		}
+		return
+	}
+	if c.delegationPlanned {
+		n.delegate(c)
+		return
+	}
+	if c.isRoot || c.lastAgentAsked {
+		n.ownDecision(c, true)
+		return
+	}
+	n.voteUpstream(c)
+}
+
+// delegate hands the decision to the chosen last agent: the node
+// prepares itself (forcing a prepared record unless it is entirely
+// read-only) and sends its YES vote with the delegation bit.
+func (n *Node) delegate(c *txCtx) {
+	var la *subInfo
+	for _, s := range c.orderedSubs() {
+		if s.isLastAgent {
+			la = s
+		}
+	}
+	if la == nil {
+		n.ownDecision(c, true)
+		return
+	}
+	opts := n.eng.cfg.Options
+	cfg := n.eng.cfg
+	c.state = stDelegated
+	c.delegationPlanned = false
+	wire := protocol.Message{Type: protocol.MsgVote, Tx: c.id.String(), LastAgent: true, LongLocks: opts.LongLocks}
+	if c.allReadOnly && opts.ReadOnly {
+		// A read-only initiator may delegate without forcing a
+		// prepared record (§4 Last Agent).
+		c.votedReadOnly = true
+		wire.Vote = protocol.VoteReadOnly
+	} else {
+		switch cfg.Variant {
+		case VariantPN:
+			if !c.pnPendingLogged {
+				// Re-delegation below the root: remember the agent.
+				n.logTx(c, recPrepared, recPayload{Coord: c.coord, Agent: la.id, Subs: c.yesSubIDs(la.id)}, true)
+			} else if !c.pendingCoversAgent(la.id) {
+				// Multi-member PN delegation: the pending record did
+				// not name the agent; force a prepared record so
+				// recovery inquires instead of presuming.
+				n.logTx(c, recPrepared, recPayload{Coord: c.coord, Agent: la.id, Subs: c.yesSubIDs(la.id)}, true)
+			}
+		default:
+			n.logTx(c, recPrepared, recPayload{Coord: c.coord, Agent: la.id, Subs: c.yesSubIDs(la.id)}, true)
+		}
+		wire.Vote = protocol.VoteYes
+	}
+	n.trcState(c.id, "delegated to "+string(la.id))
+	n.send(la.id, wire)
+	n.armHeuristic(c) // a delegating coordinator is in doubt like any prepared node
+	n.armDelegationWatch(c, la.id)
+}
+
+// pendingCoversAgent reports whether the PN pending record already
+// names this agent (the single-partner fast path).
+func (c *txCtx) pendingCoversAgent(agent NodeID) bool {
+	return c.pnPendingAgent == agent
+}
+
+// yesSubIDs lists partners that voted yes (phase-two recipients),
+// excluding the given agent and the coordinator.
+func (c *txCtx) yesSubIDs(exclude NodeID) []NodeID {
+	var out []NodeID
+	for _, s := range c.orderedSubs() {
+		if s.id == exclude || (c.haveCoord && s.id == c.coord) {
+			continue
+		}
+		if s.voted && s.vote == VoteYes {
+			out = append(out, s.id)
+		}
+	}
+	return out
+}
+
+// voteUpstream sends this subordinate's vote to its coordinator.
+func (n *Node) voteUpstream(c *txCtx) {
+	opts := n.eng.cfg.Options
+	cfg := n.eng.cfg
+	msg := protocol.Message{
+		Type:        protocol.MsgVote,
+		Tx:          c.id.String(),
+		Unsolicited: c.trigger == unsolicitedTrigger,
+	}
+	switch {
+	case c.anyNo:
+		// Vote NO and abort the local subtree; the coordinator will
+		// not contact us again (a NO voter needs no outcome message).
+		msg.Vote = protocol.VoteNo
+		n.send(c.coord, msg)
+		n.abortLocally(c)
+		return
+	case c.allReadOnly && opts.ReadOnly:
+		// Read-only: no logging, out of phase two, locks released by
+		// the resources at their vote (§4 Read Only).
+		msg.Vote = protocol.VoteReadOnly
+		msg.Reliable = c.allReliable
+		msg.OKToLeaveOut = c.allLeaveOut
+		c.votedReadOnly = true
+		n.send(c.coord, msg)
+		n.trcState(c.id, "read-only, released")
+		n.forget(c, OutcomeUnknown, false)
+		if c.allLeaveOut && opts.LeaveOut {
+			n.suspendTowards(c.coord)
+		}
+		return
+	default:
+		if cfg.Variant == VariantPN {
+			if !c.pnPendingLogged {
+				// A PN leaf must stably record its coordinator before
+				// voting, so heuristic damage can be reported after a
+				// crash (§3).
+				n.logTx(c, recAgentPending, recPayload{Coord: c.coord}, true)
+				c.pnPendingLogged = true
+			}
+			n.logTx(c, recPrepared, recPayload{Coord: c.coord, Subs: c.yesSubIDs("")}, true)
+		} else {
+			n.logTx(c, recPrepared, recPayload{Coord: c.coord, Subs: c.yesSubIDs("")}, true)
+		}
+		c.state = stPrepared
+		msg.Vote = protocol.VoteYes
+		msg.Reliable = c.allReliable
+		msg.OKToLeaveOut = c.allLeaveOut
+		c.votedReliable = c.allReliable && opts.VoteReliable
+		n.send(c.coord, msg)
+		n.armHeuristic(c)
+		n.armOutcomeWatch(c)
+	}
+}
+
+// armOutcomeWatch bounds how long a prepared subordinate waits for
+// the outcome before entering in-doubt recovery on its own
+// initiative. Without it, a coordinator that crashes after sending
+// prepares but before logging anything would leave never-crashed
+// subordinates blocked forever: nobody would ever contact them.
+func (n *Node) armOutcomeWatch(c *txCtx) {
+	at := n.localTime + 2*n.eng.cfg.AckTimeout
+	n.eng.queue.pushTimer(at, n.id, func() {
+		if n.crashed {
+			return
+		}
+		cur, ok := n.txs[c.id]
+		if !ok || cur != c || c.state != stPrepared || c.decided {
+			return
+		}
+		n.eng.arriveAt(n, at)
+		c.state = stInDoubt
+		n.trcState(c.id, "outcome overdue: in doubt, inquiring")
+		n.scheduleInquiry(c, 0)
+	})
+}
+
+// armDelegationWatch is the decision-owner analogue: a coordinator
+// that delegated to a last agent and hears nothing back eventually
+// inquires the agent, which owns the outcome.
+func (n *Node) armDelegationWatch(c *txCtx, agent NodeID) {
+	at := n.localTime + 2*n.eng.cfg.AckTimeout
+	n.eng.queue.pushTimer(at, n.id, func() {
+		if n.crashed {
+			return
+		}
+		cur, ok := n.txs[c.id]
+		if !ok || cur != c || c.state != stDelegated || c.decided {
+			return
+		}
+		n.eng.arriveAt(n, at)
+		c.state = stInDoubt
+		c.lastAgentRecovery = true
+		c.coord = agent
+		c.haveCoord = true
+		n.trcState(c.id, "delegation answer overdue: inquiring agent")
+		n.scheduleInquiry(c, 0)
+	})
+}
+
+// suspendTowards records that this node promised OK-to-leave-out to
+// its coordinator and is now suspended until it receives data again.
+func (n *Node) suspendTowards(coord NodeID) {
+	l := n.link(coord)
+	l.weAreSuspended = true
+	l.dormant = true
+	n.trcApp("suspended (ok-to-leave-out) towards " + string(coord))
+}
+
+// abortLocally aborts resources and downstream partners after this
+// node voted NO; no coordinator interaction remains.
+func (n *Node) abortLocally(c *txCtx) {
+	c.decided = true
+	c.decisionCommit = false
+	n.phase2(c)
+}
+
+func memberIDs(members []*subInfo) []NodeID {
+	out := make([]NodeID, len(members))
+	for i, s := range members {
+		out[i] = s.id
+	}
+	return out
+}

@@ -1,0 +1,362 @@
+package core
+
+import (
+	"encoding/json"
+	"time"
+
+	"repro/internal/protocol"
+	"repro/internal/wal"
+)
+
+// txScan is the recovery view of one transaction, folded from this
+// node's durable log records.
+type txScan struct {
+	order     int
+	pending   *recPayload // CommitPending or AgentPending
+	prepared  *recPayload
+	committed *recPayload
+	aborted   *recPayload
+	heuristic *recPayload
+	end       bool
+}
+
+// restart recovers the node from its durable log: the variant's
+// presumption rules decide, for every unfinished transaction, whether
+// to resume phase two, inquire upstream, drive subordinates, or do
+// nothing and let presumption answer later inquiries.
+func (n *Node) restart() {
+	if !n.crashed {
+		return
+	}
+	n.crashed = false
+	n.log = wal.New(n.store)
+	n.observeLog(n.log)
+	n.trcApp("restart: scanning log")
+
+	recs, err := n.log.Records()
+	if err != nil {
+		n.trcApp("restart: log scan failed: " + err.Error())
+		return
+	}
+	scans := make(map[string]*txScan)
+	var order []string
+	for i, rec := range recs {
+		if rec.Node != string(n.id) {
+			continue // records written by co-located LRMs
+		}
+		var p recPayload
+		switch rec.Kind {
+		case recCommitPending, recAgentPending, recPrepared, recCommitted, recAborted, recHeuristic:
+			if err := json.Unmarshal(rec.Data, &p); err != nil {
+				n.trcApp("restart: bad record payload for " + rec.Tx)
+				continue
+			}
+		case recEnd:
+			// no payload
+		default:
+			continue // LRM record kinds
+		}
+		sc, ok := scans[rec.Tx]
+		if !ok {
+			sc = &txScan{order: i}
+			scans[rec.Tx] = sc
+			order = append(order, rec.Tx)
+		}
+		switch rec.Kind {
+		case recCommitPending, recAgentPending:
+			cp := p
+			sc.pending = &cp
+		case recPrepared:
+			cp := p
+			sc.prepared = &cp
+		case recCommitted:
+			cp := p
+			sc.committed = &cp
+		case recAborted:
+			cp := p
+			sc.aborted = &cp
+		case recHeuristic:
+			cp := p
+			sc.heuristic = &cp
+		case recEnd:
+			sc.end = true
+		}
+	}
+	for _, txs := range order {
+		n.recoverTx(ParseTxID(txs), scans[txs])
+	}
+}
+
+// recoverTx reinstates one transaction from its scan.
+func (n *Node) recoverTx(tx TxID, sc *txScan) {
+	switch {
+	case sc.end:
+		// Fully complete; remember the outcome for duplicate traffic.
+		switch {
+		case sc.committed != nil:
+			n.done[tx] = OutcomeCommitted
+		case sc.aborted != nil:
+			n.done[tx] = OutcomeAborted
+		default:
+			n.done[tx] = OutcomeUnknown
+		}
+
+	case sc.heuristic != nil:
+		// A unilateral decision was taken and the real outcome is
+		// still unknown: reinstate and inquire so damage can be
+		// detected and reported.
+		c := n.ctx(tx)
+		c.state = stHeurDone
+		c.loggedAny = true
+		c.myHeuristic = &HeuristicReport{Node: n.id, Committed: sc.heuristic.Commit}
+		c.coord = sc.heuristic.Coord
+		c.haveCoord = c.coord != ""
+		if c.haveCoord {
+			n.scheduleInquiry(c, 0)
+		}
+
+	case sc.committed != nil:
+		n.resumeOutcome(tx, sc.committed, true)
+
+	case sc.aborted != nil:
+		n.resumeOutcome(tx, sc.aborted, false)
+
+	case sc.prepared != nil:
+		if sc.prepared.Agent != "" {
+			// We delegated to a last agent and crashed before
+			// learning the decision: the agent owns the outcome.
+			c := n.ctx(tx)
+			c.state = stInDoubt
+			c.loggedAny = true
+			c.coord = sc.prepared.Agent // inquire the decision owner
+			c.haveCoord = true
+			c.lastAgentRecovery = true
+			for _, s := range sc.prepared.Subs {
+				c.sub(s).voted = true
+				c.sub(s).vote = VoteYes
+			}
+			n.scheduleInquiry(c, 0)
+			return
+		}
+		// In doubt: voted yes, outcome unknown. Reinstate and inquire
+		// the coordinator.
+		c := n.ctx(tx)
+		c.state = stInDoubt
+		c.loggedAny = true
+		c.coord = sc.prepared.Coord
+		c.haveCoord = c.coord != ""
+		for _, s := range sc.prepared.Subs {
+			c.sub(s).voted = true
+			c.sub(s).vote = VoteYes
+		}
+		n.trcState(tx, "in doubt after restart")
+		if c.haveCoord {
+			n.scheduleInquiry(c, 0)
+		}
+		n.armHeuristic(c)
+
+	case sc.pending != nil:
+		// PN coordinator (or leaf that crashed between its pending
+		// and prepared forces).
+		if sc.pending.Agent != "" {
+			// The pending record covers a delegation: the agent may
+			// have decided; inquire rather than presume.
+			c := n.ctx(tx)
+			c.state = stInDoubt
+			c.loggedAny = true
+			c.coord = sc.pending.Agent
+			c.haveCoord = true
+			c.lastAgentRecovery = true
+			n.scheduleInquiry(c, 0)
+			return
+		}
+		if len(sc.pending.Subs) > 0 {
+			// Coordinator crashed during phase one: no decision was
+			// made, so abort — and, presuming nothing, drive every
+			// subordinate to the abort and collect their
+			// acknowledgments (they may hold heuristic reports).
+			c := n.ctx(tx)
+			c.loggedAny = true
+			c.coord = sc.pending.Coord
+			c.haveCoord = c.coord != ""
+			c.isRoot = !c.haveCoord
+			for _, s := range sc.pending.Subs {
+				si := c.sub(s)
+				si.prepareSent = true
+				si.voted = true
+				si.vote = VoteYes
+			}
+			n.trcState(tx, "PN recovery: aborting phase-one transaction")
+			n.ownDecision(c, false)
+			return
+		}
+		// A leaf's AgentPending with no prepared record: the vote
+		// never left, the coordinator will have aborted. Nothing to do.
+		n.done[tx] = OutcomeAborted
+	}
+}
+
+// resumeOutcome re-enters phase two for a transaction whose decision
+// record survived: subordinates are re-notified (idempotently), acks
+// re-collected, and — for a subordinate — the ack upstream re-sent.
+func (n *Node) resumeOutcome(tx TxID, p *recPayload, commit bool) {
+	c := n.ctx(tx)
+	c.decided = true
+	c.decisionCommit = commit
+	c.loggedAny = true
+	c.coord = p.Coord
+	c.haveCoord = p.Coord != ""
+	c.isRoot = !c.haveCoord
+	c.state = stCommitting
+	n.trcState(tx, "restart: resuming phase two")
+
+	mt := protocol.MsgAbort
+	if commit {
+		mt = protocol.MsgCommit
+	}
+	for _, id := range p.Subs {
+		s := c.sub(id)
+		s.voted = true
+		s.vote = VoteYes
+		n.send(id, protocol.Message{Type: mt, Tx: tx.String()})
+		if n.expectsAck(s, commit) {
+			s.ackExpected = true
+			c.acksPending++
+		}
+	}
+	// Local resources are re-driven; completed ones treat this as a
+	// duplicate.
+	for _, r := range n.resources {
+		c.resources = append(c.resources, r)
+		c.resVotes = append(c.resVotes, PrepareResult{Vote: VoteYes})
+		var err error
+		if commit {
+			err = r.Commit(tx)
+		} else {
+			err = r.Abort(tx)
+		}
+		if err != nil {
+			n.noteResourceHeuristic(c, r, commit, err)
+		}
+	}
+	if !c.isRoot && !c.ackSent {
+		// Our coordinator may still be waiting for our ack.
+		n.sendAckUpstream(c)
+	}
+	if c.acksPending > 0 {
+		n.armAckTimer(c)
+	}
+	n.checkAcks(c)
+}
+
+// scheduleInquiry sends (after delay) a recovery inquiry to the
+// transaction's coordinator, retrying up to the attempt cap.
+func (n *Node) scheduleInquiry(c *txCtx, extraDelay int) {
+	cfg := n.eng.cfg
+	c.inquiryAttempts++
+	if c.inquiryAttempts > 8 {
+		n.trcApp("giving up inquiries for " + c.id.String() + " (operator needed)")
+		return
+	}
+	delay := cfg.InquireRetry * time.Duration(1+dur(extraDelay))
+	at := n.localTime + delay
+	n.eng.queue.pushTimer(at, n.id, func() {
+		if n.crashed {
+			return
+		}
+		cur, ok := n.txs[c.id]
+		if !ok || cur != c {
+			return
+		}
+		switch c.state {
+		case stInDoubt, stPrepared, stHeurDone:
+			n.eng.arriveAt(n, at)
+			n.send(c.coord, protocol.Message{Type: protocol.MsgInquire, Tx: c.id.String()})
+		}
+	})
+}
+
+func dur(v int) int {
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// handleInquire answers a recovery inquiry using local state, the
+// recovered outcome table, or — failing those — the variant's
+// presumption.
+func (n *Node) handleInquire(from NodeID, m protocol.Message) {
+	tx := ParseTxID(m.Tx)
+	reply := func(kind protocol.OutcomeKind) {
+		n.send(from, protocol.Message{Type: protocol.MsgOutcome, Tx: m.Tx, Outcome: kind})
+	}
+	if c, ok := n.txs[tx]; ok {
+		if c.decided {
+			if c.decisionCommit {
+				reply(protocol.OutcomeCommit)
+			} else {
+				reply(protocol.OutcomeAbort)
+			}
+			return
+		}
+		reply(protocol.OutcomeInProgress)
+		return
+	}
+	if o, ok := n.done[tx]; ok {
+		switch o {
+		case OutcomeCommitted, OutcomeHeuristicMixed:
+			reply(protocol.OutcomeCommit)
+		case OutcomeAborted:
+			reply(protocol.OutcomeAbort)
+		default:
+			reply(protocol.OutcomeUnknown)
+		}
+		return
+	}
+	// No information at all: presumption.
+	switch n.eng.cfg.Variant {
+	case VariantPA:
+		reply(protocol.OutcomeAbort) // presumed abort, by definition
+	case VariantPC:
+		// Presumed commit: the collecting record precedes every
+		// prepare, so total amnesia for a prepared inquirer can only
+		// mean the transaction passed phase one everywhere and the
+		// End was written: commit.
+		reply(protocol.OutcomeCommit)
+	default:
+		// Baseline and PN presume nothing: the inquirer stays blocked
+		// (the baseline's classic weakness; PN avoids ever reaching
+		// this because pending records precede prepares).
+		reply(protocol.OutcomeUnknown)
+	}
+}
+
+// handleOutcomeReply resolves an in-doubt transaction with the answer
+// to its inquiry.
+func (n *Node) handleOutcomeReply(from NodeID, m protocol.Message) {
+	tx := ParseTxID(m.Tx)
+	c, ok := n.txs[tx]
+	if !ok {
+		return
+	}
+	switch m.Outcome {
+	case protocol.OutcomeCommit, protocol.OutcomeAbort:
+		commit := m.Outcome == protocol.OutcomeCommit
+		switch c.state {
+		case stHeurDone:
+			n.resolveHeuristic(c, commit)
+		case stInDoubt, stPrepared:
+			if c.lastAgentRecovery {
+				// We were the delegating coordinator: the agent's
+				// answer is the decision; resume as decision owner.
+				n.coordinatorOutcome(c, commit)
+				return
+			}
+			n.receivedDecision(c, commit)
+		}
+	case protocol.OutcomeInProgress, protocol.OutcomeUnknown:
+		// Ask again later (bounded); heuristic policy may intervene.
+		n.scheduleInquiry(c, 1)
+	}
+}

@@ -1,0 +1,177 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/analytic"
+)
+
+func findRow(t *testing.T, rows []Row, name string) Row {
+	t.Helper()
+	for _, r := range rows {
+		if r.Name == name {
+			return r
+		}
+	}
+	t.Fatalf("row %q not found", name)
+	return Row{}
+}
+
+func TestTable2MatchesPaper(t *testing.T) {
+	rows, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := []string{
+		"Basic 2PC", "PN", "PA, commit", "PA, abort (vote no)",
+		"PA, read-only", "PA + Last Agent", "PA + Unsolicited Vote",
+		"PA + Vote Reliable", "PA + Long Locks", "PA + Wait For Outcome",
+	}
+	for _, name := range exact {
+		r := findRow(t, rows, name)
+		if !r.Match() {
+			t.Errorf("%s: measured %v != paper %v", r.Name, r.Measured, r.Paper)
+		}
+	}
+}
+
+func TestTable3MatchesPaperExample(t *testing.T) {
+	rows, err := Table3(11, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]analytic.Triplet{
+		"Basic 2PC":             {Flows: 40, Writes: 32, Forced: 21},
+		"PA & Read Only":        {Flows: 32, Writes: 20, Forced: 13},
+		"PA & Leave Out":        {Flows: 24, Writes: 20, Forced: 13},
+		"PA & Unsolicited Vote": {Flows: 36, Writes: 32, Forced: 21},
+		"PA & Vote Reliable":    {Flows: 36, Writes: 32, Forced: 21},
+		"PA & Wait For Outcome": {Flows: 40, Writes: 32, Forced: 21},
+		"PA & Shared Logs":      {Flows: 40, Writes: 32, Forced: 13},
+		"PA & Last Agent":       {Flows: 32, Writes: 32, Forced: 21},
+		"PA & Long Locks":       {Flows: 36, Writes: 32, Forced: 21},
+	}
+	for name, paper := range want {
+		r := findRow(t, rows, name)
+		if r.Paper != paper {
+			t.Errorf("%s paper value = %v, want %v", name, r.Paper, paper)
+		}
+		if r.Measured != paper {
+			t.Errorf("%s measured %v != paper %v (%s)", name, r.Measured, paper, r.Note)
+		}
+	}
+}
+
+func TestTable3OtherShapes(t *testing.T) {
+	// The measured-equals-formula property should hold across tree
+	// shapes, not just the paper's example.
+	for _, tc := range []struct{ n, m int }{{3, 1}, {5, 2}, {8, 5}, {16, 7}} {
+		rows, err := Table3(tc.n, tc.m)
+		if err != nil {
+			t.Fatalf("n=%d m=%d: %v", tc.n, tc.m, err)
+		}
+		for _, r := range rows {
+			if !r.Match() {
+				t.Errorf("n=%d m=%d %s: measured %v != paper %v", tc.n, tc.m, r.Name, r.Measured, r.Paper)
+			}
+		}
+	}
+}
+
+func TestTable4(t *testing.T) {
+	rows, err := Table4(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	basic := findRow(t, rows, "Basic 2PC")
+	if !basic.Match() || basic.Paper != (analytic.Triplet{Flows: 48, Writes: 60, Forced: 36}) {
+		t.Errorf("basic row: paper %v measured %v", basic.Paper, basic.Measured)
+	}
+	ll := findRow(t, rows, "PA & Long Locks (not last agent)")
+	if ll.Paper != (analytic.Triplet{Flows: 36, Writes: 60, Forced: 36}) {
+		t.Errorf("long locks paper = %v", ll.Paper)
+	}
+	if ll.Measured.Flows > ll.Paper.Flows+1 { // +1: the final ack flushes at session close
+		t.Errorf("long locks measured flows %d exceed paper %d (+1 tolerance)", ll.Measured.Flows, ll.Paper.Flows)
+	}
+	lla := findRow(t, rows, "PA & Long Locks (last agent)")
+	if lla.Paper != (analytic.Triplet{Flows: 18, Writes: 60, Forced: 36}) {
+		t.Errorf("last-agent paper = %v", lla.Paper)
+	}
+	// Shape: basic > long locks > long locks + last agent.
+	if !(basic.Measured.Flows > ll.Measured.Flows && ll.Measured.Flows > lla.Measured.Flows) {
+		t.Errorf("flow ordering broken: %d, %d, %d",
+			basic.Measured.Flows, ll.Measured.Flows, lla.Measured.Flows)
+	}
+}
+
+func TestGroupCommitTable(t *testing.T) {
+	rows, err := GroupCommitTable(24, []int{1, 2, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].MeasuredSyncs != 72 {
+		t.Errorf("ungrouped syncs = %d, want 72", rows[0].MeasuredSyncs)
+	}
+	prev := rows[0].MeasuredSyncs
+	for _, r := range rows[1:] {
+		if r.MeasuredSyncs > prev {
+			t.Errorf("group size %d did not reduce syncs: %d -> %d", r.GroupSize, prev, r.MeasuredSyncs)
+		}
+		prev = r.MeasuredSyncs
+	}
+	// The largest group should save substantially versus ungrouped.
+	lastRow := rows[len(rows)-1]
+	if lastRow.MeasuredSyncs > rows[0].MeasuredSyncs/2 {
+		t.Errorf("group commit saved too little: %d vs %d", lastRow.MeasuredSyncs, rows[0].MeasuredSyncs)
+	}
+}
+
+func TestRenderRows(t *testing.T) {
+	rows, err := Table4(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderRows("Table 4", rows)
+	if len(out) == 0 || out[0] != 'T' {
+		t.Fatalf("render output: %q", out)
+	}
+}
+
+func TestTable2SplitMatchesPaperPerRole(t *testing.T) {
+	rows, err := Table2Split()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Match() {
+			t.Errorf("%s: coord %v vs %v, sub %v vs %v",
+				r.Name, r.MeasCoord, r.PaperCoord, r.MeasSub, r.PaperSub)
+		}
+	}
+}
+
+func TestRenderSplitRows(t *testing.T) {
+	rows, err := Table2Split()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderSplitRows("Table 2 (per role)", rows)
+	if len(out) == 0 {
+		t.Fatal("empty render")
+	}
+}
+
+func TestTable2PCExtensionRow(t *testing.T) {
+	rows, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := findRow(t, rows, "PC (extension)")
+	if !r.Match() {
+		t.Errorf("PC row: measured %v != formula %v", r.Measured, r.Paper)
+	}
+}

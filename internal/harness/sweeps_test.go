@@ -1,0 +1,101 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestReadFractionSweepMonotone(t *testing.T) {
+	s, err := ReadFractionSweep(9, []float64{0, 0.25, 0.5, 0.75, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Points) != 5 {
+		t.Fatalf("points = %d", len(s.Points))
+	}
+	// PA flows fall (weakly) as the read fraction rises; basic stays flat.
+	prevPA := s.Points[0].Series["PA flows"]
+	for _, p := range s.Points[1:] {
+		if pa := p.Series["PA flows"]; pa > prevPA {
+			t.Errorf("PA flows rose with read fraction: %v -> %v", prevPA, pa)
+		} else {
+			prevPA = pa
+		}
+		if basic := p.Series["basic flows"]; basic != s.Points[0].Series["basic flows"] {
+			t.Errorf("basic flows changed with read fraction: %v", basic)
+		}
+	}
+	// At fraction 1 only the root (which always updates in this
+	// workload) still forces: its single commit record.
+	last := s.Points[len(s.Points)-1]
+	if last.Series["PA forced"] != 1 {
+		t.Errorf("all-read-only PA forced = %v, want 1 (root's commit record)", last.Series["PA forced"])
+	}
+}
+
+func TestSatelliteSweepCrossover(t *testing.T) {
+	s, err := SatelliteSweep([]time.Duration{
+		time.Millisecond, 10 * time.Millisecond, 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At 1ms (uniform) links, parallel prepares beat the serialized
+	// delegation; at 100ms the last agent wins decisively.
+	fast := s.Points[0]
+	slow := s.Points[len(s.Points)-1]
+	if fast.Series["last agent ms"] <= fast.Series["normal 2PC ms"] {
+		t.Errorf("expected last agent to lose on uniform links: %v vs %v",
+			fast.Series["last agent ms"], fast.Series["normal 2PC ms"])
+	}
+	if slow.Series["last agent ms"] >= slow.Series["normal 2PC ms"] {
+		t.Errorf("expected last agent to win on the satellite: %v vs %v",
+			slow.Series["last agent ms"], slow.Series["normal 2PC ms"])
+	}
+}
+
+func TestTreeSizeSweepLaws(t *testing.T) {
+	s, err := TreeSizeSweep([]int{2, 5, 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range []int{2, 5, 11} {
+		p := s.Points[i]
+		if got, want := p.Series["flows"], float64(4*(n-1)); got != want {
+			t.Errorf("n=%d flows = %v, want %v", n, got, want)
+		}
+		if got, want := p.Series["basic forced"], float64(2*n-1); got != want {
+			t.Errorf("n=%d basic forced = %v, want %v", n, got, want)
+		}
+		if got, want := p.Series["PN forced"], float64(3*n-1); got != want {
+			t.Errorf("n=%d PN forced = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestGroupCommitSweepMatchesFormula(t *testing.T) {
+	s, err := GroupCommitSweep(24, []int{1, 2, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range s.Points {
+		if p.Series["measured syncs"] != p.Series["paper ceil(3n/m)"] {
+			t.Errorf("group %s: measured %v != paper %v",
+				p.X, p.Series["measured syncs"], p.Series["paper ceil(3n/m)"])
+		}
+	}
+}
+
+func TestSweepRender(t *testing.T) {
+	s, err := TreeSizeSweep([]int{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := s.Render()
+	for _, frag := range []string{"participants", "flows", "2", "3"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("render missing %q:\n%s", frag, out)
+		}
+	}
+}

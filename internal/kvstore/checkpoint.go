@@ -1,0 +1,49 @@
+package kvstore
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/wal"
+)
+
+// recSnapshot is a full-state checkpoint record: recovery starts from
+// the latest snapshot instead of replaying all history.
+const recSnapshot = "LRMSnapshot"
+
+// Checkpoint writes a snapshot of the committed state to the log
+// (forced) and truncates everything older, except records belonging
+// to transactions that are still open (in doubt or heuristically
+// completed) — their update sets are still needed to resolve them.
+// It returns the number of log records dropped.
+func (s *Store) Checkpoint() (dropped int, err error) {
+	s.mu.Lock()
+	data, err := json.Marshal(s.data)
+	if err != nil {
+		s.mu.Unlock()
+		return 0, fmt.Errorf("kvstore checkpoint: encode snapshot: %w", err)
+	}
+	open := make(map[string]bool, len(s.txs))
+	for id := range s.txs {
+		open[id.String()] = true
+	}
+	s.mu.Unlock()
+
+	lsn, err := s.log.Force(wal.Record{Node: s.name, Kind: recSnapshot, Data: data})
+	if err != nil {
+		return 0, fmt.Errorf("kvstore checkpoint: write snapshot: %w", err)
+	}
+	_, dropped, err = s.log.Checkpoint(func(r wal.Record) bool {
+		if r.Node != s.name {
+			return true // never drop another component's records (shared logs)
+		}
+		if r.LSN >= lsn {
+			return true
+		}
+		return open[r.Tx]
+	})
+	if err != nil {
+		return 0, fmt.Errorf("kvstore checkpoint: truncate: %w", err)
+	}
+	return dropped, nil
+}

@@ -1,0 +1,448 @@
+// Package kvstore implements the transactional key-value resource
+// manager (LRM) that stands in for the databases and file managers of
+// the paper: strict two-phase locking via lockmgr, write-ahead
+// logging via wal, a participant contract for the 2PC engine, support
+// for heuristic completion while in doubt, crash/recovery, and the
+// two LRM-side attributes the optimizations use — Reliable (§4 Vote
+// Reliable) and shared-log mode (§4 Sharing the Log, under which the
+// LRM never forces because the transaction manager's commit force
+// hardens its records).
+package kvstore
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/lockmgr"
+	"repro/internal/wal"
+)
+
+// Log record kinds written by the store.
+const (
+	recUpdate    = "LRMUpdate"
+	recPrepared  = "LRMPrepared"
+	recCommitted = "LRMCommitted"
+	recAborted   = "LRMAborted"
+	recHeuristic = "LRMHeuristic"
+)
+
+// Errors returned by the store. ErrHeuristic aliases the engine's
+// sentinel so the transaction manager recognizes heuristic conflicts
+// across the Resource interface.
+var (
+	ErrNotFound  = errors.New("kvstore: key not found")
+	ErrTxState   = errors.New("kvstore: operation invalid in this transaction state")
+	ErrNoSuchTx  = errors.New("kvstore: unknown transaction")
+	ErrHeuristic = core.ErrHeuristicConflict
+)
+
+type txPhase int
+
+const (
+	phaseActive txPhase = iota
+	phasePrepared
+	phaseCommitted
+	phaseAborted
+	phaseHeuristicCommit
+	phaseHeuristicAbort
+)
+
+type pendingWrite struct {
+	Key    string `json:"k"`
+	Value  string `json:"v"`
+	Delete bool   `json:"d,omitempty"`
+}
+
+type txState struct {
+	phase  txPhase
+	writes []pendingWrite
+	reads  int
+}
+
+// Option configures a Store.
+type Option func(*Store)
+
+// WithReliable marks the store as a reliable resource: one that takes
+// heuristic decisions only in drastic circumstances, enabling the
+// Vote-Reliable optimization upstream.
+func WithReliable(on bool) Option { return func(s *Store) { s.reliable = on } }
+
+// WithSharedLog puts the store in shared-log mode: its records ride
+// the transaction manager's log and are never forced by the store
+// itself.
+func WithSharedLog(on bool) Option { return func(s *Store) { s.sharedLog = on } }
+
+// WithOKToLeaveOut marks the store as one that stays suspended
+// between requests, so its node may vote OK-to-leave-out.
+func WithOKToLeaveOut(on bool) Option { return func(s *Store) { s.okToLeaveOut = on } }
+
+// WithBlockingLocks selects between blocking lock acquisition (live
+// goroutine workloads) and immediate-conflict errors (the
+// deterministic simulator). Default is non-blocking.
+func WithBlockingLocks(on bool) Option { return func(s *Store) { s.blocking = on } }
+
+// WithReadOnlyVotes controls whether a transaction with no updates
+// votes read-only (releasing locks at the vote, §4 Read Only) or runs
+// the full protocol holding locks until the outcome — the behavior of
+// basic 2PC without the optimization. Default is true (vote
+// read-only).
+func WithReadOnlyVotes(on bool) Option { return func(s *Store) { s.roVotes = on } }
+
+// Store is a transactional in-memory key-value store with WAL-based
+// durability. All methods are safe for concurrent use.
+type Store struct {
+	name         string
+	log          *wal.Log
+	locks        *lockmgr.Manager
+	reliable     bool
+	sharedLog    bool
+	okToLeaveOut bool
+	blocking     bool
+	roVotes      bool
+
+	mu   sync.Mutex
+	data map[string]string
+	txs  map[core.TxID]*txState
+}
+
+// New returns an empty store named name, logging to log and locking
+// through a manager driven by clk.
+func New(name string, log *wal.Log, clk clock.Clock, opts ...Option) *Store {
+	s := &Store{
+		name:    name,
+		log:     log,
+		locks:   lockmgr.New(clk),
+		data:    make(map[string]string),
+		txs:     make(map[core.TxID]*txState),
+		roVotes: true,
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Name implements core.Resource.
+func (s *Store) Name() string { return s.name }
+
+// Locks exposes the lock manager for hold-time accounting.
+func (s *Store) Locks() *lockmgr.Manager { return s.locks }
+
+func (s *Store) tx(id core.TxID) *txState {
+	st, ok := s.txs[id]
+	if !ok {
+		st = &txState{}
+		s.txs[id] = st
+	}
+	return st
+}
+
+func (s *Store) lock(ctx context.Context, owner core.TxID, key string, mode lockmgr.Mode) error {
+	if s.blocking {
+		return s.locks.Acquire(ctx, owner.String(), key, mode)
+	}
+	return s.locks.TryAcquire(owner.String(), key, mode)
+}
+
+// Get reads key under a shared lock within tx.
+func (s *Store) Get(ctx context.Context, tx core.TxID, key string) (string, error) {
+	if err := s.lock(ctx, tx, key, lockmgr.Shared); err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.tx(tx)
+	if st.phase != phaseActive {
+		return "", fmt.Errorf("%w: read in phase %d", ErrTxState, st.phase)
+	}
+	st.reads++
+	// Read-your-writes: the latest pending write wins.
+	for i := len(st.writes) - 1; i >= 0; i-- {
+		if st.writes[i].Key == key {
+			if st.writes[i].Delete {
+				return "", fmt.Errorf("%w: %q", ErrNotFound, key)
+			}
+			return st.writes[i].Value, nil
+		}
+	}
+	v, ok := s.data[key]
+	if !ok {
+		return "", fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	return v, nil
+}
+
+// Put buffers a write of key=value under an exclusive lock within tx.
+// The write is applied at commit.
+func (s *Store) Put(ctx context.Context, tx core.TxID, key, value string) error {
+	if err := s.lock(ctx, tx, key, lockmgr.Exclusive); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.tx(tx)
+	if st.phase != phaseActive {
+		return fmt.Errorf("%w: write in phase %d", ErrTxState, st.phase)
+	}
+	st.writes = append(st.writes, pendingWrite{Key: key, Value: value})
+	return nil
+}
+
+// Delete buffers a deletion of key under an exclusive lock within tx.
+func (s *Store) Delete(ctx context.Context, tx core.TxID, key string) error {
+	if err := s.lock(ctx, tx, key, lockmgr.Exclusive); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.tx(tx)
+	if st.phase != phaseActive {
+		return fmt.Errorf("%w: delete in phase %d", ErrTxState, st.phase)
+	}
+	st.writes = append(st.writes, pendingWrite{Key: key, Delete: true})
+	return nil
+}
+
+// Prepare implements core.Resource. A transaction with no writes
+// votes read-only and releases its locks immediately (§4 Read Only);
+// otherwise the update set is logged and the prepared record forced
+// (non-forced in shared-log mode), after which the store guarantees
+// it can commit or abort across crashes.
+func (s *Store) Prepare(tx core.TxID) (core.PrepareResult, error) {
+	s.mu.Lock()
+	st := s.tx(tx)
+	if st.phase != phaseActive {
+		s.mu.Unlock()
+		return core.PrepareResult{}, fmt.Errorf("%w: prepare in phase %d", ErrTxState, st.phase)
+	}
+	if len(st.writes) == 0 && s.roVotes {
+		delete(s.txs, tx)
+		s.mu.Unlock()
+		s.locks.ReleaseAll(tx.String())
+		return core.PrepareResult{
+			Vote:         core.VoteReadOnly,
+			Reliable:     s.reliable,
+			OKToLeaveOut: s.okToLeaveOut,
+		}, nil
+	}
+	writes := st.writes
+	st.phase = phasePrepared
+	s.mu.Unlock()
+
+	payload, err := json.Marshal(writes)
+	if err != nil {
+		return core.PrepareResult{}, fmt.Errorf("kvstore: encode update set: %w", err)
+	}
+	if err := s.writeLog(tx, recUpdate, payload, false); err != nil {
+		return core.PrepareResult{}, err
+	}
+	// In shared-log mode the prepared record is not forced: the TM's
+	// commit force will harden it, and if the system fails first the
+	// missing record simply aborts the transaction (§4 Sharing the Log).
+	if err := s.writeLog(tx, recPrepared, nil, !s.sharedLog); err != nil {
+		return core.PrepareResult{}, err
+	}
+	return core.PrepareResult{
+		Vote:         core.VoteYes,
+		Reliable:     s.reliable,
+		OKToLeaveOut: s.okToLeaveOut,
+	}, nil
+}
+
+func (s *Store) writeLog(tx core.TxID, kind string, data []byte, force bool) error {
+	rec := wal.Record{Tx: tx.String(), Node: s.name, Kind: kind, Data: data}
+	var err error
+	if force {
+		_, err = s.log.Force(rec)
+	} else {
+		_, err = s.log.Append(rec)
+	}
+	if err != nil {
+		return fmt.Errorf("kvstore %s: log %s: %w", s.name, kind, err)
+	}
+	return nil
+}
+
+// Commit implements core.Resource: applies buffered writes, logs the
+// committed record (forced unless shared-log), and releases locks.
+// Committing an unknown transaction is a no-op so recovery can
+// re-deliver outcomes safely.
+func (s *Store) Commit(tx core.TxID) error { return s.finish(tx, true, false) }
+
+// Abort implements core.Resource: discards buffered writes and
+// releases locks. Unknown transactions are a no-op (presumed abort
+// re-delivery).
+func (s *Store) Abort(tx core.TxID) error { return s.finish(tx, false, false) }
+
+func (s *Store) finish(tx core.TxID, commit, heuristic bool) error {
+	s.mu.Lock()
+	st, ok := s.txs[tx]
+	if !ok {
+		s.mu.Unlock()
+		s.locks.ReleaseAll(tx.String()) // read-only txs may still hold nothing; harmless
+		return nil
+	}
+	switch st.phase {
+	case phaseHeuristicCommit, phaseHeuristicAbort:
+		// The real outcome arrived after a heuristic decision; the
+		// caller (TM) detects damage via HeuristicTaken.
+		s.mu.Unlock()
+		return ErrHeuristic
+	case phaseCommitted, phaseAborted:
+		s.mu.Unlock()
+		return nil // idempotent re-delivery
+	}
+	if commit {
+		for _, w := range st.writes {
+			if w.Delete {
+				delete(s.data, w.Key)
+			} else {
+				s.data[w.Key] = w.Value
+			}
+		}
+		if heuristic {
+			st.phase = phaseHeuristicCommit
+		} else {
+			st.phase = phaseCommitted
+		}
+	} else {
+		if heuristic {
+			st.phase = phaseHeuristicAbort
+		} else {
+			st.phase = phaseAborted
+		}
+	}
+	hadWrites := len(st.writes) > 0
+	if !heuristic {
+		delete(s.txs, tx)
+	}
+	s.mu.Unlock()
+
+	if hadWrites {
+		kind := recAborted
+		force := false
+		if commit {
+			kind = recCommitted
+			force = !s.sharedLog
+		}
+		if heuristic {
+			kind = recHeuristic
+			force = true // heuristic decisions must be remembered
+		}
+		if err := s.writeLog(tx, kind, outcomePayload(commit), force); err != nil {
+			return err
+		}
+	}
+	s.locks.ReleaseAll(tx.String())
+	return nil
+}
+
+func outcomePayload(commit bool) []byte {
+	if commit {
+		return []byte(`{"commit":true}`)
+	}
+	return []byte(`{"commit":false}`)
+}
+
+// HeuristicDecide implements core.HeuristicCapable: unilaterally
+// completes a prepared transaction. The store logs the decision
+// (forced) and keeps the transaction's entry so a later outcome
+// delivery detects disagreement.
+func (s *Store) HeuristicDecide(tx core.TxID, commit bool) error {
+	s.mu.Lock()
+	st, ok := s.txs[tx]
+	if !ok || st.phase != phasePrepared {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: heuristic decision requires prepared state", ErrTxState)
+	}
+	s.mu.Unlock()
+	return s.finish(tx, commit, true)
+}
+
+// HeuristicTaken implements core.HeuristicCapable.
+func (s *Store) HeuristicTaken(tx core.TxID) (taken, committed bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.txs[tx]
+	if !ok {
+		return false, false
+	}
+	switch st.phase {
+	case phaseHeuristicCommit:
+		return true, true
+	case phaseHeuristicAbort:
+		return true, false
+	}
+	return false, false
+}
+
+// Forget drops the record of a heuristically completed transaction
+// after its damage has been reported upstream.
+func (s *Store) Forget(tx core.TxID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.txs[tx]
+	if ok && (st.phase == phaseHeuristicCommit || st.phase == phaseHeuristicAbort) {
+		delete(s.txs, tx)
+	}
+}
+
+// ReadCommitted returns the committed value of key outside any
+// transaction (no locks); tests use it to inspect state.
+func (s *Store) ReadCommitted(key string) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.data[key]
+	return v, ok
+}
+
+// Keys returns the sorted committed key set.
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.data))
+	for k := range s.data {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// InDoubt returns transactions that are prepared but not completed —
+// after a crash these are the ones recovery must resolve.
+func (s *Store) InDoubt() []core.TxID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []core.TxID
+	for id, st := range s.txs {
+		if st.phase == phasePrepared {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// Snapshot returns a copy of the committed key-value state.
+func (s *Store) Snapshot() map[string]string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]string, len(s.data))
+	for k, v := range s.data {
+		out[k] = v
+	}
+	return out
+}
+
+// Len returns the number of committed keys.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.data)
+}

@@ -1,0 +1,95 @@
+package live
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/wal"
+)
+
+// BenchmarkLiveCommitChannels measures end-to-end live PA commits over
+// the in-process channel transport: goroutine scheduling + two log
+// forces + four messages per commit.
+func BenchmarkLiveCommitChannels(b *testing.B) {
+	net := netsim.NewChanNetwork()
+	kv := core.NewStaticResource("r")
+	coord := NewParticipant("C", net.Endpoint("C"), wal.New(wal.NewMemStore()), []core.Resource{core.NewStaticResource("rc")})
+	sub := NewParticipant("S", net.Endpoint("S"), wal.New(wal.NewMemStore()), []core.Resource{kv})
+	coord.Start()
+	sub.Start()
+	defer coord.Stop()
+	defer sub.Stop()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx := core.TxID{Origin: "C", Seq: uint64(i + 1)}
+		out, err := coord.Commit(ctx, tx.String(), []string{"S"})
+		if err != nil || out != Committed {
+			b.Fatalf("commit %d: %v %v", i, out, err)
+		}
+	}
+}
+
+// BenchmarkLiveCommitTCP is the same protocol over loopback TCP: the
+// realistic floor for distributed commit latency on one machine.
+func BenchmarkLiveCommitTCP(b *testing.B) {
+	epC, err := netsim.ListenTCP("C", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	epS, err := netsim.ListenTCP("S", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	epC.Register("S", epS.Addr())
+	epS.Register("C", epC.Addr())
+	coord := NewParticipant("C", epC, wal.New(wal.NewMemStore()), []core.Resource{core.NewStaticResource("rc")})
+	sub := NewParticipant("S", epS, wal.New(wal.NewMemStore()), []core.Resource{core.NewStaticResource("rs")})
+	coord.Start()
+	sub.Start()
+	defer coord.Stop()
+	defer sub.Stop()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx := core.TxID{Origin: "C", Seq: uint64(i + 1)}
+		out, err := coord.Commit(ctx, tx.String(), []string{"S"})
+		if err != nil || out != Committed {
+			b.Fatalf("commit %d: %v %v", i, out, err)
+		}
+	}
+}
+
+// BenchmarkLiveFanout scales subordinate count.
+func BenchmarkLiveFanout(b *testing.B) {
+	for _, n := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("subs%d", n), func(b *testing.B) {
+			net := netsim.NewChanNetwork()
+			coord := NewParticipant("C", net.Endpoint("C"), wal.New(wal.NewMemStore()),
+				[]core.Resource{core.NewStaticResource("rc")})
+			coord.Start()
+			defer coord.Stop()
+			var names []string
+			for i := 0; i < n; i++ {
+				name := fmt.Sprintf("S%d", i)
+				names = append(names, name)
+				p := NewParticipant(name, net.Endpoint(name), wal.New(wal.NewMemStore()),
+					[]core.Resource{core.NewStaticResource("r" + name)})
+				p.Start()
+				defer p.Stop()
+			}
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tx := core.TxID{Origin: "C", Seq: uint64(i + 1)}
+				out, err := coord.Commit(ctx, tx.String(), names)
+				if err != nil || out != Committed {
+					b.Fatalf("commit: %v %v", out, err)
+				}
+			}
+		})
+	}
+}

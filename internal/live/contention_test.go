@@ -1,0 +1,111 @@
+package live
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/kvstore"
+	"repro/internal/netsim"
+	"repro/internal/wal"
+)
+
+// The paper's §1 throughput argument, measured live: "a faster commit
+// protocol can improve transaction throughput ... by causing locks to
+// be released sooner, reducing the wait time of other transactions."
+// Here a hot key is read by every transaction; with read-only votes
+// the reader's lock drops at prepare time, without them it is held
+// through phase two — and writers queue behind it.
+
+func runContention(b *testing.B, roVotes bool) (committed int64) {
+	net := netsim.NewChanNetwork()
+	hot := kvstore.New("hot", wal.New(wal.NewMemStore()), clock.NewWall(),
+		kvstore.WithBlockingLocks(true), kvstore.WithReadOnlyVotes(roVotes))
+	coord := NewParticipant("C", net.Endpoint("C"), wal.New(wal.NewMemStore()), nil)
+	sub := NewParticipant("S", net.Endpoint("S"), wal.New(wal.NewMemStore()), []core.Resource{hot})
+	coord.Start()
+	sub.Start()
+	defer coord.Stop()
+	defer sub.Stop()
+
+	ctx := context.Background()
+	// Seed the hot key.
+	seed := core.TxID{Origin: "C", Seq: 1}
+	if err := hot.Put(ctx, seed, "hot", "seed"); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := coord.Commit(ctx, seed.String(), []string{"S"}); err != nil {
+		b.Fatal(err)
+	}
+
+	const workers = 8
+	var wg sync.WaitGroup
+	var count, seq int64
+	seq = 100
+	deadline := time.Now().Add(150 * time.Millisecond)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				tx := core.TxID{Origin: "C", Seq: uint64(atomic.AddInt64(&seq, 1))}
+				tctx, cancel := context.WithTimeout(ctx, 50*time.Millisecond)
+				// Every transaction reads the hot key (shared lock)…
+				if _, err := hot.Get(tctx, tx, "hot"); err != nil {
+					cancel()
+					continue
+				}
+				// …and some also write a private key.
+				if id%4 == 0 {
+					if err := hot.Put(tctx, tx, fmt.Sprintf("w%d", id), "x"); err != nil {
+						cancel()
+						_, _ = coord.Commit(ctx, tx.String(), []string{"S"}) // resolve/abort
+						continue
+					}
+				}
+				cancel()
+				if out, err := coord.Commit(ctx, tx.String(), []string{"S"}); err == nil && out == Committed {
+					atomic.AddInt64(&count, 1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return atomic.LoadInt64(&count)
+}
+
+// BenchmarkContentionReadOnlyVotes reports committed transactions per
+// 150ms window with and without the read-only optimization's early
+// lock release.
+func BenchmarkContentionReadOnlyVotes(b *testing.B) {
+	for _, ro := range []bool{false, true} {
+		b.Run(fmt.Sprintf("readOnlyVotes=%v", ro), func(b *testing.B) {
+			var last int64
+			for i := 0; i < b.N; i++ {
+				last = runContention(b, ro)
+			}
+			b.ReportMetric(float64(last), "committed/window")
+		})
+	}
+}
+
+func TestContentionBothModesMakeProgress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-based")
+	}
+	// Smoke: the contention workload commits transactions in both
+	// modes (the throughput *ratio* is hardware-dependent, so only
+	// progress is asserted here; the benchmark reports the numbers).
+	b := &testing.B{}
+	with := runContention(b, true)
+	without := runContention(b, false)
+	if with == 0 || without == 0 {
+		t.Fatalf("no progress: with=%d without=%d", with, without)
+	}
+	t.Logf("committed in 150ms: readOnlyVotes=true %d, false %d", with, without)
+}

@@ -1,0 +1,398 @@
+// Package live runs the presumed-abort commit protocol over real
+// concurrent participants — one goroutine per node, packets over a
+// netsim transport (in-process channels or TCP). It complements the
+// deterministic simulator in internal/core: the simulator produces
+// the paper's exact counts; this package demonstrates the same wire
+// protocol working with true concurrency, real timeouts, and real
+// sockets (examples/netcommit).
+//
+// The live runner implements PA with the read-only optimization —
+// the variant the paper notes became the industry standard — plus
+// inquiry-based recovery for in-doubt participants.
+package live
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/protocol"
+	"repro/internal/wal"
+)
+
+// Outcome is the result of a live commit.
+type Outcome int
+
+// Outcomes of a live commit operation.
+const (
+	Committed Outcome = iota
+	Aborted
+)
+
+// String returns "committed" or "aborted".
+func (o Outcome) String() string {
+	if o == Committed {
+		return "committed"
+	}
+	return "aborted"
+}
+
+// ErrTimeout is returned when votes or acks do not arrive in time.
+var ErrTimeout = errors.New("live: timed out")
+
+// Participant is one node of a live commit: a transaction manager
+// with local resources, listening on a transport endpoint.
+type Participant struct {
+	name string
+	ep   netsim.Endpoint
+	log  *wal.Log
+	res  []core.Resource
+
+	voteTimeout time.Duration
+	ackTimeout  time.Duration
+
+	mu      sync.Mutex
+	votes   map[string]chan envelope // tx -> vote stream (coordinator side)
+	acks    map[string]chan envelope // tx -> ack stream
+	decided map[string]bool          // tx -> committed? (for inquiries)
+	stopped chan struct{}
+	wg      sync.WaitGroup
+}
+
+// Option configures a Participant.
+type Option func(*Participant)
+
+// WithTimeouts overrides the vote and ack collection timeouts
+// (default 2s each).
+func WithTimeouts(vote, ack time.Duration) Option {
+	return func(p *Participant) {
+		p.voteTimeout = vote
+		p.ackTimeout = ack
+	}
+}
+
+// NewParticipant wires a participant to its endpoint, log, and
+// resources. Call Start to begin serving protocol traffic.
+func NewParticipant(name string, ep netsim.Endpoint, log *wal.Log, resources []core.Resource, opts ...Option) *Participant {
+	p := &Participant{
+		name:        name,
+		ep:          ep,
+		log:         log,
+		res:         resources,
+		voteTimeout: 2 * time.Second,
+		ackTimeout:  2 * time.Second,
+		votes:       make(map[string]chan envelope),
+		acks:        make(map[string]chan envelope),
+		decided:     make(map[string]bool),
+		stopped:     make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(p)
+	}
+	return p
+}
+
+// Start launches the participant's receive loop.
+func (p *Participant) Start() {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		for {
+			select {
+			case pkt, ok := <-p.ep.Recv():
+				if !ok {
+					return
+				}
+				p.handle(pkt)
+			case <-p.stopped:
+				return
+			}
+		}
+	}()
+}
+
+// Stop shuts the participant down.
+func (p *Participant) Stop() {
+	close(p.stopped)
+	p.ep.Close()
+	p.wg.Wait()
+}
+
+func (p *Participant) handle(pkt protocol.Packet) {
+	for _, m := range pkt.Messages {
+		switch m.Type {
+		case protocol.MsgPrepare:
+			p.handlePrepare(pkt.From, m)
+		case protocol.MsgVote:
+			p.route(p.votes, pkt.From, m)
+		case protocol.MsgCommit:
+			p.handleOutcome(pkt.From, m, true)
+		case protocol.MsgAbort:
+			p.handleOutcome(pkt.From, m, false)
+		case protocol.MsgAck:
+			p.route(p.acks, pkt.From, m)
+		case protocol.MsgInquire:
+			p.handleInquire(pkt.From, m)
+		}
+	}
+}
+
+// envelope pairs a protocol message with its sender.
+type envelope struct {
+	from string
+	msg  protocol.Message
+}
+
+func (p *Participant) route(table map[string]chan envelope, from string, m protocol.Message) {
+	p.mu.Lock()
+	ch := table[m.Tx]
+	p.mu.Unlock()
+	if ch != nil {
+		select {
+		case ch <- envelope{from: from, msg: m}:
+		default:
+		}
+	}
+}
+
+// handlePrepare runs the subordinate's phase one.
+func (p *Participant) handlePrepare(from string, m protocol.Message) {
+	tx := core.ParseTxID(m.Tx)
+	vote := protocol.VoteReadOnly
+	for _, r := range p.res {
+		pr, err := r.Prepare(tx)
+		if err != nil || pr.Vote == core.VoteNo {
+			vote = protocol.VoteNo
+			break
+		}
+		if pr.Vote == core.VoteYes {
+			vote = protocol.VoteYes
+		}
+	}
+	if vote == protocol.VoteYes {
+		if _, err := p.log.Force(wal.Record{Tx: m.Tx, Node: p.name, Kind: "Prepared"}); err != nil {
+			vote = protocol.VoteNo
+		}
+	}
+	if vote == protocol.VoteNo {
+		for _, r := range p.res {
+			_ = r.Abort(tx)
+		}
+	}
+	_ = p.ep.Send(from, protocol.Packet{From: p.name, To: from, Messages: []protocol.Message{{
+		Type: protocol.MsgVote, Tx: m.Tx, Vote: vote,
+	}}})
+}
+
+// handleOutcome applies phase two at a subordinate.
+func (p *Participant) handleOutcome(from string, m protocol.Message, commit bool) {
+	tx := core.ParseTxID(m.Tx)
+	if commit {
+		if _, err := p.log.Force(wal.Record{Tx: m.Tx, Node: p.name, Kind: "Committed"}); err != nil {
+			return // cannot ack a commit we failed to harden
+		}
+		for _, r := range p.res {
+			_ = r.Commit(tx)
+		}
+		p.mu.Lock()
+		p.decided[m.Tx] = true
+		p.mu.Unlock()
+		_, _ = p.log.Append(wal.Record{Tx: m.Tx, Node: p.name, Kind: "End"})
+		_ = p.ep.Send(from, protocol.Packet{From: p.name, To: from, Messages: []protocol.Message{{
+			Type: protocol.MsgAck, Tx: m.Tx,
+		}}})
+		return
+	}
+	// Presumed abort: no forced log, no ack.
+	_, _ = p.log.Append(wal.Record{Tx: m.Tx, Node: p.name, Kind: "Aborted"})
+	for _, r := range p.res {
+		_ = r.Abort(tx)
+	}
+	p.mu.Lock()
+	p.decided[m.Tx] = false
+	p.mu.Unlock()
+}
+
+// handleInquire answers an in-doubt subordinate with the decision or
+// the presumption.
+func (p *Participant) handleInquire(from string, m protocol.Message) {
+	p.mu.Lock()
+	committed, known := p.decided[m.Tx]
+	p.mu.Unlock()
+	out := protocol.OutcomeAbort // presumed abort
+	if known && committed {
+		out = protocol.OutcomeCommit
+	}
+	mt := protocol.MsgAbort
+	if out == protocol.OutcomeCommit {
+		mt = protocol.MsgCommit
+	}
+	_ = p.ep.Send(from, protocol.Packet{From: p.name, To: from, Messages: []protocol.Message{{
+		Type: mt, Tx: m.Tx,
+	}}})
+}
+
+// Commit coordinates a presumed-abort commit of tx across subs. The
+// caller is the root coordinator; its own resources participate too.
+func (p *Participant) Commit(ctx context.Context, txName string, subs []string) (Outcome, error) {
+	tx := core.ParseTxID(txName)
+	voteCh := make(chan envelope, len(subs))
+	ackCh := make(chan envelope, len(subs))
+	p.mu.Lock()
+	p.votes[txName] = voteCh
+	p.acks[txName] = ackCh
+	p.mu.Unlock()
+	defer func() {
+		p.mu.Lock()
+		delete(p.votes, txName)
+		delete(p.acks, txName)
+		p.mu.Unlock()
+	}()
+
+	// Phase one: parallel prepares.
+	for _, s := range subs {
+		if err := p.ep.Send(s, protocol.Packet{From: p.name, To: s, Messages: []protocol.Message{{
+			Type: protocol.MsgPrepare, Tx: txName,
+		}}}); err != nil {
+			return p.abort(tx, txName, subs), fmt.Errorf("live: prepare %s: %w", s, err)
+		}
+	}
+	localVote := protocol.VoteReadOnly
+	for _, r := range p.res {
+		pr, err := r.Prepare(tx)
+		if err != nil || pr.Vote == core.VoteNo {
+			localVote = protocol.VoteNo
+			break
+		}
+		if pr.Vote == core.VoteYes {
+			localVote = protocol.VoteYes
+		}
+	}
+	if localVote == protocol.VoteNo {
+		return p.abort(tx, txName, subs), nil
+	}
+
+	var yesVoters []string
+	timer := time.NewTimer(p.voteTimeout)
+	defer timer.Stop()
+	for collected := 0; collected < len(subs); {
+		select {
+		case v := <-voteCh:
+			collected++
+			switch v.msg.Vote {
+			case protocol.VoteNo:
+				return p.abort(tx, txName, subs), nil
+			case protocol.VoteYes:
+				yesVoters = append(yesVoters, v.from)
+			}
+			// Read-only voters drop out of phase two entirely.
+		case <-timer.C:
+			return p.abort(tx, txName, subs), fmt.Errorf("%w: waiting for votes", ErrTimeout)
+		case <-ctx.Done():
+			return p.abort(tx, txName, subs), ctx.Err()
+		}
+	}
+
+	// Decision: commit.
+	if _, err := p.log.Force(wal.Record{Tx: txName, Node: p.name, Kind: "Committed"}); err != nil {
+		return p.abort(tx, txName, subs), fmt.Errorf("live: force commit record: %w", err)
+	}
+	for _, r := range p.res {
+		_ = r.Commit(tx)
+	}
+	p.mu.Lock()
+	p.decided[txName] = true
+	p.mu.Unlock()
+
+	// Phase two: commit exactly the yes voters (read-only voters are
+	// out, §4 Read Only).
+	for _, s := range yesVoters {
+		_ = p.ep.Send(s, protocol.Packet{From: p.name, To: s, Messages: []protocol.Message{{
+			Type: protocol.MsgCommit, Tx: txName,
+		}}})
+	}
+	ackTimer := time.NewTimer(p.ackTimeout)
+	defer ackTimer.Stop()
+	for acked := 0; acked < len(yesVoters); {
+		select {
+		case <-ackCh:
+			acked++
+		case <-ackTimer.C:
+			// Background recovery would finish this; for the live
+			// demo we surface the timeout.
+			_, _ = p.log.Append(wal.Record{Tx: txName, Node: p.name, Kind: "End"})
+			return Committed, fmt.Errorf("%w: waiting for acks (%d/%d)", ErrTimeout, acked, len(yesVoters))
+		case <-ctx.Done():
+			return Committed, ctx.Err()
+		}
+	}
+	_, _ = p.log.Append(wal.Record{Tx: txName, Node: p.name, Kind: "End"})
+	return Committed, nil
+}
+
+func (p *Participant) abort(tx core.TxID, txName string, subs []string) Outcome {
+	for _, s := range subs {
+		_ = p.ep.Send(s, protocol.Packet{From: p.name, To: s, Messages: []protocol.Message{{
+			Type: protocol.MsgAbort, Tx: txName,
+		}}})
+	}
+	for _, r := range p.res {
+		_ = r.Abort(tx)
+	}
+	p.mu.Lock()
+	p.decided[txName] = false
+	p.mu.Unlock()
+	return Aborted
+}
+
+// Inquire asks coordinator about an in-doubt transaction (recovery
+// path for a subordinate that restarted with a prepared record).
+func (p *Participant) Inquire(coordinator, txName string) error {
+	return p.ep.Send(coordinator, protocol.Packet{From: p.name, To: coordinator, Messages: []protocol.Message{{
+		Type: protocol.MsgInquire, Tx: txName,
+	}}})
+}
+
+// RecoverInDoubt scans the participant's durable log for transactions
+// that prepared but never learned an outcome, and sends a recovery
+// inquiry for each to the given coordinator. It returns the in-doubt
+// transaction ids found. Call it after restarting a participant over
+// a surviving log; the coordinator's answers arrive as ordinary
+// Commit/Abort messages, which the receive loop applies idempotently.
+func (p *Participant) RecoverInDoubt(coordinator string) ([]string, error) {
+	recs, err := p.log.Records()
+	if err != nil {
+		return nil, fmt.Errorf("live: recovery scan: %w", err)
+	}
+	state := make(map[string]string) // tx -> last decisive kind
+	var order []string
+	for _, r := range recs {
+		if r.Node != p.name {
+			continue
+		}
+		switch r.Kind {
+		case "Prepared":
+			if _, seen := state[r.Tx]; !seen {
+				order = append(order, r.Tx)
+			}
+			state[r.Tx] = "Prepared"
+		case "Committed", "Aborted", "End":
+			state[r.Tx] = r.Kind
+		}
+	}
+	var inDoubt []string
+	for _, tx := range order {
+		if state[tx] != "Prepared" {
+			continue
+		}
+		inDoubt = append(inDoubt, tx)
+		if err := p.Inquire(coordinator, tx); err != nil {
+			return inDoubt, fmt.Errorf("live: inquire %s: %w", tx, err)
+		}
+	}
+	return inDoubt, nil
+}

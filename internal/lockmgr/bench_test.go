@@ -1,0 +1,73 @@
+package lockmgr
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/clock"
+)
+
+func BenchmarkUncontendedAcquireRelease(b *testing.B) {
+	m := New(clock.NewVirtual())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.TryAcquire("t", "key", Exclusive); err != nil {
+			b.Fatal(err)
+		}
+		m.ReleaseAll("t")
+	}
+}
+
+func BenchmarkSharedReaders(b *testing.B) {
+	m := New(clock.NewVirtual())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		owner := fmt.Sprintf("t%d", i%64)
+		if err := m.TryAcquire(owner, "hot", Shared); err != nil {
+			b.Fatal(err)
+		}
+		if i%64 == 63 {
+			for j := 0; j < 64; j++ {
+				m.ReleaseAll(fmt.Sprintf("t%d", j))
+			}
+		}
+	}
+}
+
+func BenchmarkContendedHandoff(b *testing.B) {
+	m := New(clock.NewWall())
+	const workers = 8
+	var wg sync.WaitGroup
+	per := b.N/workers + 1
+	b.ResetTimer()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			owner := fmt.Sprintf("w%d", id)
+			for i := 0; i < per; i++ {
+				if err := m.Acquire(context.Background(), owner, "hot", Exclusive); err != nil {
+					continue
+				}
+				m.ReleaseAll(owner)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func BenchmarkManyKeys(b *testing.B) {
+	m := New(clock.NewVirtual())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := fmt.Sprintf("k%d", i%4096)
+		if err := m.TryAcquire("t", key, Exclusive); err != nil {
+			b.Fatal(err)
+		}
+		if i%1024 == 1023 {
+			m.ReleaseAll("t")
+		}
+	}
+}

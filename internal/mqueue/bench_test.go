@@ -1,0 +1,61 @@
+package mqueue
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/wal"
+)
+
+func BenchmarkEnqueueCommit(b *testing.B) {
+	q := New("mq", wal.New(wal.NewMemStore()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := core.TxID{Origin: "A", Seq: uint64(i + 1)}
+		if _, err := q.Enqueue(id, "payload"); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := q.Prepare(id); err != nil {
+			b.Fatal(err)
+		}
+		if err := q.Commit(id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkProduceConsumePair(b *testing.B) {
+	q := New("mq", wal.New(wal.NewMemStore()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prod := core.TxID{Origin: "P", Seq: uint64(i + 1)}
+		q.Enqueue(prod, fmt.Sprintf("m%d", i))
+		q.Prepare(prod)
+		q.Commit(prod)
+		cons := core.TxID{Origin: "C", Seq: uint64(i + 1)}
+		if _, err := q.Dequeue(cons); err != nil {
+			b.Fatal(err)
+		}
+		q.Prepare(cons)
+		q.Commit(cons)
+	}
+}
+
+func BenchmarkRecoverQueue(b *testing.B) {
+	log := wal.New(wal.NewMemStore())
+	q := New("mq", log)
+	for i := 0; i < 2000; i++ {
+		id := core.TxID{Origin: "A", Seq: uint64(i + 1)}
+		q.Enqueue(id, "m")
+		q.Prepare(id)
+		q.Commit(id)
+	}
+	log.Sync()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Recover("mq", log); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,338 @@
+// Package mqueue implements a transactional FIFO message queue — the
+// second classic resource-manager type of the paper's commercial
+// environment (CICS transient data / IMS message queues). Enqueues
+// become visible only at commit; dequeues are provisional — the
+// message is hidden from other transactions immediately but returns
+// to the head of the queue if the transaction aborts. The queue
+// participates in two-phase commit through the core.Resource
+// contract, supports heuristic completion, and recovers from its
+// write-ahead log.
+package mqueue
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/wal"
+)
+
+// Log record kinds written by the queue.
+const (
+	recUpdate    = "MQUpdate"
+	recPrepared  = "MQPrepared"
+	recCommitted = "MQCommitted"
+	recAborted   = "MQAborted"
+	recHeuristic = "MQHeuristic"
+)
+
+// Errors returned by the queue.
+var (
+	ErrEmpty     = errors.New("mqueue: queue is empty")
+	ErrTxState   = errors.New("mqueue: operation invalid in this transaction state")
+	ErrHeuristic = core.ErrHeuristicConflict
+)
+
+// Message is one queued item.
+type Message struct {
+	ID      uint64 `json:"id"`
+	Payload string `json:"p"`
+}
+
+type qPhase int
+
+const (
+	qActive qPhase = iota
+	qPrepared
+	qCommitted
+	qAborted
+	qHeuristicCommit
+	qHeuristicAbort
+)
+
+type qtx struct {
+	phase    qPhase
+	enqueued []Message
+	dequeued []Message // provisionally removed, restored on abort
+}
+
+// updateSet is the logged payload of a transaction's queue activity.
+type updateSet struct {
+	Enq []Message `json:"enq,omitempty"`
+	Deq []Message `json:"deq,omitempty"`
+}
+
+// Queue is a transactional message queue. All methods are safe for
+// concurrent use.
+type Queue struct {
+	name      string
+	log       *wal.Log
+	sharedLog bool
+	reliable  bool
+
+	mu       sync.Mutex
+	messages []Message // committed, visible, FIFO order
+	nextID   uint64
+	txs      map[core.TxID]*qtx
+}
+
+// Option configures a Queue.
+type Option func(*Queue)
+
+// WithReliable marks the queue a reliable resource (§4 Vote Reliable).
+func WithReliable(on bool) Option { return func(q *Queue) { q.reliable = on } }
+
+// WithSharedLog disables the queue's own forces; its records ride the
+// transaction manager's next force (§4 Sharing the Log).
+func WithSharedLog(on bool) Option { return func(q *Queue) { q.sharedLog = on } }
+
+// New returns an empty queue named name, logging to log.
+func New(name string, log *wal.Log, opts ...Option) *Queue {
+	q := &Queue{
+		name:   name,
+		log:    log,
+		nextID: 1,
+		txs:    make(map[core.TxID]*qtx),
+	}
+	for _, o := range opts {
+		o(q)
+	}
+	return q
+}
+
+// Name implements core.Resource.
+func (q *Queue) Name() string { return q.name }
+
+func (q *Queue) tx(id core.TxID) *qtx {
+	t, ok := q.txs[id]
+	if !ok {
+		t = &qtx{}
+		q.txs[id] = t
+	}
+	return t
+}
+
+// Enqueue adds payload to the queue within tx; it becomes visible to
+// other transactions only when tx commits.
+func (q *Queue) Enqueue(tx core.TxID, payload string) (Message, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	t := q.tx(tx)
+	if t.phase != qActive {
+		return Message{}, fmt.Errorf("%w: enqueue in phase %d", ErrTxState, t.phase)
+	}
+	m := Message{ID: q.nextID, Payload: payload}
+	q.nextID++
+	t.enqueued = append(t.enqueued, m)
+	return m, nil
+}
+
+// Dequeue provisionally removes the head message within tx. The
+// message is hidden from other transactions immediately; an abort
+// puts it back at the head.
+func (q *Queue) Dequeue(tx core.TxID) (Message, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	t := q.tx(tx)
+	if t.phase != qActive {
+		return Message{}, fmt.Errorf("%w: dequeue in phase %d", ErrTxState, t.phase)
+	}
+	if len(q.messages) == 0 {
+		// Read-your-writes: a message enqueued by this very
+		// transaction may be consumed by it.
+		if len(t.enqueued) > 0 {
+			m := t.enqueued[0]
+			t.enqueued = t.enqueued[1:]
+			return m, nil
+		}
+		return Message{}, ErrEmpty
+	}
+	m := q.messages[0]
+	q.messages = q.messages[1:]
+	t.dequeued = append(t.dequeued, m)
+	return m, nil
+}
+
+// Depth returns the number of committed, visible messages.
+func (q *Queue) Depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.messages)
+}
+
+// Peek returns the visible head without consuming it.
+func (q *Queue) Peek() (Message, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.messages) == 0 {
+		return Message{}, false
+	}
+	return q.messages[0], true
+}
+
+// Prepare implements core.Resource.
+func (q *Queue) Prepare(tx core.TxID) (core.PrepareResult, error) {
+	q.mu.Lock()
+	t := q.tx(tx)
+	if t.phase != qActive {
+		q.mu.Unlock()
+		return core.PrepareResult{}, fmt.Errorf("%w: prepare in phase %d", ErrTxState, t.phase)
+	}
+	if len(t.enqueued) == 0 && len(t.dequeued) == 0 {
+		delete(q.txs, tx)
+		q.mu.Unlock()
+		return core.PrepareResult{Vote: core.VoteReadOnly, Reliable: q.reliable}, nil
+	}
+	us := updateSet{Enq: t.enqueued, Deq: t.dequeued}
+	t.phase = qPrepared
+	q.mu.Unlock()
+
+	payload, err := json.Marshal(us)
+	if err != nil {
+		return core.PrepareResult{}, fmt.Errorf("mqueue: encode update set: %w", err)
+	}
+	if err := q.writeLog(tx, recUpdate, payload, false); err != nil {
+		return core.PrepareResult{}, err
+	}
+	if err := q.writeLog(tx, recPrepared, nil, !q.sharedLog); err != nil {
+		return core.PrepareResult{}, err
+	}
+	return core.PrepareResult{Vote: core.VoteYes, Reliable: q.reliable}, nil
+}
+
+func (q *Queue) writeLog(tx core.TxID, kind string, data []byte, force bool) error {
+	rec := wal.Record{Tx: tx.String(), Node: q.name, Kind: kind, Data: data}
+	var err error
+	if force {
+		_, err = q.log.Force(rec)
+	} else {
+		_, err = q.log.Append(rec)
+	}
+	if err != nil {
+		return fmt.Errorf("mqueue %s: log %s: %w", q.name, kind, err)
+	}
+	return nil
+}
+
+// Commit implements core.Resource: enqueued messages become visible
+// (at the tail), dequeued ones are gone for good.
+func (q *Queue) Commit(tx core.TxID) error { return q.finish(tx, true, false) }
+
+// Abort implements core.Resource: enqueues are discarded, dequeued
+// messages return to the head in their original order.
+func (q *Queue) Abort(tx core.TxID) error { return q.finish(tx, false, false) }
+
+func (q *Queue) finish(tx core.TxID, commit, heuristic bool) error {
+	q.mu.Lock()
+	t, ok := q.txs[tx]
+	if !ok {
+		q.mu.Unlock()
+		return nil // idempotent / unknown
+	}
+	switch t.phase {
+	case qHeuristicCommit, qHeuristicAbort:
+		q.mu.Unlock()
+		return ErrHeuristic
+	case qCommitted, qAborted:
+		q.mu.Unlock()
+		return nil
+	}
+	hadWork := len(t.enqueued) > 0 || len(t.dequeued) > 0
+	if commit {
+		q.messages = append(q.messages, t.enqueued...)
+		if heuristic {
+			t.phase = qHeuristicCommit
+		} else {
+			t.phase = qCommitted
+		}
+	} else {
+		// Dequeued messages go back to the head, preserving order.
+		q.messages = append(append([]Message(nil), t.dequeued...), q.messages...)
+		if heuristic {
+			t.phase = qHeuristicAbort
+		} else {
+			t.phase = qAborted
+		}
+	}
+	if !heuristic {
+		delete(q.txs, tx)
+	}
+	q.mu.Unlock()
+
+	if hadWork {
+		kind := recAborted
+		force := false
+		if commit {
+			kind = recCommitted
+			force = !q.sharedLog
+		}
+		if heuristic {
+			kind = recHeuristic
+			force = true
+		}
+		var data []byte
+		if commit {
+			data = []byte(`{"commit":true}`)
+		} else {
+			data = []byte(`{"commit":false}`)
+		}
+		if err := q.writeLog(tx, kind, data, force); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// HeuristicDecide implements core.HeuristicCapable.
+func (q *Queue) HeuristicDecide(tx core.TxID, commit bool) error {
+	q.mu.Lock()
+	t, ok := q.txs[tx]
+	if !ok || t.phase != qPrepared {
+		q.mu.Unlock()
+		return fmt.Errorf("%w: heuristic decision requires prepared state", ErrTxState)
+	}
+	q.mu.Unlock()
+	return q.finish(tx, commit, true)
+}
+
+// HeuristicTaken implements core.HeuristicCapable.
+func (q *Queue) HeuristicTaken(tx core.TxID) (taken, committed bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	t, ok := q.txs[tx]
+	if !ok {
+		return false, false
+	}
+	switch t.phase {
+	case qHeuristicCommit:
+		return true, true
+	case qHeuristicAbort:
+		return true, false
+	}
+	return false, false
+}
+
+// Forget drops a heuristically completed transaction's record.
+func (q *Queue) Forget(tx core.TxID) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	t, ok := q.txs[tx]
+	if ok && (t.phase == qHeuristicCommit || t.phase == qHeuristicAbort) {
+		delete(q.txs, tx)
+	}
+}
+
+// InDoubt returns prepared transactions awaiting an outcome.
+func (q *Queue) InDoubt() []core.TxID {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var out []core.TxID
+	for id, t := range q.txs {
+		if t.phase == qPrepared {
+			out = append(out, id)
+		}
+	}
+	return out
+}

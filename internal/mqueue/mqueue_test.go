@@ -1,0 +1,312 @@
+package mqueue
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/wal"
+)
+
+func newQ(t *testing.T, opts ...Option) (*Queue, *wal.Log) {
+	t.Helper()
+	log := wal.New(wal.NewMemStore())
+	return New("mq", log, opts...), log
+}
+
+func tx(n uint64) core.TxID { return core.TxID{Origin: "A", Seq: n} }
+
+func commitTx(t *testing.T, q *Queue, id core.TxID) {
+	t.Helper()
+	if _, err := q.Prepare(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Commit(id); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnqueueVisibleOnlyAfterCommit(t *testing.T) {
+	q, _ := newQ(t)
+	if _, err := q.Enqueue(tx(1), "hello"); err != nil {
+		t.Fatal(err)
+	}
+	if q.Depth() != 0 {
+		t.Fatal("uncommitted enqueue visible")
+	}
+	commitTx(t, q, tx(1))
+	if q.Depth() != 1 {
+		t.Fatalf("depth = %d", q.Depth())
+	}
+	if m, ok := q.Peek(); !ok || m.Payload != "hello" {
+		t.Fatalf("peek = %+v,%v", m, ok)
+	}
+}
+
+func TestDequeueProvisionalUntilCommit(t *testing.T) {
+	q, _ := newQ(t)
+	q.Enqueue(tx(1), "m1")
+	q.Enqueue(tx(1), "m2")
+	commitTx(t, q, tx(1))
+
+	m, err := q.Dequeue(tx(2))
+	if err != nil || m.Payload != "m1" {
+		t.Fatalf("dequeue = %+v, %v", m, err)
+	}
+	// Hidden from others immediately.
+	if q.Depth() != 1 {
+		t.Fatalf("depth after provisional dequeue = %d", q.Depth())
+	}
+	commitTx(t, q, tx(2))
+	if q.Depth() != 1 {
+		t.Fatalf("depth after commit = %d", q.Depth())
+	}
+	if m, _ := q.Peek(); m.Payload != "m2" {
+		t.Fatalf("head = %+v", m)
+	}
+}
+
+func TestAbortRestoresDequeuedToHead(t *testing.T) {
+	q, _ := newQ(t)
+	q.Enqueue(tx(1), "m1")
+	q.Enqueue(tx(1), "m2")
+	commitTx(t, q, tx(1))
+
+	q.Dequeue(tx(2))
+	if _, err := q.Prepare(tx(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Abort(tx(2)); err != nil {
+		t.Fatal(err)
+	}
+	if q.Depth() != 2 {
+		t.Fatalf("depth after abort = %d", q.Depth())
+	}
+	if m, _ := q.Peek(); m.Payload != "m1" {
+		t.Fatalf("order broken after abort: head = %+v", m)
+	}
+}
+
+func TestAbortDiscardsEnqueues(t *testing.T) {
+	q, _ := newQ(t)
+	q.Enqueue(tx(1), "never")
+	if _, err := q.Prepare(tx(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Abort(tx(1)); err != nil {
+		t.Fatal(err)
+	}
+	if q.Depth() != 0 {
+		t.Fatal("aborted enqueue visible")
+	}
+}
+
+func TestDequeueEmpty(t *testing.T) {
+	q, _ := newQ(t)
+	if _, err := q.Dequeue(tx(1)); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDequeueReadsOwnEnqueue(t *testing.T) {
+	q, _ := newQ(t)
+	q.Enqueue(tx(1), "own")
+	m, err := q.Dequeue(tx(1))
+	if err != nil || m.Payload != "own" {
+		t.Fatalf("dequeue own = %+v, %v", m, err)
+	}
+	commitTx(t, q, tx(1))
+	if q.Depth() != 0 {
+		t.Fatal("consumed own enqueue still visible")
+	}
+}
+
+func TestReadOnlyVote(t *testing.T) {
+	q, _ := newQ(t)
+	res, err := q.Prepare(tx(1))
+	if err != nil || res.Vote != core.VoteReadOnly {
+		t.Fatalf("prepare = %+v, %v", res, err)
+	}
+}
+
+func TestReliableAttribute(t *testing.T) {
+	q, _ := newQ(t, WithReliable(true))
+	q.Enqueue(tx(1), "m")
+	res, err := q.Prepare(tx(1))
+	if err != nil || !res.Reliable {
+		t.Fatalf("prepare = %+v, %v", res, err)
+	}
+}
+
+func TestPrepareForcesUnlessShared(t *testing.T) {
+	q, log := newQ(t)
+	q.Enqueue(tx(1), "m")
+	q.Prepare(tx(1))
+	if log.Stats().Forces != 1 {
+		t.Fatalf("forces = %d", log.Stats().Forces)
+	}
+
+	q2, log2 := newQ(t, WithSharedLog(true))
+	q2.Enqueue(tx(1), "m")
+	q2.Prepare(tx(1))
+	q2.Commit(tx(1))
+	if log2.Stats().Forces != 0 {
+		t.Fatalf("shared-log forces = %d", log2.Stats().Forces)
+	}
+}
+
+func TestHeuristicConflict(t *testing.T) {
+	q, _ := newQ(t)
+	q.Enqueue(tx(1), "m")
+	q.Prepare(tx(1))
+	if err := q.HeuristicDecide(tx(1), true); err != nil {
+		t.Fatal(err)
+	}
+	if q.Depth() != 1 {
+		t.Fatal("heuristic commit did not apply")
+	}
+	if err := q.Abort(tx(1)); !errors.Is(err, ErrHeuristic) {
+		t.Fatalf("late abort = %v", err)
+	}
+	taken, committed := q.HeuristicTaken(tx(1))
+	if !taken || !committed {
+		t.Fatalf("HeuristicTaken = %v,%v", taken, committed)
+	}
+	q.Forget(tx(1))
+	if taken, _ := q.HeuristicTaken(tx(1)); taken {
+		t.Fatal("Forget failed")
+	}
+}
+
+func TestRecoverCommitted(t *testing.T) {
+	q, log := newQ(t)
+	q.Enqueue(tx(1), "survives")
+	commitTx(t, q, tx(1))
+	log.Crash()
+
+	store := wal.NewMemStore()
+	recs, _ := log.Records()
+	for _, r := range recs {
+		store.Append(r)
+	}
+	store.Sync()
+	r, err := Recover("mq", wal.New(store))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Depth() != 1 {
+		t.Fatalf("recovered depth = %d", r.Depth())
+	}
+	if m, _ := r.Peek(); m.Payload != "survives" {
+		t.Fatalf("recovered head = %+v", m)
+	}
+}
+
+func TestRecoverInDoubtKeepsMessagesHidden(t *testing.T) {
+	q, log := newQ(t)
+	q.Enqueue(tx(1), "m1")
+	commitTx(t, q, tx(1))
+	// tx2 dequeues m1 and prepares, then the node dies.
+	q.Dequeue(tx(2))
+	if _, err := q.Prepare(tx(2)); err != nil {
+		t.Fatal(err)
+	}
+	log.Crash()
+
+	store := wal.NewMemStore()
+	recs, _ := log.Records()
+	for _, r := range recs {
+		store.Append(r)
+	}
+	store.Sync()
+	r, err := Recover("mq", wal.New(store))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The dequeued message stays hidden while in doubt.
+	if r.Depth() != 0 {
+		t.Fatalf("in-doubt dequeue visible: depth = %d", r.Depth())
+	}
+	ind := r.InDoubt()
+	if len(ind) != 1 || ind[0] != tx(2) {
+		t.Fatalf("in-doubt = %v", ind)
+	}
+	// Abort resolution returns it to the head.
+	if err := r.Abort(tx(2)); err != nil {
+		t.Fatal(err)
+	}
+	if r.Depth() != 1 {
+		t.Fatalf("depth after abort resolution = %d", r.Depth())
+	}
+}
+
+func TestRecoverPreservesIDSequence(t *testing.T) {
+	q, log := newQ(t)
+	m1, _ := q.Enqueue(tx(1), "a")
+	commitTx(t, q, tx(1))
+	log.Crash()
+	store := wal.NewMemStore()
+	recs, _ := log.Records()
+	for _, r := range recs {
+		store.Append(r)
+	}
+	store.Sync()
+	r, err := Recover("mq", wal.New(store))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, _ := r.Enqueue(tx(2), "b")
+	if m2.ID <= m1.ID {
+		t.Fatalf("id sequence regressed: %d then %d", m1.ID, m2.ID)
+	}
+}
+
+// Property: any interleaving of committed enqueues/dequeues preserves
+// FIFO order among surviving messages.
+func TestQuickFIFOOrder(t *testing.T) {
+	prop := func(ops []bool) bool {
+		if len(ops) > 40 {
+			ops = ops[:40]
+		}
+		q, _ := newQ(t)
+		var model []string
+		seq := uint64(1)
+		next := 0
+		for _, enq := range ops {
+			id := core.TxID{Origin: "A", Seq: seq}
+			seq++
+			if enq {
+				payload := string(rune('a' + next%26))
+				next++
+				q.Enqueue(id, payload)
+				model = append(model, payload)
+			} else {
+				m, err := q.Dequeue(id)
+				if errors.Is(err, ErrEmpty) {
+					if len(model) != 0 {
+						return false
+					}
+					continue
+				}
+				if err != nil {
+					return false
+				}
+				if len(model) == 0 || m.Payload != model[0] {
+					return false
+				}
+				model = model[1:]
+			}
+			if _, err := q.Prepare(id); err != nil {
+				return false
+			}
+			if err := q.Commit(id); err != nil {
+				return false
+			}
+		}
+		return q.Depth() == len(model)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,107 @@
+package mqueue
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/wal"
+)
+
+// Recover rebuilds a queue from the durable records of log: committed
+// transactions' enqueues and dequeues are replayed in order; in-doubt
+// transactions are reinstated prepared with their dequeued messages
+// still hidden; heuristically completed transactions are remembered
+// for damage detection.
+func Recover(name string, log *wal.Log, opts ...Option) (*Queue, error) {
+	recs, err := log.Records()
+	if err != nil {
+		return nil, fmt.Errorf("mqueue recover %s: scan log: %w", name, err)
+	}
+	q := New(name, log, opts...)
+
+	type txRec struct {
+		us        updateSet
+		prepared  bool
+		outcome   string
+		heuCommit bool
+	}
+	txs := make(map[string]*txRec)
+	var order []string
+	for _, rec := range recs {
+		if rec.Node != name {
+			continue
+		}
+		tr, ok := txs[rec.Tx]
+		if !ok {
+			tr = &txRec{}
+			txs[rec.Tx] = tr
+			order = append(order, rec.Tx)
+		}
+		switch rec.Kind {
+		case recUpdate:
+			if err := json.Unmarshal(rec.Data, &tr.us); err != nil {
+				return nil, fmt.Errorf("mqueue recover %s: decode update set: %w", name, err)
+			}
+		case recPrepared:
+			tr.prepared = true
+		case recCommitted, recAborted:
+			tr.outcome = rec.Kind
+		case recHeuristic:
+			tr.outcome = recHeuristic
+			var p struct {
+				Commit bool `json:"commit"`
+			}
+			if err := json.Unmarshal(rec.Data, &p); err != nil {
+				return nil, fmt.Errorf("mqueue recover %s: decode heuristic: %w", name, err)
+			}
+			tr.heuCommit = p.Commit
+		}
+	}
+
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for _, id := range order {
+		tr := txs[id]
+		txid := core.ParseTxID(id)
+		commit := tr.outcome == recCommitted || (tr.outcome == recHeuristic && tr.heuCommit)
+		switch {
+		case commit:
+			q.messages = append(q.messages, tr.us.Enq...)
+			// Dequeued messages are simply gone: they were removed
+			// from visibility before the crash and the commit makes
+			// that permanent.
+			if tr.outcome == recHeuristic {
+				q.txs[txid] = &qtx{phase: qHeuristicCommit}
+			}
+		case tr.outcome == recAborted || (tr.outcome == recHeuristic && !tr.heuCommit):
+			// Aborted: dequeues return to the queue.
+			q.messages = append(append([]Message(nil), tr.us.Deq...), q.messages...)
+			if tr.outcome == recHeuristic {
+				q.txs[txid] = &qtx{phase: qHeuristicAbort}
+			}
+		case tr.prepared:
+			// In doubt: enqueues invisible, dequeues re-hidden (the
+			// provisional removal was volatile; committed replay above
+			// may have resurfaced the messages).
+			hidden := make(map[uint64]bool, len(tr.us.Deq))
+			for _, m := range tr.us.Deq {
+				hidden[m.ID] = true
+			}
+			var vis []Message
+			for _, m := range q.messages {
+				if !hidden[m.ID] {
+					vis = append(vis, m)
+				}
+			}
+			q.messages = vis
+			q.txs[txid] = &qtx{phase: qPrepared, enqueued: tr.us.Enq, dequeued: tr.us.Deq}
+		}
+		for _, m := range tr.us.Enq {
+			if m.ID >= q.nextID {
+				q.nextID = m.ID + 1
+			}
+		}
+	}
+	return q, nil
+}

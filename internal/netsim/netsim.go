@@ -1,0 +1,189 @@
+// Package netsim provides live (non-simulated) transports for the
+// commit protocol's wire packets: an in-process channel network with
+// injectable latency, loss, and partitions, and a real TCP network
+// using length-prefixed gob frames. The deterministic simulator in
+// internal/core has its own delivery machinery; these transports back
+// the live examples (examples/netcommit) and demonstrate that the
+// protocol vocabulary runs over a real network stack.
+package netsim
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/protocol"
+)
+
+// ErrClosed is returned when sending through a closed endpoint or to
+// an unknown destination.
+var ErrClosed = errors.New("netsim: endpoint closed")
+
+// ErrUnknown is returned when the destination name is not registered.
+var ErrUnknown = errors.New("netsim: unknown destination")
+
+// Endpoint is one node's attachment to a network.
+type Endpoint interface {
+	// Name returns the endpoint's registered name.
+	Name() string
+	// Send transmits pkt to the named destination. Delivery is
+	// asynchronous and may silently fail under loss or partition —
+	// exactly the failure model 2PC is built for.
+	Send(to string, pkt protocol.Packet) error
+	// Recv returns the channel of inbound packets. It is closed when
+	// the endpoint closes.
+	Recv() <-chan protocol.Packet
+	// Close detaches the endpoint.
+	Close() error
+}
+
+// ChanNetwork is an in-process network delivering packets over Go
+// channels, with per-link latency, probabilistic loss and partitions.
+// It is safe for concurrent use.
+type ChanNetwork struct {
+	mu         sync.Mutex
+	endpoints  map[string]*chanEndpoint
+	latency    time.Duration
+	lossProb   float64
+	partitions map[[2]string]bool
+	rng        *rand.Rand
+	closed     bool
+}
+
+// ChanOption configures a ChanNetwork.
+type ChanOption func(*ChanNetwork)
+
+// WithLatency sets a fixed one-way delivery delay.
+func WithLatency(d time.Duration) ChanOption {
+	return func(n *ChanNetwork) { n.latency = d }
+}
+
+// WithLoss sets the probability in [0,1] that any packet is dropped.
+func WithLoss(p float64, seed int64) ChanOption {
+	return func(n *ChanNetwork) {
+		n.lossProb = p
+		n.rng = rand.New(rand.NewSource(seed))
+	}
+}
+
+// NewChanNetwork returns an empty channel-backed network.
+func NewChanNetwork(opts ...ChanOption) *ChanNetwork {
+	n := &ChanNetwork{
+		endpoints:  make(map[string]*chanEndpoint),
+		partitions: make(map[[2]string]bool),
+		rng:        rand.New(rand.NewSource(1)),
+	}
+	for _, o := range opts {
+		o(n)
+	}
+	return n
+}
+
+func linkOf(a, b string) [2]string {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]string{a, b}
+}
+
+// Partition severs the link between a and b until Heal.
+func (n *ChanNetwork) Partition(a, b string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partitions[linkOf(a, b)] = true
+}
+
+// Heal restores the link between a and b.
+func (n *ChanNetwork) Heal(a, b string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.partitions, linkOf(a, b))
+}
+
+// Endpoint registers (or returns) the endpoint named name.
+func (n *ChanNetwork) Endpoint(name string) Endpoint {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if ep, ok := n.endpoints[name]; ok {
+		return ep
+	}
+	ep := &chanEndpoint{
+		name: name,
+		net:  n,
+		in:   make(chan protocol.Packet, 256),
+	}
+	n.endpoints[name] = ep
+	return ep
+}
+
+type chanEndpoint struct {
+	name   string
+	net    *ChanNetwork
+	in     chan protocol.Packet
+	closed sync.Once
+	dead   bool
+	mu     sync.Mutex
+}
+
+func (e *chanEndpoint) Name() string { return e.name }
+
+func (e *chanEndpoint) Recv() <-chan protocol.Packet { return e.in }
+
+func (e *chanEndpoint) Send(to string, pkt protocol.Packet) error {
+	e.mu.Lock()
+	if e.dead {
+		e.mu.Unlock()
+		return ErrClosed
+	}
+	e.mu.Unlock()
+
+	n := e.net
+	n.mu.Lock()
+	dst, ok := n.endpoints[to]
+	if !ok {
+		n.mu.Unlock()
+		return ErrUnknown
+	}
+	if n.partitions[linkOf(e.name, to)] {
+		n.mu.Unlock()
+		return nil // silently lost, like a real partition
+	}
+	if n.lossProb > 0 && n.rng.Float64() < n.lossProb {
+		n.mu.Unlock()
+		return nil // dropped
+	}
+	latency := n.latency
+	n.mu.Unlock()
+
+	deliver := func() {
+		dst.mu.Lock()
+		dead := dst.dead
+		dst.mu.Unlock()
+		if dead {
+			return
+		}
+		// Best effort: a full inbox drops the packet (backpressure as
+		// loss, which the protocol's retries absorb).
+		select {
+		case dst.in <- pkt:
+		default:
+		}
+	}
+	if latency > 0 {
+		time.AfterFunc(latency, deliver)
+	} else {
+		deliver()
+	}
+	return nil
+}
+
+func (e *chanEndpoint) Close() error {
+	e.closed.Do(func() {
+		e.mu.Lock()
+		e.dead = true
+		e.mu.Unlock()
+		close(e.in)
+	})
+	return nil
+}

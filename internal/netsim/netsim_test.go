@@ -1,0 +1,188 @@
+package netsim
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/protocol"
+)
+
+func pkt(from, to, tx string) protocol.Packet {
+	return protocol.Packet{From: from, To: to, Messages: []protocol.Message{{
+		Type: protocol.MsgPrepare, Tx: tx,
+	}}}
+}
+
+func recvOne(t *testing.T, ep Endpoint) protocol.Packet {
+	t.Helper()
+	select {
+	case p, ok := <-ep.Recv():
+		if !ok {
+			t.Fatal("endpoint closed")
+		}
+		return p
+	case <-time.After(time.Second):
+		t.Fatal("timed out waiting for packet")
+	}
+	return protocol.Packet{}
+}
+
+func TestChanNetworkDelivery(t *testing.T) {
+	net := NewChanNetwork()
+	a := net.Endpoint("A")
+	b := net.Endpoint("B")
+	if err := a.Send("B", pkt("A", "B", "t1")); err != nil {
+		t.Fatal(err)
+	}
+	got := recvOne(t, b)
+	if got.From != "A" || got.Messages[0].Tx != "t1" {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestChanNetworkUnknownDestination(t *testing.T) {
+	net := NewChanNetwork()
+	a := net.Endpoint("A")
+	if err := a.Send("NOPE", pkt("A", "NOPE", "t")); !errors.Is(err, ErrUnknown) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestChanNetworkPartition(t *testing.T) {
+	net := NewChanNetwork()
+	a := net.Endpoint("A")
+	b := net.Endpoint("B")
+	net.Partition("A", "B")
+	if err := a.Send("B", pkt("A", "B", "lost")); err != nil {
+		t.Fatalf("partitioned send should be silent: %v", err)
+	}
+	select {
+	case p := <-b.Recv():
+		t.Fatalf("packet crossed a partition: %+v", p)
+	case <-time.After(20 * time.Millisecond):
+	}
+	net.Heal("A", "B")
+	if err := a.Send("B", pkt("A", "B", "ok")); err != nil {
+		t.Fatal(err)
+	}
+	if got := recvOne(t, b); got.Messages[0].Tx != "ok" {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestChanNetworkLoss(t *testing.T) {
+	net := NewChanNetwork(WithLoss(1.0, 42)) // everything drops
+	a := net.Endpoint("A")
+	b := net.Endpoint("B")
+	for i := 0; i < 5; i++ {
+		if err := a.Send("B", pkt("A", "B", "x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case p := <-b.Recv():
+		t.Fatalf("lossy network delivered: %+v", p)
+	case <-time.After(20 * time.Millisecond):
+	}
+}
+
+func TestChanNetworkLatency(t *testing.T) {
+	net := NewChanNetwork(WithLatency(30 * time.Millisecond))
+	a := net.Endpoint("A")
+	b := net.Endpoint("B")
+	start := time.Now()
+	a.Send("B", pkt("A", "B", "slow"))
+	recvOne(t, b)
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Fatalf("delivery too fast: %v", elapsed)
+	}
+}
+
+func TestChanEndpointClose(t *testing.T) {
+	net := NewChanNetwork()
+	a := net.Endpoint("A")
+	b := net.Endpoint("B")
+	b.Close()
+	if err := a.Send("B", pkt("A", "B", "x")); err != nil {
+		t.Fatalf("send to closed endpoint should drop silently: %v", err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("B", pkt("A", "B", "x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send from closed endpoint: %v", err)
+	}
+	// Double close is safe.
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPEndpointRoundTrip(t *testing.T) {
+	a, err := ListenTCP("A", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := ListenTCP("B", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	a.Register("B", b.Addr())
+	b.Register("A", a.Addr())
+
+	if err := a.Send("B", pkt("A", "B", "t1")); err != nil {
+		t.Fatal(err)
+	}
+	got := recvOne(t, b)
+	if got.From != "A" || got.Messages[0].Tx != "t1" {
+		t.Fatalf("got %+v", got)
+	}
+	// Reply over the reverse direction.
+	if err := b.Send("A", pkt("B", "A", "t2")); err != nil {
+		t.Fatal(err)
+	}
+	if got := recvOne(t, a); got.Messages[0].Tx != "t2" {
+		t.Fatalf("reverse got %+v", got)
+	}
+}
+
+func TestTCPUnknownPeer(t *testing.T) {
+	a, err := ListenTCP("A", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if err := a.Send("B", pkt("A", "B", "x")); !errors.Is(err, ErrUnknown) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTCPConnectionReuse(t *testing.T) {
+	a, _ := ListenTCP("A", "127.0.0.1:0")
+	defer a.Close()
+	b, _ := ListenTCP("B", "127.0.0.1:0")
+	defer b.Close()
+	a.Register("B", b.Addr())
+	for i := 0; i < 10; i++ {
+		if err := a.Send("B", pkt("A", "B", "t")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		recvOne(t, b)
+	}
+}
+
+func TestTCPSendAfterClose(t *testing.T) {
+	a, _ := ListenTCP("A", "127.0.0.1:0")
+	b, _ := ListenTCP("B", "127.0.0.1:0")
+	defer b.Close()
+	a.Register("B", b.Addr())
+	a.Close()
+	if err := a.Send("B", pkt("A", "B", "x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v", err)
+	}
+}

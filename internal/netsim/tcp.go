@@ -1,0 +1,166 @@
+package netsim
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/protocol"
+)
+
+// TCPEndpoint is an Endpoint backed by a real TCP listener. Packets
+// are length-prefixed gob frames; connections are dialed lazily per
+// destination and reused.
+type TCPEndpoint struct {
+	name string
+	ln   net.Listener
+	in   chan protocol.Packet
+
+	mu    sync.Mutex
+	peers map[string]string // name -> address
+	conns map[string]net.Conn
+	done  chan struct{}
+	once  sync.Once
+}
+
+// maxFrame bounds a frame to keep a corrupted length prefix from
+// allocating unbounded memory.
+const maxFrame = 16 << 20
+
+// ListenTCP starts an endpoint named name on addr (e.g.
+// "127.0.0.1:0"). The OS-assigned address is available from Addr.
+func ListenTCP(name, addr string) (*TCPEndpoint, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netsim: listen %s: %w", addr, err)
+	}
+	e := &TCPEndpoint{
+		name:  name,
+		ln:    ln,
+		in:    make(chan protocol.Packet, 256),
+		peers: make(map[string]string),
+		conns: make(map[string]net.Conn),
+		done:  make(chan struct{}),
+	}
+	go e.acceptLoop()
+	return e, nil
+}
+
+// Addr returns the listening address to register with peers.
+func (e *TCPEndpoint) Addr() string { return e.ln.Addr().String() }
+
+// Register tells the endpoint where to dial for a peer name.
+func (e *TCPEndpoint) Register(name, addr string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.peers[name] = addr
+}
+
+// Name implements Endpoint.
+func (e *TCPEndpoint) Name() string { return e.name }
+
+// Recv implements Endpoint.
+func (e *TCPEndpoint) Recv() <-chan protocol.Packet { return e.in }
+
+func (e *TCPEndpoint) acceptLoop() {
+	for {
+		conn, err := e.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go e.readLoop(conn)
+	}
+}
+
+func (e *TCPEndpoint) readLoop(conn net.Conn) {
+	defer conn.Close()
+	for {
+		var length uint32
+		if err := binary.Read(conn, binary.BigEndian, &length); err != nil {
+			return
+		}
+		if length > maxFrame {
+			return
+		}
+		buf := make([]byte, length)
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			return
+		}
+		pkt, err := protocol.Decode(buf)
+		if err != nil {
+			continue // corrupt frame: drop, keep the connection
+		}
+		select {
+		case e.in <- pkt:
+		case <-e.done:
+			return
+		}
+	}
+}
+
+// Send implements Endpoint: it frames and writes the packet on a
+// cached connection, dialing on first use.
+func (e *TCPEndpoint) Send(to string, pkt protocol.Packet) error {
+	select {
+	case <-e.done:
+		return ErrClosed
+	default:
+	}
+	conn, err := e.conn(to)
+	if err != nil {
+		return err
+	}
+	data, err := pkt.Encode()
+	if err != nil {
+		return err
+	}
+	frame := make([]byte, 4+len(data))
+	binary.BigEndian.PutUint32(frame, uint32(len(data)))
+	copy(frame[4:], data)
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, err := conn.Write(frame); err != nil {
+		// Drop the broken connection; the caller may retry (2PC
+		// recovery handles the lost packet).
+		delete(e.conns, to)
+		conn.Close()
+		return fmt.Errorf("netsim: send to %s: %w", to, err)
+	}
+	return nil
+}
+
+func (e *TCPEndpoint) conn(to string) (net.Conn, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if c, ok := e.conns[to]; ok {
+		return c, nil
+	}
+	addr, ok := e.peers[to]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknown, to)
+	}
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netsim: dial %s (%s): %w", to, addr, err)
+	}
+	e.conns[to] = c
+	return c, nil
+}
+
+// Close implements Endpoint.
+func (e *TCPEndpoint) Close() error {
+	e.once.Do(func() {
+		close(e.done)
+		e.ln.Close()
+		e.mu.Lock()
+		for _, c := range e.conns {
+			c.Close()
+		}
+		e.mu.Unlock()
+		close(e.in)
+	})
+	return nil
+}

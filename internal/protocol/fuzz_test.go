@@ -1,0 +1,23 @@
+package protocol
+
+import "testing"
+
+// FuzzDecode ensures arbitrary bytes never panic the packet decoder —
+// a corrupted TCP frame must be droppable, not fatal.
+func FuzzDecode(f *testing.F) {
+	good, _ := (Packet{From: "A", To: "B", Messages: []Message{{Type: MsgPrepare, Tx: "A:1"}}}).Encode()
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte("garbage"))
+	f.Add([]byte{0xff, 0x00, 0x13, 0x37})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pkt, err := Decode(data) // must not panic
+		if err != nil {
+			return
+		}
+		// Whatever decoded must re-encode.
+		if _, err := pkt.Encode(); err != nil {
+			t.Fatalf("decoded packet failed to re-encode: %v", err)
+		}
+	})
+}

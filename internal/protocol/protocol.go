@@ -1,0 +1,223 @@
+// Package protocol defines the wire-level vocabulary of the commit
+// protocols: typed messages, and packets that may carry several
+// messages at once.
+//
+// The packet/message distinction matters for the paper's accounting:
+// most optimizations reduce *flows* (protocol messages), but Long
+// Locks and implied acknowledgments work by piggybacking a message on
+// a packet that travels anyway — the message still exists, the wire
+// packet does not. Metrics count both.
+package protocol
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// MsgType enumerates the protocol messages.
+type MsgType int
+
+// Protocol message types. MsgData is application data; everything
+// else belongs to commit or recovery processing.
+const (
+	MsgData MsgType = iota
+	MsgPrepare
+	MsgVote
+	MsgCommit
+	MsgAbort
+	MsgAck
+	MsgInquire // recovery: "what happened to tx?"
+	MsgOutcome // recovery reply
+)
+
+var msgNames = map[MsgType]string{
+	MsgData:    "Data",
+	MsgPrepare: "Prepare",
+	MsgVote:    "Vote",
+	MsgCommit:  "Commit",
+	MsgAbort:   "Abort",
+	MsgAck:     "Ack",
+	MsgInquire: "Inquire",
+	MsgOutcome: "Outcome",
+}
+
+// String returns the protocol name of the message type.
+func (t MsgType) String() string {
+	if s, ok := msgNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("MsgType(%d)", int(t))
+}
+
+// VoteValue is the vote carried by a MsgVote.
+type VoteValue int
+
+// Vote values.
+const (
+	VoteYes VoteValue = iota
+	VoteNo
+	VoteReadOnly
+)
+
+// String returns the wire name of the vote.
+func (v VoteValue) String() string {
+	switch v {
+	case VoteYes:
+		return "VoteYes"
+	case VoteNo:
+		return "VoteNo"
+	case VoteReadOnly:
+		return "VoteReadOnly"
+	default:
+		return fmt.Sprintf("Vote(%d)", int(v))
+	}
+}
+
+// HeuristicReport describes one heuristic decision in a subtree,
+// carried upstream on acknowledgments.
+type HeuristicReport struct {
+	Node      string
+	Committed bool
+	Damage    bool
+}
+
+// OutcomeKind is the answer in a MsgOutcome.
+type OutcomeKind int
+
+// Recovery outcomes. OutcomeUnknown is the baseline protocol's
+// non-answer: the coordinator has no memory of the transaction and no
+// presumption applies, so the inquirer stays blocked.
+const (
+	OutcomeCommit OutcomeKind = iota
+	OutcomeAbort
+	OutcomeUnknown
+	OutcomeInProgress // commit processing still running; ask again later
+)
+
+// String returns the wire name of the outcome kind.
+func (o OutcomeKind) String() string {
+	switch o {
+	case OutcomeCommit:
+		return "Commit"
+	case OutcomeAbort:
+		return "Abort"
+	case OutcomeUnknown:
+		return "Unknown"
+	case OutcomeInProgress:
+		return "InProgress"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// Message is one protocol message. A single struct (rather than one
+// type per message) keeps gob encoding simple and mirrors how the
+// LU 6.2 presentation-services headers multiplex fields.
+type Message struct {
+	Type MsgType
+	Tx   string // transaction id, "origin:seq"
+
+	// MsgPrepare fields.
+	LongLocks bool // coordinator asks the subordinate to piggyback its ack (§4 Long Locks)
+
+	// MsgVote fields.
+	Vote         VoteValue
+	Reliable     bool // heuristic decisions vanishingly unlikely (§4 Vote Reliable)
+	OKToLeaveOut bool // subordinate subtree will stay suspended (§4 Leave-Out)
+	Unsolicited  bool // vote sent without a Prepare (§4 Unsolicited Vote)
+	LastAgent    bool // "you decide": coordinator delegates the decision (§4 Last Agent)
+
+	// MsgAck fields.
+	Heuristics      []HeuristicReport
+	RecoveryPending bool // §4 Wait For Outcome: subtree recovery continues in background
+
+	// MsgOutcome fields.
+	Outcome OutcomeKind
+
+	// MsgData fields.
+	Payload []byte
+	NewTx   string // non-empty: this data begins transaction NewTx (implied ack for Tx)
+}
+
+// Label renders the message for traces, e.g. "VoteYes+Reliable" or
+// "Prepare".
+func (m Message) Label() string {
+	switch m.Type {
+	case MsgVote:
+		s := m.Vote.String()
+		if m.Reliable {
+			s += "+Reliable"
+		}
+		if m.OKToLeaveOut {
+			s += "+LeaveOutOK"
+		}
+		if m.Unsolicited {
+			s += "+Unsolicited"
+		}
+		if m.LastAgent {
+			s += "+LastAgent"
+		}
+		return s
+	case MsgPrepare:
+		if m.LongLocks {
+			return "Prepare+LongLocks"
+		}
+		return "Prepare"
+	case MsgAck:
+		s := "Ack"
+		if len(m.Heuristics) > 0 {
+			s += "+Heuristics"
+		}
+		if m.RecoveryPending {
+			s += "+RecoveryPending"
+		}
+		return s
+	case MsgOutcome:
+		return "Outcome" + m.Outcome.String()
+	case MsgData:
+		if m.NewTx != "" {
+			return "Data+NewTx"
+		}
+		return "Data"
+	default:
+		return m.Type.String()
+	}
+}
+
+// Packet is one wire transmission between two nodes. Messages[0] is
+// the primary message; any further entries are piggybacked.
+type Packet struct {
+	From, To string
+	Messages []Message
+}
+
+// Label summarizes the packet for traces.
+func (p Packet) Label() string {
+	if len(p.Messages) == 0 {
+		return "(empty)"
+	}
+	s := p.Messages[0].Label()
+	for _, m := range p.Messages[1:] {
+		s += "|" + m.Label()
+	}
+	return s
+}
+
+// Encode serializes the packet with gob for the TCP transport.
+func (p Packet) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(p); err != nil {
+		return nil, fmt.Errorf("protocol: encode packet: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode deserializes a packet produced by Encode.
+func Decode(data []byte) (Packet, error) {
+	var p Packet
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&p); err != nil {
+		return Packet{}, fmt.Errorf("protocol: decode packet: %w", err)
+	}
+	return p, nil
+}

@@ -1,0 +1,69 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Mermaid renders the trace as a Mermaid sequenceDiagram, suitable
+// for embedding in Markdown. Message sends become arrows; forced log
+// writes and decisions become participant notes. Participants are
+// ordered by first appearance unless order is given.
+func (t *Tracer) Mermaid(order ...string) string {
+	events := t.Events()
+	cols := participantColumns(events, order)
+	var b strings.Builder
+	b.WriteString("sequenceDiagram\n")
+	for _, n := range cols.names {
+		fmt.Fprintf(&b, "    participant %s\n", mermaidID(n))
+	}
+	for _, e := range events {
+		switch e.Kind {
+		case KindSend:
+			if e.Peer == "" {
+				continue
+			}
+			fmt.Fprintf(&b, "    %s->>%s: %s\n", mermaidID(e.Node), mermaidID(e.Peer), mermaidText(e.Detail))
+		case KindLogWrite:
+			mark := "log " + e.Detail
+			if e.Forced {
+				mark = "force-log " + e.Detail
+			}
+			fmt.Fprintf(&b, "    Note over %s: %s\n", mermaidID(e.Node), mermaidText(mark))
+		case KindDecision:
+			fmt.Fprintf(&b, "    Note over %s: DECIDE %s\n", mermaidID(e.Node), mermaidText(e.Detail))
+		case KindError:
+			if e.Peer != "" {
+				fmt.Fprintf(&b, "    Note over %s,%s: %s\n", mermaidID(e.Node), mermaidID(e.Peer), mermaidText(e.Detail))
+			} else {
+				fmt.Fprintf(&b, "    Note over %s: %s\n", mermaidID(e.Node), mermaidText(e.Detail))
+			}
+		}
+	}
+	return b.String()
+}
+
+// mermaidID sanitizes a participant name into a Mermaid identifier.
+func mermaidID(name string) string {
+	var b strings.Builder
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "X"
+	}
+	return b.String()
+}
+
+// mermaidText strips characters that break Mermaid labels.
+func mermaidText(s string) string {
+	s = strings.ReplaceAll(s, ":", " ")
+	s = strings.ReplaceAll(s, ";", ",")
+	s = strings.ReplaceAll(s, "\n", " ")
+	return s
+}

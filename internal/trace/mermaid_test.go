@@ -1,0 +1,66 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMermaidBasicShape(t *testing.T) {
+	tr := New()
+	tr.Add(Event{Node: "C", Peer: "S", Kind: KindSend, Detail: "Prepare(C:1)"})
+	tr.Add(Event{Node: "S", Kind: KindLogWrite, Detail: "Prepared", Forced: true})
+	tr.Add(Event{Node: "S", Peer: "C", Kind: KindSend, Detail: "VoteYes(C:1)"})
+	tr.Add(Event{Node: "C", Kind: KindDecision, Detail: "commit(C:1)"})
+	out := tr.Mermaid("C", "S")
+	for _, frag := range []string{
+		"sequenceDiagram",
+		"participant C",
+		"participant S",
+		"C->>S: Prepare(C 1)",
+		"Note over S: force-log Prepared",
+		"S->>C: VoteYes(C 1)",
+		"Note over C: DECIDE commit(C 1)",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("mermaid missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestMermaidSanitizesNames(t *testing.T) {
+	tr := New()
+	tr.Add(Event{Node: "db@A", Peer: "db@B", Kind: KindSend, Detail: "Commit"})
+	out := tr.Mermaid()
+	if !strings.Contains(out, "db_A->>db_B") {
+		t.Fatalf("names not sanitized:\n%s", out)
+	}
+}
+
+func TestMermaidPartitionNote(t *testing.T) {
+	tr := New()
+	tr.Add(Event{Node: "A", Peer: "B", Kind: KindError, Detail: "partition"})
+	tr.Add(Event{Node: "A", Kind: KindError, Detail: "crash"})
+	out := tr.Mermaid()
+	if !strings.Contains(out, "Note over A,B: partition") {
+		t.Fatalf("partition note missing:\n%s", out)
+	}
+	if !strings.Contains(out, "Note over A: crash") {
+		t.Fatalf("crash note missing:\n%s", out)
+	}
+}
+
+func TestMermaidEmptyTracer(t *testing.T) {
+	tr := New()
+	if out := tr.Mermaid(); !strings.Contains(out, "sequenceDiagram") {
+		t.Fatalf("empty mermaid = %q", out)
+	}
+}
+
+func TestMermaidIDEdgeCases(t *testing.T) {
+	if got := mermaidID(""); got != "X" {
+		t.Fatalf("empty id = %q", got)
+	}
+	if got := mermaidID("@@@"); got != "___" {
+		t.Fatalf("symbols id = %q", got)
+	}
+}

@@ -1,0 +1,335 @@
+// Package trace records the observable events of a commit protocol
+// run: messages sent and received, log writes, state transitions,
+// lock activity, and decisions.
+//
+// Traces serve two purposes in this repository. Tests assert exact
+// event sequences against the flow figures of the paper (Figures 1-8),
+// and cmd/flowtrace renders a trace as the kind of time-sequence chart
+// the paper prints.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Kind classifies a traced event.
+type Kind int
+
+// Event kinds, roughly in protocol order.
+const (
+	KindSend     Kind = iota // a protocol message handed to the transport
+	KindReceive              // a protocol message delivered to a node
+	KindLogWrite             // a log record written (forced or not)
+	KindState                // a transaction state transition
+	KindDecision             // commit/abort decision taken
+	KindLock                 // lock acquired
+	KindUnlock               // locks released
+	KindApp                  // application-level note (e.g. "next transaction data")
+	KindError                // failure injected or observed
+)
+
+var kindNames = map[Kind]string{
+	KindSend:     "send",
+	KindReceive:  "recv",
+	KindLogWrite: "log",
+	KindState:    "state",
+	KindDecision: "decide",
+	KindLock:     "lock",
+	KindUnlock:   "unlock",
+	KindApp:      "app",
+	KindError:    "error",
+}
+
+// String returns a short lowercase name for the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Event is one traced occurrence. Node is the participant at which
+// the event happened; Peer is the other endpoint for send/receive
+// events and empty otherwise.
+type Event struct {
+	Seq    int           // global sequence number, assigned by the Tracer
+	At     time.Duration // node-local (virtual) time of the event
+	Node   string
+	Peer   string
+	Kind   Kind
+	Detail string // message type, record type, state name, ...
+	Forced bool   // for KindLogWrite: whether the write was forced
+}
+
+// String renders the event on one line, the format tests match on.
+func (e Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s %s", e.Kind, e.Node)
+	if e.Peer != "" {
+		switch e.Kind {
+		case KindSend:
+			fmt.Fprintf(&b, "->%s", e.Peer)
+		case KindReceive:
+			fmt.Fprintf(&b, "<-%s", e.Peer)
+		default:
+			fmt.Fprintf(&b, "(%s)", e.Peer)
+		}
+	}
+	fmt.Fprintf(&b, " %s", e.Detail)
+	if e.Kind == KindLogWrite && e.Forced {
+		b.WriteString(" *forced*")
+	}
+	return b.String()
+}
+
+// Tracer collects events. It is safe for concurrent use; the zero
+// value is not usable — construct with New.
+type Tracer struct {
+	mu     sync.Mutex
+	events []Event
+	seq    int
+	on     bool
+}
+
+// New returns an enabled tracer.
+func New() *Tracer { return &Tracer{on: true} }
+
+// Disabled returns a tracer that drops every event. Benchmarks that
+// only want counters use it to avoid building megabytes of events.
+func Disabled() *Tracer { return &Tracer{on: false} }
+
+// Enabled reports whether the tracer records events.
+func (t *Tracer) Enabled() bool {
+	if t == nil {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.on
+}
+
+// Add records e, assigning its sequence number. Nil tracers and
+// disabled tracers drop the event, so callers never need nil checks.
+func (t *Tracer) Add(e Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.on {
+		return
+	}
+	e.Seq = t.seq
+	t.seq++
+	t.events = append(t.events, e)
+}
+
+// Events returns a copy of the recorded events in insertion order.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, len(t.events))
+	copy(out, t.events)
+	return out
+}
+
+// Reset drops all recorded events and restarts sequence numbering.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.events = nil
+	t.seq = 0
+}
+
+// Filter returns the recorded events for which keep returns true,
+// preserving order.
+func (t *Tracer) Filter(keep func(Event) bool) []Event {
+	var out []Event
+	for _, e := range t.Events() {
+		if keep(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Sends returns the KindSend events, in order. Flow-order tests in
+// internal/core are built on this.
+func (t *Tracer) Sends() []Event {
+	return t.Filter(func(e Event) bool { return e.Kind == KindSend })
+}
+
+// LogWrites returns the KindLogWrite events, in order.
+func (t *Tracer) LogWrites() []Event {
+	return t.Filter(func(e Event) bool { return e.Kind == KindLogWrite })
+}
+
+// FlowStrings renders each send event as "from->to detail", the
+// compact notation used by the figure tests.
+func (t *Tracer) FlowStrings() []string {
+	sends := t.Sends()
+	out := make([]string, len(sends))
+	for i, e := range sends {
+		out[i] = fmt.Sprintf("%s->%s %s", e.Node, e.Peer, e.Detail)
+	}
+	return out
+}
+
+// Render draws the trace as an ASCII time-sequence chart with one
+// column per participant, in the style of the paper's figures.
+// Participants are ordered by first appearance unless order is given.
+func (t *Tracer) Render(order ...string) string {
+	events := t.Events()
+	cols := participantColumns(events, order)
+	if len(cols.names) == 0 {
+		return "(empty trace)\n"
+	}
+
+	const colWidth = 26
+	var b strings.Builder
+	for _, n := range cols.names {
+		fmt.Fprintf(&b, "%-*s", colWidth, n)
+	}
+	b.WriteString("\n")
+	for range cols.names {
+		fmt.Fprintf(&b, "%-*s", colWidth, strings.Repeat("-", colWidth-2))
+	}
+	b.WriteString("\n")
+
+	for _, e := range events {
+		line := make([]string, len(cols.names))
+		ci, ok := cols.index[e.Node]
+		if !ok {
+			continue
+		}
+		switch e.Kind {
+		case KindSend:
+			pj, ok := cols.index[e.Peer]
+			if !ok {
+				line[ci] = e.Detail + " ->?"
+				break
+			}
+			label := e.Detail
+			if pj > ci {
+				line[ci] = label + " -->"
+				for k := ci + 1; k < pj; k++ {
+					line[k] = strings.Repeat("-", colWidth-2)
+				}
+			} else {
+				line[ci] = "<-- " + label
+				for k := pj + 1; k < ci; k++ {
+					line[k] = strings.Repeat("-", colWidth-2)
+				}
+			}
+		case KindLogWrite:
+			mark := "log " + e.Detail
+			if e.Forced {
+				mark = "*log " + e.Detail + "*"
+			}
+			line[ci] = mark
+		case KindDecision, KindState, KindApp, KindError:
+			line[ci] = "[" + e.Detail + "]"
+		default:
+			continue
+		}
+		for _, cell := range line {
+			fmt.Fprintf(&b, "%-*s", colWidth, cell)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+type columns struct {
+	names []string
+	index map[string]int
+}
+
+func participantColumns(events []Event, order []string) columns {
+	c := columns{index: make(map[string]int)}
+	add := func(name string) {
+		if name == "" {
+			return
+		}
+		if _, ok := c.index[name]; ok {
+			return
+		}
+		c.index[name] = len(c.names)
+		c.names = append(c.names, name)
+	}
+	for _, n := range order {
+		add(n)
+	}
+	for _, e := range events {
+		add(e.Node)
+		add(e.Peer)
+	}
+	return c
+}
+
+// CountLogWrites returns (total, forced) log writes recorded for node;
+// node "" counts all nodes.
+func (t *Tracer) CountLogWrites(node string) (total, forced int) {
+	for _, e := range t.LogWrites() {
+		if node != "" && e.Node != node {
+			continue
+		}
+		total++
+		if e.Forced {
+			forced++
+		}
+	}
+	return total, forced
+}
+
+// CountSends returns the number of send events originating at node;
+// node "" counts all nodes.
+func (t *Tracer) CountSends(node string) int {
+	n := 0
+	for _, e := range t.Sends() {
+		if node == "" || e.Node == node {
+			n++
+		}
+	}
+	return n
+}
+
+// Participants returns the sorted set of node names that appear in
+// the trace.
+func (t *Tracer) Participants() []string {
+	set := make(map[string]bool)
+	for _, e := range t.Events() {
+		if e.Node != "" {
+			set[e.Node] = true
+		}
+		if e.Peer != "" {
+			set[e.Peer] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ForTx returns the events that mention the given transaction id in
+// their detail (protocol traces embed "(origin:seq)") — useful when a
+// trace interleaves several transactions.
+func (t *Tracer) ForTx(txID string) []Event {
+	needle := "(" + txID + ")"
+	return t.Filter(func(e Event) bool {
+		return strings.Contains(e.Detail, needle)
+	})
+}

@@ -1,0 +1,195 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestAddAssignsSequence(t *testing.T) {
+	tr := New()
+	tr.Add(Event{Node: "A", Kind: KindSend, Peer: "B", Detail: "Prepare"})
+	tr.Add(Event{Node: "B", Kind: KindReceive, Peer: "A", Detail: "Prepare"})
+	ev := tr.Events()
+	if len(ev) != 2 {
+		t.Fatalf("got %d events, want 2", len(ev))
+	}
+	if ev[0].Seq != 0 || ev[1].Seq != 1 {
+		t.Fatalf("sequence numbers %d,%d, want 0,1", ev[0].Seq, ev[1].Seq)
+	}
+}
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Add(Event{Node: "A"}) // must not panic
+	if got := tr.Events(); got != nil {
+		t.Fatalf("nil tracer returned events: %v", got)
+	}
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	tr.Reset() // must not panic
+}
+
+func TestDisabledDropsEvents(t *testing.T) {
+	tr := Disabled()
+	tr.Add(Event{Node: "A", Kind: KindSend})
+	if n := len(tr.Events()); n != 0 {
+		t.Fatalf("disabled tracer stored %d events", n)
+	}
+}
+
+func TestFlowStrings(t *testing.T) {
+	tr := New()
+	tr.Add(Event{Node: "C", Peer: "S", Kind: KindSend, Detail: "Prepare"})
+	tr.Add(Event{Node: "S", Peer: "C", Kind: KindReceive, Detail: "Prepare"})
+	tr.Add(Event{Node: "S", Peer: "C", Kind: KindSend, Detail: "VoteYes"})
+	got := tr.FlowStrings()
+	want := []string{"C->S Prepare", "S->C VoteYes"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("flow[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCountLogWrites(t *testing.T) {
+	tr := New()
+	tr.Add(Event{Node: "C", Kind: KindLogWrite, Detail: "Committed", Forced: true})
+	tr.Add(Event{Node: "C", Kind: KindLogWrite, Detail: "End"})
+	tr.Add(Event{Node: "S", Kind: KindLogWrite, Detail: "Prepared", Forced: true})
+	total, forced := tr.CountLogWrites("C")
+	if total != 2 || forced != 1 {
+		t.Fatalf("C log writes = (%d,%d), want (2,1)", total, forced)
+	}
+	total, forced = tr.CountLogWrites("")
+	if total != 3 || forced != 2 {
+		t.Fatalf("all log writes = (%d,%d), want (3,2)", total, forced)
+	}
+}
+
+func TestCountSends(t *testing.T) {
+	tr := New()
+	tr.Add(Event{Node: "C", Peer: "S", Kind: KindSend, Detail: "Prepare"})
+	tr.Add(Event{Node: "C", Peer: "S", Kind: KindSend, Detail: "Commit"})
+	tr.Add(Event{Node: "S", Peer: "C", Kind: KindSend, Detail: "VoteYes"})
+	if n := tr.CountSends("C"); n != 2 {
+		t.Fatalf("C sends = %d, want 2", n)
+	}
+	if n := tr.CountSends(""); n != 3 {
+		t.Fatalf("total sends = %d, want 3", n)
+	}
+}
+
+func TestRenderContainsArrowsAndForcedMarks(t *testing.T) {
+	tr := New()
+	tr.Add(Event{Node: "C", Peer: "S", Kind: KindSend, Detail: "Prepare"})
+	tr.Add(Event{Node: "S", Kind: KindLogWrite, Detail: "Prepared", Forced: true})
+	tr.Add(Event{Node: "S", Peer: "C", Kind: KindSend, Detail: "VoteYes"})
+	out := tr.Render("C", "S")
+	for _, frag := range []string{"Prepare -->", "*log Prepared*", "<-- VoteYes"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("render output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	tr := New()
+	if got := tr.Render(); !strings.Contains(got, "empty") {
+		t.Fatalf("empty render = %q", got)
+	}
+}
+
+func TestParticipants(t *testing.T) {
+	tr := New()
+	tr.Add(Event{Node: "S2", Peer: "C", Kind: KindSend, Detail: "VoteYes"})
+	tr.Add(Event{Node: "S1", Kind: KindLogWrite, Detail: "Prepared"})
+	got := tr.Participants()
+	want := []string{"C", "S1", "S2"}
+	if len(got) != len(want) {
+		t.Fatalf("participants = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("participants = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	tr := New()
+	tr.Add(Event{Node: "A", Kind: KindSend, Peer: "B", Detail: "x"})
+	tr.Reset()
+	if n := len(tr.Events()); n != 0 {
+		t.Fatalf("after reset %d events remain", n)
+	}
+	tr.Add(Event{Node: "A", Kind: KindSend, Peer: "B", Detail: "y"})
+	if ev := tr.Events(); len(ev) != 1 || ev[0].Seq != 0 {
+		t.Fatalf("sequence numbering did not restart: %+v", ev)
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{Node: "C", Peer: "S", Kind: KindSend, Detail: "Commit"}
+	if got := e.String(); !strings.Contains(got, "C->S") || !strings.Contains(got, "Commit") {
+		t.Fatalf("Event.String() = %q", got)
+	}
+	f := Event{Node: "S", Kind: KindLogWrite, Detail: "Prepared", Forced: true}
+	if got := f.String(); !strings.Contains(got, "*forced*") {
+		t.Fatalf("forced log write string = %q", got)
+	}
+	r := Event{Node: "S", Peer: "C", Kind: KindReceive, Detail: "Prepare"}
+	if got := r.String(); !strings.Contains(got, "S<-C") {
+		t.Fatalf("receive string = %q", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindSend.String() != "send" {
+		t.Fatalf("KindSend = %q", KindSend.String())
+	}
+	if got := Kind(99).String(); !strings.Contains(got, "99") {
+		t.Fatalf("unknown kind = %q", got)
+	}
+}
+
+func TestConcurrentAdd(t *testing.T) {
+	tr := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				tr.Add(Event{Node: "A", Kind: KindApp, Detail: "tick"})
+			}
+		}()
+	}
+	wg.Wait()
+	ev := tr.Events()
+	if len(ev) != 4000 {
+		t.Fatalf("got %d events, want 4000", len(ev))
+	}
+	seen := make(map[int]bool, len(ev))
+	for _, e := range ev {
+		if seen[e.Seq] {
+			t.Fatalf("duplicate sequence number %d", e.Seq)
+		}
+		seen[e.Seq] = true
+	}
+}
+
+func TestForTx(t *testing.T) {
+	tr := New()
+	tr.Add(Event{Node: "A", Peer: "B", Kind: KindSend, Detail: "Prepare(A:1)"})
+	tr.Add(Event{Node: "A", Peer: "B", Kind: KindSend, Detail: "Prepare(A:2)"})
+	tr.Add(Event{Node: "B", Kind: KindLogWrite, Detail: "Prepared"}) // no tx tag
+	got := tr.ForTx("A:1")
+	if len(got) != 1 || got[0].Detail != "Prepare(A:1)" {
+		t.Fatalf("ForTx = %+v", got)
+	}
+}

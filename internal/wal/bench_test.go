@@ -1,0 +1,92 @@
+package wal
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func BenchmarkAppendMem(b *testing.B) {
+	l := New(NewMemStore())
+	r := Record{Tx: "t", Node: "N", Kind: "LRMUpdate", Data: []byte("payload")}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Append(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkForceMem(b *testing.B) {
+	l := New(NewMemStore())
+	r := Record{Tx: "t", Node: "N", Kind: "Committed"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Force(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkForceFileNoFsync(b *testing.B) {
+	s, err := OpenFileStore(filepath.Join(b.TempDir(), "bench.wal"), WithFsync(false))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	l := New(s)
+	r := Record{Tx: "t", Node: "N", Kind: "Committed", Data: []byte("0123456789abcdef")}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Force(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGroupCommitThroughput measures concurrent force throughput
+// with and without group commit — the §4 Group Commits claim that
+// batching raises overall system throughput.
+func BenchmarkGroupCommitThroughput(b *testing.B) {
+	for _, size := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("group%d", size), func(b *testing.B) {
+			l := New(NewMemStore())
+			if size > 1 {
+				l.WithPolicy(NewGroupCommit(size, time.Millisecond))
+			}
+			const writers = 16
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			per := b.N/writers + 1
+			for w := 0; w < writers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						l.Force(Record{Tx: "t", Kind: "Committed"})
+					}
+				}()
+			}
+			wg.Wait()
+			b.ReportMetric(float64(l.Stats().Syncs)/float64(l.Stats().Forces), "syncs/force")
+		})
+	}
+}
+
+func BenchmarkRecoveryScan(b *testing.B) {
+	store := NewMemStore()
+	l := New(store)
+	for i := 0; i < 10_000; i++ {
+		l.Append(Record{Tx: "t", Kind: "LRMUpdate"})
+	}
+	l.Sync()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		recs, err := l.Records()
+		if err != nil || len(recs) != 10_000 {
+			b.Fatalf("scan: %d records, %v", len(recs), err)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+)
+
+// Rewriter is implemented by stores that support checkpoint
+// truncation: atomically replacing the durable record set.
+type Rewriter interface {
+	ReplaceAll(recs []Record) error
+}
+
+// Checkpoint truncates the log: it flushes the buffer, then rewrites
+// stable storage keeping only the records for which keep returns
+// true. Resource managers call it after writing a snapshot record so
+// that history older than the snapshot can be dropped. It returns the
+// number of records kept and dropped.
+func (l *Log) Checkpoint(keep func(Record) bool) (kept, dropped int, err error) {
+	if err := l.flush(); err != nil {
+		return 0, 0, err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, 0, ErrClosed
+	}
+	rw, ok := l.store.(Rewriter)
+	if !ok {
+		return 0, 0, fmt.Errorf("wal: store %T does not support checkpointing", l.store)
+	}
+	recs, err := l.store.Records()
+	if err != nil {
+		return 0, 0, err
+	}
+	var keepers []Record
+	for _, r := range recs {
+		if keep(r) {
+			keepers = append(keepers, r)
+		} else {
+			dropped++
+		}
+	}
+	if err := rw.ReplaceAll(keepers); err != nil {
+		return 0, 0, fmt.Errorf("wal: checkpoint rewrite: %w", err)
+	}
+	return len(keepers), dropped, nil
+}
+
+// ReplaceAll implements Rewriter for MemStore.
+func (s *MemStore) ReplaceAll(recs []Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.durable = append([]Record(nil), recs...)
+	s.volatile = nil
+	return nil
+}
+
+// ReplaceAll implements Rewriter for FileStore: the file is rewritten
+// through a temporary file and renamed into place, so a crash during
+// checkpointing leaves either the old or the new log, never a torn
+// one.
+func (s *FileStore) ReplaceAll(recs []Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.w.Flush(); err != nil {
+		return err
+	}
+	tmp := s.path + ".ckpt"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	ok := false
+	defer func() {
+		if !ok {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	enc := newLineEncoder(f)
+	for _, r := range recs {
+		if err := enc.encode(r); err != nil {
+			return err
+		}
+	}
+	if err := enc.flush(); err != nil {
+		return err
+	}
+	if s.fsync {
+		if err := f.Sync(); err != nil {
+			return err
+		}
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	ok = true
+	if err := os.Rename(tmp, s.path); err != nil {
+		return err
+	}
+	// Reopen the live handle on the new file.
+	if err := s.f.Close(); err != nil {
+		return err
+	}
+	nf, err := os.OpenFile(s.path, os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	s.f = nf
+	s.w.Reset(nf)
+	return nil
+}

@@ -1,0 +1,126 @@
+package wal
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestGroupCommitBatchesBySize(t *testing.T) {
+	store := NewMemStore()
+	gc := NewGroupCommit(4, time.Second) // long delay: size triggers
+	l := New(store).WithPolicy(gc)
+
+	const txs = 16
+	var wg sync.WaitGroup
+	for i := 0; i < txs; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := l.Force(rec("t", "Committed")); err != nil {
+				t.Errorf("force: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	got, _ := l.Records()
+	if len(got) != txs {
+		t.Fatalf("durable records = %d, want %d", len(got), txs)
+	}
+	// 16 forces at batch size 4 need at most 16 but should be far
+	// fewer than one sync each; with a 1s timer the only triggers are
+	// full batches, so at most ceil(16/4)+1 batches can fire (+1 for a
+	// straggler partial batch on scheduling skew).
+	if b := gc.Batches(); b > txs/4+1 {
+		t.Fatalf("group commit fired %d batches for %d forces (size 4)", b, txs)
+	}
+	if s := l.Stats(); s.Forces != txs || s.Syncs != gc.Batches() {
+		t.Fatalf("stats = %+v, batches = %d", s, gc.Batches())
+	}
+}
+
+func TestGroupCommitTimerFiresPartialBatch(t *testing.T) {
+	store := NewMemStore()
+	gc := NewGroupCommit(100, 5*time.Millisecond)
+	l := New(store).WithPolicy(gc)
+
+	start := time.Now()
+	if _, err := l.Force(rec("t", "Committed")); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("single force blocked %v; timer should have fired", elapsed)
+	}
+	got, _ := l.Records()
+	if len(got) != 1 {
+		t.Fatalf("record not durable after timer fire: %v", got)
+	}
+}
+
+func TestGroupCommitSizeOneIsImmediate(t *testing.T) {
+	store := NewMemStore()
+	gc := NewGroupCommit(0, time.Second) // clamped to 1
+	l := New(store).WithPolicy(gc)
+	for i := 0; i < 3; i++ {
+		if _, err := l.Force(rec("t", "C")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b := gc.Batches(); b != 3 {
+		t.Fatalf("batches = %d, want 3 at size 1", b)
+	}
+}
+
+func TestGroupCommitDurabilityGuarantee(t *testing.T) {
+	// Every force, once returned, must survive a crash — group commit
+	// may delay but never weaken durability.
+	store := NewMemStore()
+	gc := NewGroupCommit(3, 2*time.Millisecond)
+	l := New(store).WithPolicy(gc)
+
+	var wg sync.WaitGroup
+	const n = 30
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := l.Force(rec("t", "Committed")); err != nil {
+				t.Errorf("force: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	l.Crash()
+	got, _ := l.Records()
+	if len(got) != n {
+		t.Fatalf("after crash %d records durable, want %d", len(got), n)
+	}
+}
+
+func TestGroupCommitReducesSyncsVersusImmediate(t *testing.T) {
+	run := func(policy SyncPolicy) int {
+		l := New(NewMemStore())
+		if policy != nil {
+			l.WithPolicy(policy)
+		}
+		var wg sync.WaitGroup
+		for i := 0; i < 32; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				l.Force(rec("t", "C"))
+			}()
+		}
+		wg.Wait()
+		return l.Stats().Syncs
+	}
+	immediate := run(nil)
+	grouped := run(NewGroupCommit(8, 50*time.Millisecond))
+	if immediate != 32 {
+		t.Fatalf("immediate syncs = %d, want 32", immediate)
+	}
+	if grouped >= immediate {
+		t.Fatalf("group commit did not reduce syncs: %d >= %d", grouped, immediate)
+	}
+}

