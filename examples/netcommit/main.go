@@ -13,10 +13,12 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"time"
 
 	twopc "repro"
 	"repro/internal/core"
 	"repro/internal/live"
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/wal"
 )
@@ -44,9 +46,19 @@ func main() {
 	kvW := twopc.NewKVStore("stock", nil, nil, twopc.KVBlockingLocks(true))
 	kvB := twopc.NewKVStore("invoices", nil, nil, twopc.KVBlockingLocks(true))
 
-	coord := live.NewParticipant("coordinator", epC, wal.New(wal.NewMemStore()), []core.Resource{kvC})
-	warehouse := live.NewParticipant("warehouse", epW, wal.New(wal.NewMemStore()), []core.Resource{kvW})
-	billing := live.NewParticipant("billing", epB, wal.New(wal.NewMemStore()), []core.Resource{kvB})
+	// One shared metrics registry watches all three participants; the
+	// functional options also pick the variant, timeouts, and retry
+	// policy (exponential backoff with jitter over TCP).
+	reg := metrics.New()
+	opts := []live.Option{
+		live.WithVariant(core.VariantPA),
+		live.WithMetrics(reg),
+		live.WithTimeout(5*time.Second, 5*time.Second),
+		live.WithRetry(live.RetryPolicy{MaxAttempts: 5, BaseDelay: 50 * time.Millisecond}),
+	}
+	coord := live.NewParticipant("coordinator", epC, wal.New(wal.NewMemStore()), []core.Resource{kvC}, opts...)
+	warehouse := live.NewParticipant("warehouse", epW, wal.New(wal.NewMemStore()), []core.Resource{kvW}, opts...)
+	billing := live.NewParticipant("billing", epB, wal.New(wal.NewMemStore()), []core.Resource{kvB}, opts...)
 	coord.Start()
 	warehouse.Start()
 	billing.Start()
@@ -98,6 +110,18 @@ func main() {
 	fmt.Printf("order 1003: %v (warehouse vetoed)\n", out)
 	if _, ok := kvC.ReadCommitted("order-1003"); !ok {
 		fmt.Println("  the coordinator's own write was rolled back too")
+	}
+
+	// What the metrics registry saw across all three orders.
+	snap := reg.Snapshot()
+	fmt.Printf("\nmetrics: outcomes=%v retries=%d in-doubt=%d\n",
+		snap.Outcomes, snap.TotalRetries(), snap.TotalInDoubt())
+	fmt.Printf("commit latency: p50=%v p99=%v max=%v over %d commits\n",
+		snap.Latency.P50, snap.Latency.P99, snap.Latency.Max, snap.Latency.Count)
+	for _, name := range []string{"coordinator", "warehouse", "billing"} {
+		c := snap.Nodes[name]
+		fmt.Printf("  %-12s msgs sent=%d received=%d forced-writes=%d\n",
+			name, c.MessagesSent, c.MessagesReceived, c.ForcedWrites)
 	}
 }
 

@@ -9,13 +9,16 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/protocol"
 	"repro/internal/trace"
+	"repro/internal/txerr"
 	"repro/internal/wal"
 )
 
-// Errors returned by the engine's scripting API.
+// Errors returned by the engine's scripting API. ErrIncomplete wraps
+// the shared txerr.ErrInDoubt sentinel so simulator and live-runtime
+// callers test for a stuck commit the same way.
 var (
 	ErrUnknownNode = errors.New("core: unknown node")
-	ErrIncomplete  = errors.New("core: commit processing did not complete (blocked)")
+	ErrIncomplete  = fmt.Errorf("core: commit processing did not complete (blocked): %w", txerr.ErrInDoubt)
 	ErrSuspended   = errors.New("core: node is suspended (left out) and cannot initiate work")
 	ErrCrashed     = errors.New("core: node is crashed")
 )

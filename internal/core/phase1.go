@@ -1,7 +1,10 @@
 package core
 
 import (
+	"fmt"
+
 	"repro/internal/protocol"
+	"repro/internal/txerr"
 )
 
 // trigger distinguishes why a subordinate entered phase one.
@@ -187,6 +190,7 @@ func (n *Node) armVoteTimer(c *txCtx) {
 		}
 		n.eng.arriveAt(n, at)
 		n.trcApp("vote timeout: presuming failed subordinate(s), aborting " + c.id.String())
+		c.abortErr = fmt.Errorf("core: vote collection: %w", txerr.ErrTimeout)
 		for _, s := range c.orderedSubs() {
 			if s.prepareSent && !s.voted {
 				s.voted = true

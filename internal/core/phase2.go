@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/protocol"
 	"repro/internal/trace"
+	"repro/internal/txerr"
 )
 
 // ownDecision is taken by the decision owner — the root coordinator
@@ -438,6 +439,10 @@ func (n *Node) completeApp(c *txCtx, status AckStatus) {
 		Outcome: outcome,
 		Status:  status,
 		Latency: n.localTime - c.startAt,
+		Err:     c.abortErr,
+	}
+	if outcome == OutcomeHeuristicMixed {
+		res.Err = txerr.ErrHeuristicDamage
 	}
 	n.eng.met.Outcome(outcome.String())
 	n.eng.met.Latency(res.Latency)

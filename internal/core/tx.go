@@ -126,6 +126,12 @@ type txCtx struct {
 	ackSent         bool
 	voteTimerGen    int
 	inquiryAttempts int
+
+	// abortErr, when set, is the reason an abort decision was taken on
+	// the coordinator's own initiative (e.g. a vote timeout); it is
+	// surfaced on the initiator's Result so callers can errors.Is
+	// against the shared txerr sentinels.
+	abortErr error
 }
 
 func (n *Node) ctx(id TxID) *txCtx {

@@ -3,9 +3,13 @@ package live
 import (
 	"context"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/wal"
 )
@@ -91,5 +95,67 @@ func BenchmarkLiveFanout(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkLiveThroughput measures pipelined commit throughput: many
+// worker goroutines issue transactions concurrently against one
+// coordinator with group commit coalescing the log forces, and the
+// metrics registry's latency histogram reports the distribution. The
+// benchmark reports commits/sec and p50/p99 latency from the metrics
+// snapshot.
+func BenchmarkLiveThroughput(b *testing.B) {
+	const workers = 16
+	net := netsim.NewChanNetwork()
+	reg := metrics.New()
+	opts := []Option{
+		WithMetrics(reg),
+		WithGroupCommit(8, 200*time.Microsecond),
+	}
+	coord := NewParticipant("C", net.Endpoint("C"), wal.New(wal.NewMemStore()),
+		[]core.Resource{core.NewStaticResource("rc")}, opts...)
+	s1 := NewParticipant("S1", net.Endpoint("S1"), wal.New(wal.NewMemStore()),
+		[]core.Resource{core.NewStaticResource("r1")})
+	s2 := NewParticipant("S2", net.Endpoint("S2"), wal.New(wal.NewMemStore()),
+		[]core.Resource{core.NewStaticResource("r2")})
+	coord.Start()
+	s1.Start()
+	s2.Start()
+	defer coord.Stop()
+	defer s1.Stop()
+	defer s2.Stop()
+
+	ctx := context.Background()
+	var seq atomic.Uint64
+	var wg sync.WaitGroup
+	b.ResetTimer()
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				n := seq.Add(1)
+				if n > uint64(b.N) {
+					return
+				}
+				tx := core.TxID{Origin: "C", Seq: n}
+				out, err := coord.Commit(ctx, tx.String(), []string{"S1", "S2"})
+				if err != nil || out != Committed {
+					b.Errorf("commit %d: %v %v", n, out, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	b.StopTimer()
+
+	snap := reg.Snapshot()
+	if snap.Latency.Count > 0 {
+		b.ReportMetric(float64(b.N)/elapsed.Seconds(), "commits/sec")
+		b.ReportMetric(float64(snap.Latency.P50.Microseconds()), "p50_us")
+		b.ReportMetric(float64(snap.Latency.P99.Microseconds()), "p99_us")
 	}
 }

@@ -1,0 +1,380 @@
+package live
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/protocol"
+	"repro/internal/wal"
+)
+
+// Commit runs this participant as coordinator of one transaction with
+// the named subordinates, under the participant's configured variant.
+// Many Commit calls may run concurrently on one participant; each
+// transaction's state lives in its own table entry.
+//
+// ctx bounds the whole operation. Cancellation during vote collection
+// aborts the transaction; cancellation after the decision point (or
+// after a last-agent delegation) cannot undo it and returns InDoubt
+// with the context's error.
+func (p *Participant) Commit(ctx context.Context, txName string, subs []string) (Outcome, error) {
+	start := p.sched.Now()
+	out, err := p.runCommit(ctx, txName, subs)
+	if p.met != nil {
+		p.met.Latency(p.sched.Now() - start)
+		p.met.Outcome(out.String())
+	}
+	return out, err
+}
+
+func (p *Participant) runCommit(ctx context.Context, txName string, subs []string) (Outcome, error) {
+	tx := core.ParseTxID(txName)
+	st := p.registerCoord(txName, len(subs))
+	defer p.unregisterCoord(txName)
+
+	// Last Agent (§4): hold the final subordinate out of phase one and
+	// delegate the decision to it once everyone else has voted yes.
+	agent := ""
+	others := subs
+	if p.lastAgent && len(subs) > 0 {
+		agent = subs[len(subs)-1]
+		others = subs[:len(subs)-1]
+	}
+
+	// PN forces a pending record, PC a collecting record, before any
+	// Prepare leaves: the stable membership list is what lets their
+	// presumptions hold through a coordinator crash.
+	switch p.variant {
+	case core.VariantPN:
+		if _, err := p.log.Force(wal.Record{Tx: txName, Node: p.name, Kind: "Pending", Data: []byte(strings.Join(subs, ","))}); err != nil {
+			return p.abortTx(tx, txName, subs), fmt.Errorf("live: force pending record: %w", err)
+		}
+	case core.VariantPC:
+		if _, err := p.log.Force(wal.Record{Tx: txName, Node: p.name, Kind: "Collecting", Data: []byte(strings.Join(subs, ","))}); err != nil {
+			return p.abortTx(tx, txName, subs), fmt.Errorf("live: force collecting record: %w", err)
+		}
+	}
+
+	// Harvest unsolicited votes that arrived before Commit was called.
+	p.mu.Lock()
+	early := st.early
+	st.early = nil
+	p.mu.Unlock()
+
+	expected := make(map[string]bool, len(others))
+	for _, s := range others {
+		expected[s] = true
+	}
+	voted := make(map[string]bool, len(others))
+	var yes []string
+	for _, s := range others {
+		v, ok := early[s]
+		if !ok {
+			continue
+		}
+		voted[s] = true
+		switch v {
+		case protocol.VoteNo:
+			return p.abortTx(tx, txName, subs), nil
+		case protocol.VoteYes:
+			yes = append(yes, s)
+		}
+	}
+
+	// Phase one: Prepares in parallel to everyone who has not already
+	// volunteered a vote, each announcing the variant's presumption.
+	prep := protocol.Message{Type: protocol.MsgPrepare, Tx: txName, Presume: presumptionOf(p.variant)}
+	for _, s := range others {
+		if voted[s] {
+			continue
+		}
+		if err := p.send(s, prep); err != nil {
+			return p.abortTx(tx, txName, subs), fmt.Errorf("live: prepare %s: %w", s, err)
+		}
+	}
+
+	localVote := p.prepareLocal(tx)
+	if localVote == protocol.VoteNo {
+		return p.abortTx(tx, txName, subs), nil
+	}
+
+	// Collect the remaining votes, retransmitting Prepare to silent
+	// subordinates on the retry policy's backoff schedule.
+	if len(voted) < len(others) {
+		deadline := p.sched.NewTimer(p.voteTimeout)
+		defer deadline.Stop()
+		bo := p.retry.backoff(p.rng(txName))
+		retryT := p.nextRetryTimer(bo)
+		defer func() { retryT.Stop() }()
+		for len(voted) < len(others) {
+			select {
+			case env := <-st.votes:
+				if !expected[env.from] || voted[env.from] {
+					continue
+				}
+				voted[env.from] = true
+				switch env.msg.Vote {
+				case protocol.VoteNo:
+					return p.abortTx(tx, txName, subs), nil
+				case protocol.VoteYes:
+					yes = append(yes, env.from)
+				}
+			case <-retryT.C():
+				for _, s := range others {
+					if !voted[s] {
+						_ = p.send(s, prep)
+						p.countRetry()
+					}
+				}
+				retryT = p.nextRetryTimer(bo)
+			case <-deadline.C():
+				return p.abortTx(tx, txName, subs), fmt.Errorf("live: collecting votes for %s: %w", txName, ErrTimeout)
+			case <-ctx.Done():
+				return p.abortTx(tx, txName, subs), ctx.Err()
+			}
+		}
+	}
+
+	if agent != "" {
+		return p.delegate(ctx, st, tx, txName, agent, yes)
+	}
+	return p.decideCommit(ctx, st, tx, txName, yes, localVote)
+}
+
+// decideCommit takes the commit decision after unanimous yes votes
+// and drives phase two.
+func (p *Participant) decideCommit(ctx context.Context, st *txState, tx core.TxID, txName string, yes []string, localVote protocol.VoteValue) (Outcome, error) {
+	// A fully read-only transaction commits with nothing to log and
+	// nothing to propagate (§4 Read-Only).
+	if !(localVote == protocol.VoteReadOnly && len(yes) == 0) {
+		if _, err := p.log.Force(wal.Record{Tx: txName, Node: p.name, Kind: "Committed"}); err != nil {
+			return p.abortTx(tx, txName, nil), fmt.Errorf("live: force commit record: %w", err)
+		}
+	}
+	p.completeResources(tx, true)
+	p.recordDecision(txName, true)
+
+	out := protocol.Message{Type: protocol.MsgCommit, Tx: txName}
+	for _, s := range yes {
+		_ = p.send(s, out)
+	}
+
+	var heur []protocol.HeuristicReport
+	var collectErr error
+	if expectsAckFor(p.variant, true) && len(yes) > 0 {
+		heur, collectErr = p.collectAcks(ctx, st, txName, yes, out)
+	}
+	_, _ = p.log.Append(wal.Record{Tx: txName, Node: p.name, Kind: "End"})
+	if err := damageError(txName, heur); err != nil {
+		return Committed, err
+	}
+	return Committed, collectErr
+}
+
+// delegate sends the last agent its combined "prepare, you decide"
+// message and awaits the decision, then finishes phase two with the
+// other (already yes-voting) subordinates.
+func (p *Participant) delegate(ctx context.Context, st *txState, tx core.TxID, txName, agent string, yes []string) (Outcome, error) {
+	dm := protocol.Message{Type: protocol.MsgPrepare, Tx: txName, Presume: presumptionOf(p.variant), Delegate: true}
+	if err := p.send(agent, dm); err != nil {
+		// Nothing was delegated; the decision is still ours.
+		return p.abortTx(tx, txName, append(append([]string{}, yes...), agent)), fmt.Errorf("live: delegate to %s: %w", agent, err)
+	}
+
+	deadline := p.sched.NewTimer(p.voteTimeout)
+	defer deadline.Stop()
+	bo := p.retry.backoff(p.rng(txName))
+	retryT := p.nextRetryTimer(bo)
+	defer func() { retryT.Stop() }()
+	for {
+		select {
+		case env := <-st.decision:
+			if env.from != agent {
+				continue
+			}
+			if env.msg.Type != protocol.MsgCommit {
+				// The agent decided abort; it has already logged it.
+				p.logAbort(txName)
+				p.completeResources(tx, false)
+				p.recordDecision(txName, false)
+				ab := protocol.Message{Type: protocol.MsgAbort, Tx: txName}
+				for _, s := range yes {
+					_ = p.send(s, ab)
+				}
+				_, _ = p.log.Append(wal.Record{Tx: txName, Node: p.name, Kind: "End"})
+				return Aborted, nil
+			}
+			if _, err := p.log.Force(wal.Record{Tx: txName, Node: p.name, Kind: "Committed"}); err != nil {
+				// The global decision is commit regardless; record what
+				// we can and surface the log failure.
+				return Committed, fmt.Errorf("live: force commit record after delegation: %w", err)
+			}
+			p.completeResources(tx, true)
+			p.recordDecision(txName, true)
+			out := protocol.Message{Type: protocol.MsgCommit, Tx: txName}
+			for _, s := range yes {
+				_ = p.send(s, out)
+			}
+			var heur []protocol.HeuristicReport
+			var collectErr error
+			if expectsAckFor(p.variant, true) && len(yes) > 0 {
+				heur, collectErr = p.collectAcks(ctx, st, txName, yes, out)
+			}
+			_, _ = p.log.Append(wal.Record{Tx: txName, Node: p.name, Kind: "End"})
+			if err := damageError(txName, heur); err != nil {
+				return Committed, err
+			}
+			return Committed, collectErr
+		case <-retryT.C():
+			_ = p.send(agent, dm)
+			p.countRetry()
+			retryT = p.nextRetryTimer(bo)
+		case <-deadline.C():
+			// The agent owns the decision and may have gone either way:
+			// we are genuinely in doubt until recovery reaches it.
+			if p.met != nil {
+				p.met.InDoubtEntry(p.name)
+			}
+			return InDoubt, fmt.Errorf("live: last agent %s silent for %s: %w", agent, txName, ErrInDoubt)
+		case <-ctx.Done():
+			if p.met != nil {
+				p.met.InDoubtEntry(p.name)
+			}
+			return InDoubt, fmt.Errorf("live: awaiting last agent %s for %s: %w (%w)", agent, txName, ErrInDoubt, ctx.Err())
+		}
+	}
+}
+
+// collectAcks waits for phase-two acknowledgments from targets,
+// retransmitting the outcome message on the backoff schedule, and
+// folds up any heuristic reports they carry. Subordinates that never
+// ack are counted in doubt; resolving them falls to recovery.
+func (p *Participant) collectAcks(ctx context.Context, st *txState, txName string, targets []string, outMsg protocol.Message) ([]protocol.HeuristicReport, error) {
+	expected := make(map[string]bool, len(targets))
+	for _, s := range targets {
+		expected[s] = true
+	}
+	acked := make(map[string]bool, len(targets))
+	var heur []protocol.HeuristicReport
+
+	deadline := p.sched.NewTimer(p.ackTimeout)
+	defer deadline.Stop()
+	bo := p.retry.backoff(p.rng(txName + "/acks"))
+	retryT := p.nextRetryTimer(bo)
+	defer func() { retryT.Stop() }()
+	for len(acked) < len(targets) {
+		select {
+		case env := <-st.acks:
+			if !expected[env.from] || acked[env.from] {
+				continue
+			}
+			acked[env.from] = true
+			heur = append(heur, env.msg.Heuristics...)
+		case <-retryT.C():
+			for _, s := range targets {
+				if !acked[s] {
+					_ = p.send(s, outMsg)
+					p.countRetry()
+				}
+			}
+			retryT = p.nextRetryTimer(bo)
+		case <-deadline.C():
+			missing := 0
+			for _, s := range targets {
+				if !acked[s] {
+					missing++
+					if p.met != nil {
+						p.met.InDoubtEntry(s)
+					}
+				}
+			}
+			return heur, fmt.Errorf("live: %d/%d acks outstanding for %s; delivery falls to recovery: %w", missing, len(targets), txName, ErrInDoubt)
+		case <-ctx.Done():
+			return heur, ctx.Err()
+		}
+	}
+	return heur, nil
+}
+
+// abortTx takes an abort decision on the coordinator's own initiative:
+// log it per the variant's rules (PA aborts are presumed and need no
+// force), release local resources, and tell every subordinate
+// best-effort. Prepared subordinates that miss the message resolve
+// through inquiry and presumption.
+func (p *Participant) abortTx(tx core.TxID, txName string, subs []string) Outcome {
+	p.logAbort(txName)
+	p.completeResources(tx, false)
+	p.recordDecision(txName, false)
+	ab := protocol.Message{Type: protocol.MsgAbort, Tx: txName}
+	for _, s := range subs {
+		_ = p.send(s, ab)
+	}
+	_, _ = p.log.Append(wal.Record{Tx: txName, Node: p.name, Kind: "End"})
+	return Aborted
+}
+
+// logAbort writes the coordinator's abort record: non-forced under
+// Presumed Abort (absence already means abort), forced otherwise.
+func (p *Participant) logAbort(txName string) {
+	rec := wal.Record{Tx: txName, Node: p.name, Kind: "Aborted"}
+	if p.variant == core.VariantPA {
+		_, _ = p.log.Append(rec)
+	} else {
+		_, _ = p.log.Force(rec)
+	}
+}
+
+// damageError folds heuristic reports into an error if any report
+// disagrees with the outcome.
+func damageError(txName string, heur []protocol.HeuristicReport) error {
+	for _, h := range heur {
+		if h.Damage {
+			return fmt.Errorf("live: %s reported heuristic damage for %s: %w", h.Node, txName, ErrHeuristicDamage)
+		}
+	}
+	return nil
+}
+
+// registerCoord installs the coordinator-side collection channels for
+// one transaction.
+func (p *Participant) registerCoord(txName string, n int) *txState {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := p.stateLocked(txName)
+	st.isCoord = true
+	st.votes = make(chan envelope, 2*n+4)
+	st.acks = make(chan envelope, 2*n+4)
+	st.decision = make(chan envelope, 2)
+	return st
+}
+
+// unregisterCoord tears the collection channels down once Commit
+// returns; the outcome lives on in the decided map.
+func (p *Participant) unregisterCoord(txName string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if st, ok := p.txs[txName]; ok && st.isCoord {
+		// A participant never subordinates a transaction it
+		// coordinates, so the whole entry can go.
+		delete(p.txs, txName)
+	}
+}
+
+// nextRetryTimer arms a timer for the backoff schedule's next delay,
+// or a never-firing timer once the schedule is exhausted (the overall
+// deadline then has the last word).
+func (p *Participant) nextRetryTimer(bo *backoff) clock.Timer {
+	if d, ok := bo.Next(); ok {
+		return p.sched.NewTimer(d)
+	}
+	return nilTimer{}
+}
+
+// nilTimer never fires.
+type nilTimer struct{}
+
+func (nilTimer) C() <-chan struct{} { return nil }
+func (nilTimer) Stop()              {}

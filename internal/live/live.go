@@ -1,92 +1,163 @@
-// Package live runs the presumed-abort commit protocol over real
-// concurrent participants — one goroutine per node, packets over a
-// netsim transport (in-process channels or TCP). It complements the
-// deterministic simulator in internal/core: the simulator produces
-// the paper's exact counts; this package demonstrates the same wire
-// protocol working with true concurrency, real timeouts, and real
-// sockets (examples/netcommit).
+// Package live runs the commit protocols over real concurrent
+// participants — one goroutine per inbound protocol message, packets
+// over a netsim transport (in-process channels or TCP). It
+// complements the deterministic simulator in internal/core: the
+// simulator produces the paper's exact counts; this package runs the
+// same wire protocol with true concurrency, real timeouts, retries,
+// and real sockets (examples/netcommit).
 //
-// The live runner implements PA with the read-only optimization —
-// the variant the paper notes became the industry standard — plus
-// inquiry-based recovery for in-doubt participants.
+// The runtime is production-shaped:
+//
+//   - All four protocol variants (Baseline, PA, PN, PC) run over the
+//     wire; each Prepare announces its recovery presumption so one
+//     participant can serve mixed-variant traffic.
+//   - Many transactions are pipelined per participant: state is a
+//     per-transaction table keyed by TxID, and every inbound message
+//     is handled on its own goroutine with per-transaction ordering
+//     guards, so concurrent commits never serialize on each other.
+//     Pair this with WithGroupCommit to coalesce the WAL forces of
+//     concurrent commits into shared syncs.
+//   - Vote collection, decision delivery, and in-doubt inquiry all
+//     retransmit under a RetryPolicy (exponential backoff + jitter),
+//     driven by the internal/clock scheduler so tests run the retry
+//     machinery under virtual time with no sleeps.
+//   - WithMetrics wires an internal/metrics registry into the path:
+//     flows, forced writes, retries, in-doubt entries, and a commit
+//     latency histogram exposed via Registry.Snapshot.
+//
+// The package's sentinel errors are shared with the simulator
+// (internal/txerr), so errors.Is(err, ErrTimeout/ErrInDoubt/
+// ErrHeuristicDamage) works uniformly across both runtimes.
 package live
 
 import (
-	"context"
-	"errors"
-	"fmt"
 	"sync"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/protocol"
+	"repro/internal/txerr"
 	"repro/internal/wal"
 )
 
 // Outcome is the result of a live commit.
 type Outcome int
 
-// Outcomes of a live commit operation.
+// Outcomes of a live commit operation. InDoubt means the caller does
+// not know the transaction's fate (e.g. a delegated last agent never
+// answered); recovery will resolve it.
 const (
 	Committed Outcome = iota
 	Aborted
+	InDoubt
 )
 
-// String returns "committed" or "aborted".
+// String returns "committed", "aborted", or "in-doubt".
 func (o Outcome) String() string {
-	if o == Committed {
+	switch o {
+	case Committed:
 		return "committed"
+	case Aborted:
+		return "aborted"
+	default:
+		return "in-doubt"
 	}
-	return "aborted"
 }
 
-// ErrTimeout is returned when votes or acks do not arrive in time.
-var ErrTimeout = errors.New("live: timed out")
+// Sentinel errors, shared with the simulator via internal/txerr so
+// errors.Is works across both runtimes.
+var (
+	// ErrTimeout is returned when votes, acks, or recovery answers do
+	// not arrive in time (after retries).
+	ErrTimeout = txerr.ErrTimeout
+	// ErrInDoubt is returned when an outcome could not be delivered or
+	// learned: some participant holds a prepared transaction awaiting
+	// recovery.
+	ErrInDoubt = txerr.ErrInDoubt
+	// ErrHeuristicDamage is returned when an acknowledgment reported a
+	// heuristic decision that disagreed with the outcome.
+	ErrHeuristicDamage = txerr.ErrHeuristicDamage
+)
 
 // Participant is one node of a live commit: a transaction manager
-// with local resources, listening on a transport endpoint.
+// with local resources, listening on a transport endpoint. A single
+// participant coordinates and subordinates many concurrent
+// transactions; all per-transaction state lives in a table keyed by
+// transaction id.
 type Participant struct {
 	name string
 	ep   netsim.Endpoint
 	log  *wal.Log
 	res  []core.Resource
 
+	variant     core.Variant
 	voteTimeout time.Duration
 	ackTimeout  time.Duration
+	retry       RetryPolicy
+	sched       clock.Scheduler
+	met         *metrics.Registry
+	lastAgent   bool
+	retrySeed   int64
 
 	mu      sync.Mutex
-	votes   map[string]chan envelope // tx -> vote stream (coordinator side)
-	acks    map[string]chan envelope // tx -> ack stream
-	decided map[string]bool          // tx -> committed? (for inquiries)
+	txs     map[string]*txState
+	decided map[string]bool // tx -> committed? (for inquiries and duplicates)
 	stopped chan struct{}
 	wg      sync.WaitGroup
 }
 
-// Option configures a Participant.
-type Option func(*Participant)
+// envelope pairs a protocol message with its sender.
+type envelope struct {
+	from string
+	msg  protocol.Message
+}
 
-// WithTimeouts overrides the vote and ack collection timeouts
-// (default 2s each).
-func WithTimeouts(vote, ack time.Duration) Option {
-	return func(p *Participant) {
-		p.voteTimeout = vote
-		p.ackTimeout = ack
-	}
+// txState is the per-transaction entry in a participant's state
+// table. The coordinator side feeds collection channels registered by
+// Commit; the subordinate side tracks prepare/outcome progress under
+// the state's own mutex, so transactions never serialize on each
+// other.
+type txState struct {
+	id string
+
+	// Coordinator side: collection channels, registered by Commit and
+	// read under the participant's mutex by the router.
+	isCoord  bool
+	votes    chan envelope
+	acks     chan envelope
+	decision chan envelope                 // last-agent delegation answer
+	early    map[string]protocol.VoteValue // votes that preceded Commit (unsolicited)
+
+	// Subordinate side, guarded by mu.
+	mu        sync.Mutex
+	presume   protocol.Presumption
+	prepared  bool
+	voteMsg   protocol.Message // the vote we sent, for duplicate Prepares
+	done      bool
+	committed bool
+	resolved  chan struct{} // closed when done flips true (recovery waiters)
 }
 
 // NewParticipant wires a participant to its endpoint, log, and
-// resources. Call Start to begin serving protocol traffic.
+// resources. The default configuration is Presumed Abort with 2s
+// vote/ack timeouts, the default retry policy, and a wall clock; see
+// the With* options. Call Start to begin serving protocol traffic.
 func NewParticipant(name string, ep netsim.Endpoint, log *wal.Log, resources []core.Resource, opts ...Option) *Participant {
 	p := &Participant{
 		name:        name,
 		ep:          ep,
 		log:         log,
 		res:         resources,
+		variant:     core.VariantPA,
 		voteTimeout: 2 * time.Second,
 		ackTimeout:  2 * time.Second,
-		votes:       make(map[string]chan envelope),
-		acks:        make(map[string]chan envelope),
+		retry:       DefaultRetryPolicy(),
+		sched:       clock.NewWall(),
+		retrySeed:   seedFromName(name),
+		txs:         make(map[string]*txState),
 		decided:     make(map[string]bool),
 		stopped:     make(chan struct{}),
 	}
@@ -96,8 +167,32 @@ func NewParticipant(name string, ep netsim.Endpoint, log *wal.Log, resources []c
 	return p
 }
 
-// Start launches the participant's receive loop.
+// Name returns the participant's transport name.
+func (p *Participant) Name() string { return p.name }
+
+// Variant returns the protocol variant this participant coordinates
+// with.
+func (p *Participant) Variant() core.Variant { return p.variant }
+
+func seedFromName(name string) int64 {
+	var h int64 = 1469598103934665603 // FNV offset basis
+	for i := 0; i < len(name); i++ {
+		h ^= int64(name[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Start launches the participant's receive loop. Each protocol
+// message is dispatched to its own goroutine; per-transaction state
+// guards keep handling race-free without serializing across
+// transactions.
 func (p *Participant) Start() {
+	if p.met != nil {
+		node := p.name
+		reg := p.met
+		p.log.SetObserver(func(rec wal.Record) { reg.LogWrite(node, rec.Forced) })
+	}
 	p.wg.Add(1)
 	go func() {
 		defer p.wg.Done()
@@ -115,41 +210,135 @@ func (p *Participant) Start() {
 	}()
 }
 
-// Stop shuts the participant down.
+// Stop shuts the participant down and waits for in-flight handlers.
 func (p *Participant) Stop() {
 	close(p.stopped)
 	p.ep.Close()
 	p.wg.Wait()
 }
 
+// handle dispatches one wire packet. Collection messages (votes,
+// acks, delegated decisions) are routed to the waiting coordinator
+// inline; work-carrying messages (prepare, outcome, inquiry) each get
+// a goroutine so a slow prepare at one transaction never blocks
+// another transaction's traffic.
 func (p *Participant) handle(pkt protocol.Packet) {
 	for _, m := range pkt.Messages {
+		if p.met != nil {
+			p.met.MessageReceived(p.name)
+		}
 		switch m.Type {
 		case protocol.MsgPrepare:
-			p.handlePrepare(pkt.From, m)
+			p.spawn(pkt.From, m, p.handlePrepare)
 		case protocol.MsgVote:
-			p.route(p.votes, pkt.From, m)
+			p.routeVote(pkt.From, m)
 		case protocol.MsgCommit:
-			p.handleOutcome(pkt.From, m, true)
+			p.routeOutcome(pkt.From, m, true)
 		case protocol.MsgAbort:
-			p.handleOutcome(pkt.From, m, false)
+			p.routeOutcome(pkt.From, m, false)
 		case protocol.MsgAck:
-			p.route(p.acks, pkt.From, m)
+			p.routeAck(pkt.From, m)
 		case protocol.MsgInquire:
-			p.handleInquire(pkt.From, m)
+			p.spawn(pkt.From, m, p.handleInquire)
+		case protocol.MsgOutcome:
+			p.spawn(pkt.From, m, p.handleOutcomeReply)
 		}
 	}
 }
 
-// envelope pairs a protocol message with its sender.
-type envelope struct {
-	from string
-	msg  protocol.Message
+func (p *Participant) spawn(from string, m protocol.Message, fn func(string, protocol.Message)) {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		fn(from, m)
+	}()
 }
 
-func (p *Participant) route(table map[string]chan envelope, from string, m protocol.Message) {
+// state returns the per-transaction state entry, creating it if
+// needed.
+func (p *Participant) state(tx string) *txState {
 	p.mu.Lock()
-	ch := table[m.Tx]
+	defer p.mu.Unlock()
+	return p.stateLocked(tx)
+}
+
+func (p *Participant) stateLocked(tx string) *txState {
+	st, ok := p.txs[tx]
+	if !ok {
+		st = &txState{id: tx, resolved: make(chan struct{})}
+		p.txs[tx] = st
+	}
+	return st
+}
+
+// forget drops a transaction's table entry (its final outcome stays
+// in the decided map for duplicate and inquiry handling).
+func (p *Participant) forget(tx string) {
+	p.mu.Lock()
+	delete(p.txs, tx)
+	p.mu.Unlock()
+}
+
+// recordDecision publishes tx's outcome for inquiries and duplicate
+// deliveries.
+func (p *Participant) recordDecision(tx string, committed bool) {
+	p.mu.Lock()
+	p.decided[tx] = committed
+	p.mu.Unlock()
+}
+
+// routeVote delivers a vote to the coordinator collecting it, or
+// buffers it if the vote arrived before Commit registered (the §4
+// Unsolicited Vote optimization).
+func (p *Participant) routeVote(from string, m protocol.Message) {
+	p.mu.Lock()
+	st := p.stateLocked(m.Tx)
+	ch := st.votes
+	if ch == nil {
+		if st.early == nil {
+			st.early = make(map[string]protocol.VoteValue)
+		}
+		st.early[from] = m.Vote
+		p.mu.Unlock()
+		return
+	}
+	p.mu.Unlock()
+	select {
+	case ch <- envelope{from: from, msg: m}:
+	default:
+	}
+}
+
+// routeOutcome sends a Commit/Abort either to a delegating
+// coordinator awaiting its last agent's decision, or down the
+// subordinate outcome path.
+func (p *Participant) routeOutcome(from string, m protocol.Message, commit bool) {
+	p.mu.Lock()
+	st, ok := p.txs[m.Tx]
+	var ch chan envelope
+	if ok && st.isCoord {
+		ch = st.decision
+	}
+	p.mu.Unlock()
+	if ch != nil {
+		select {
+		case ch <- envelope{from: from, msg: m}:
+		default:
+		}
+		return
+	}
+	p.spawn(from, m, func(from string, m protocol.Message) {
+		p.applyOutcome(from, m, commit)
+	})
+}
+
+func (p *Participant) routeAck(from string, m protocol.Message) {
+	p.mu.Lock()
+	st, ok := p.txs[m.Tx]
+	var ch chan envelope
+	if ok {
+		ch = st.acks
+	}
 	p.mu.Unlock()
 	if ch != nil {
 		select {
@@ -159,240 +348,56 @@ func (p *Participant) route(table map[string]chan envelope, from string, m proto
 	}
 }
 
-// handlePrepare runs the subordinate's phase one.
-func (p *Participant) handlePrepare(from string, m protocol.Message) {
-	tx := core.ParseTxID(m.Tx)
-	vote := protocol.VoteReadOnly
-	for _, r := range p.res {
-		pr, err := r.Prepare(tx)
-		if err != nil || pr.Vote == core.VoteNo {
-			vote = protocol.VoteNo
-			break
-		}
-		if pr.Vote == core.VoteYes {
-			vote = protocol.VoteYes
-		}
+// send transmits a single protocol message, counting it in metrics.
+func (p *Participant) send(to string, m protocol.Message) error {
+	if p.met != nil {
+		p.met.MessageSent(p.name, false)
+		p.met.PacketSent(p.name, m.Type != protocol.MsgData)
 	}
-	if vote == protocol.VoteYes {
-		if _, err := p.log.Force(wal.Record{Tx: m.Tx, Node: p.name, Kind: "Prepared"}); err != nil {
-			vote = protocol.VoteNo
-		}
-	}
-	if vote == protocol.VoteNo {
-		for _, r := range p.res {
-			_ = r.Abort(tx)
-		}
-	}
-	_ = p.ep.Send(from, protocol.Packet{From: p.name, To: from, Messages: []protocol.Message{{
-		Type: protocol.MsgVote, Tx: m.Tx, Vote: vote,
-	}}})
+	return p.ep.Send(to, protocol.Packet{From: p.name, To: to, Messages: []protocol.Message{m}})
 }
 
-// handleOutcome applies phase two at a subordinate.
-func (p *Participant) handleOutcome(from string, m protocol.Message, commit bool) {
-	tx := core.ParseTxID(m.Tx)
+// countRetry tallies one retransmission.
+func (p *Participant) countRetry() {
+	if p.met != nil {
+		p.met.Retry(p.name)
+	}
+}
+
+// presumptionOf maps an engine variant to its wire presumption.
+func presumptionOf(v core.Variant) protocol.Presumption {
+	switch v {
+	case core.VariantPA:
+		return protocol.PresumeAbort
+	case core.VariantPN:
+		return protocol.PresumePending
+	case core.VariantPC:
+		return protocol.PresumeCommit
+	default:
+		return protocol.PresumeNothingKnown
+	}
+}
+
+// variantOf is the inverse of presumptionOf: the subordinate recovers
+// the coordinator's variant from the Prepare it received.
+func variantOf(pr protocol.Presumption) core.Variant {
+	switch pr {
+	case protocol.PresumeAbort:
+		return core.VariantPA
+	case protocol.PresumePending:
+		return core.VariantPN
+	case protocol.PresumeCommit:
+		return core.VariantPC
+	default:
+		return core.VariantBaseline
+	}
+}
+
+// expectsAckFor reports whether the given outcome is acknowledged
+// under the given variant: PA skips abort acks, PC skips commit acks.
+func expectsAckFor(v core.Variant, commit bool) bool {
 	if commit {
-		if _, err := p.log.Force(wal.Record{Tx: m.Tx, Node: p.name, Kind: "Committed"}); err != nil {
-			return // cannot ack a commit we failed to harden
-		}
-		for _, r := range p.res {
-			_ = r.Commit(tx)
-		}
-		p.mu.Lock()
-		p.decided[m.Tx] = true
-		p.mu.Unlock()
-		_, _ = p.log.Append(wal.Record{Tx: m.Tx, Node: p.name, Kind: "End"})
-		_ = p.ep.Send(from, protocol.Packet{From: p.name, To: from, Messages: []protocol.Message{{
-			Type: protocol.MsgAck, Tx: m.Tx,
-		}}})
-		return
+		return v != core.VariantPC
 	}
-	// Presumed abort: no forced log, no ack.
-	_, _ = p.log.Append(wal.Record{Tx: m.Tx, Node: p.name, Kind: "Aborted"})
-	for _, r := range p.res {
-		_ = r.Abort(tx)
-	}
-	p.mu.Lock()
-	p.decided[m.Tx] = false
-	p.mu.Unlock()
-}
-
-// handleInquire answers an in-doubt subordinate with the decision or
-// the presumption.
-func (p *Participant) handleInquire(from string, m protocol.Message) {
-	p.mu.Lock()
-	committed, known := p.decided[m.Tx]
-	p.mu.Unlock()
-	out := protocol.OutcomeAbort // presumed abort
-	if known && committed {
-		out = protocol.OutcomeCommit
-	}
-	mt := protocol.MsgAbort
-	if out == protocol.OutcomeCommit {
-		mt = protocol.MsgCommit
-	}
-	_ = p.ep.Send(from, protocol.Packet{From: p.name, To: from, Messages: []protocol.Message{{
-		Type: mt, Tx: m.Tx,
-	}}})
-}
-
-// Commit coordinates a presumed-abort commit of tx across subs. The
-// caller is the root coordinator; its own resources participate too.
-func (p *Participant) Commit(ctx context.Context, txName string, subs []string) (Outcome, error) {
-	tx := core.ParseTxID(txName)
-	voteCh := make(chan envelope, len(subs))
-	ackCh := make(chan envelope, len(subs))
-	p.mu.Lock()
-	p.votes[txName] = voteCh
-	p.acks[txName] = ackCh
-	p.mu.Unlock()
-	defer func() {
-		p.mu.Lock()
-		delete(p.votes, txName)
-		delete(p.acks, txName)
-		p.mu.Unlock()
-	}()
-
-	// Phase one: parallel prepares.
-	for _, s := range subs {
-		if err := p.ep.Send(s, protocol.Packet{From: p.name, To: s, Messages: []protocol.Message{{
-			Type: protocol.MsgPrepare, Tx: txName,
-		}}}); err != nil {
-			return p.abort(tx, txName, subs), fmt.Errorf("live: prepare %s: %w", s, err)
-		}
-	}
-	localVote := protocol.VoteReadOnly
-	for _, r := range p.res {
-		pr, err := r.Prepare(tx)
-		if err != nil || pr.Vote == core.VoteNo {
-			localVote = protocol.VoteNo
-			break
-		}
-		if pr.Vote == core.VoteYes {
-			localVote = protocol.VoteYes
-		}
-	}
-	if localVote == protocol.VoteNo {
-		return p.abort(tx, txName, subs), nil
-	}
-
-	var yesVoters []string
-	timer := time.NewTimer(p.voteTimeout)
-	defer timer.Stop()
-	for collected := 0; collected < len(subs); {
-		select {
-		case v := <-voteCh:
-			collected++
-			switch v.msg.Vote {
-			case protocol.VoteNo:
-				return p.abort(tx, txName, subs), nil
-			case protocol.VoteYes:
-				yesVoters = append(yesVoters, v.from)
-			}
-			// Read-only voters drop out of phase two entirely.
-		case <-timer.C:
-			return p.abort(tx, txName, subs), fmt.Errorf("%w: waiting for votes", ErrTimeout)
-		case <-ctx.Done():
-			return p.abort(tx, txName, subs), ctx.Err()
-		}
-	}
-
-	// Decision: commit.
-	if _, err := p.log.Force(wal.Record{Tx: txName, Node: p.name, Kind: "Committed"}); err != nil {
-		return p.abort(tx, txName, subs), fmt.Errorf("live: force commit record: %w", err)
-	}
-	for _, r := range p.res {
-		_ = r.Commit(tx)
-	}
-	p.mu.Lock()
-	p.decided[txName] = true
-	p.mu.Unlock()
-
-	// Phase two: commit exactly the yes voters (read-only voters are
-	// out, §4 Read Only).
-	for _, s := range yesVoters {
-		_ = p.ep.Send(s, protocol.Packet{From: p.name, To: s, Messages: []protocol.Message{{
-			Type: protocol.MsgCommit, Tx: txName,
-		}}})
-	}
-	ackTimer := time.NewTimer(p.ackTimeout)
-	defer ackTimer.Stop()
-	for acked := 0; acked < len(yesVoters); {
-		select {
-		case <-ackCh:
-			acked++
-		case <-ackTimer.C:
-			// Background recovery would finish this; for the live
-			// demo we surface the timeout.
-			_, _ = p.log.Append(wal.Record{Tx: txName, Node: p.name, Kind: "End"})
-			return Committed, fmt.Errorf("%w: waiting for acks (%d/%d)", ErrTimeout, acked, len(yesVoters))
-		case <-ctx.Done():
-			return Committed, ctx.Err()
-		}
-	}
-	_, _ = p.log.Append(wal.Record{Tx: txName, Node: p.name, Kind: "End"})
-	return Committed, nil
-}
-
-func (p *Participant) abort(tx core.TxID, txName string, subs []string) Outcome {
-	for _, s := range subs {
-		_ = p.ep.Send(s, protocol.Packet{From: p.name, To: s, Messages: []protocol.Message{{
-			Type: protocol.MsgAbort, Tx: txName,
-		}}})
-	}
-	for _, r := range p.res {
-		_ = r.Abort(tx)
-	}
-	p.mu.Lock()
-	p.decided[txName] = false
-	p.mu.Unlock()
-	return Aborted
-}
-
-// Inquire asks coordinator about an in-doubt transaction (recovery
-// path for a subordinate that restarted with a prepared record).
-func (p *Participant) Inquire(coordinator, txName string) error {
-	return p.ep.Send(coordinator, protocol.Packet{From: p.name, To: coordinator, Messages: []protocol.Message{{
-		Type: protocol.MsgInquire, Tx: txName,
-	}}})
-}
-
-// RecoverInDoubt scans the participant's durable log for transactions
-// that prepared but never learned an outcome, and sends a recovery
-// inquiry for each to the given coordinator. It returns the in-doubt
-// transaction ids found. Call it after restarting a participant over
-// a surviving log; the coordinator's answers arrive as ordinary
-// Commit/Abort messages, which the receive loop applies idempotently.
-func (p *Participant) RecoverInDoubt(coordinator string) ([]string, error) {
-	recs, err := p.log.Records()
-	if err != nil {
-		return nil, fmt.Errorf("live: recovery scan: %w", err)
-	}
-	state := make(map[string]string) // tx -> last decisive kind
-	var order []string
-	for _, r := range recs {
-		if r.Node != p.name {
-			continue
-		}
-		switch r.Kind {
-		case "Prepared":
-			if _, seen := state[r.Tx]; !seen {
-				order = append(order, r.Tx)
-			}
-			state[r.Tx] = "Prepared"
-		case "Committed", "Aborted", "End":
-			state[r.Tx] = r.Kind
-		}
-	}
-	var inDoubt []string
-	for _, tx := range order {
-		if state[tx] != "Prepared" {
-			continue
-		}
-		inDoubt = append(inDoubt, tx)
-		if err := p.Inquire(coordinator, tx); err != nil {
-			return inDoubt, fmt.Errorf("live: inquire %s: %w", tx, err)
-		}
-	}
-	return inDoubt, nil
+	return v != core.VariantPA
 }

@@ -206,7 +206,7 @@ func TestLiveCommitOverTCP(t *testing.T) {
 func TestLiveManyConcurrentTransactions(t *testing.T) {
 	coord, _, _, kv1, kv2, _ := setupChanTrio(t)
 	ctx := context.Background()
-	const n = 20
+	const n = 48
 	errs := make(chan error, n)
 	for i := 0; i < n; i++ {
 		go func(i int) {
@@ -289,7 +289,7 @@ func TestLiveRecoverInDoubt(t *testing.T) {
 	sub2.Start()
 	defer sub2.Stop()
 
-	inDoubt, err := sub2.RecoverInDoubt("C")
+	inDoubt, err := sub2.RecoverInDoubt(context.Background(), "C")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -333,7 +333,7 @@ func TestLiveRecoverInDoubtPresumedAbort(t *testing.T) {
 	sub.Start()
 	defer sub.Stop()
 
-	inDoubt, err := sub.RecoverInDoubt("C")
+	inDoubt, err := sub.RecoverInDoubt(context.Background(), "C")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -353,7 +353,7 @@ func TestLiveRecoverNothingInDoubt(t *testing.T) {
 	sub.Start()
 	defer sub.Stop()
 	net.Endpoint("C")
-	inDoubt, err := sub.RecoverInDoubt("C")
+	inDoubt, err := sub.RecoverInDoubt(context.Background(), "C")
 	if err != nil || len(inDoubt) != 0 {
 		t.Fatalf("in-doubt = %v, %v", inDoubt, err)
 	}

@@ -1,0 +1,86 @@
+package live
+
+import (
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/wal"
+)
+
+// Option configures a Participant at construction time. Options are
+// the package's public configuration surface; the twopc façade
+// re-exports them.
+type Option func(*Participant)
+
+// WithVariant selects the protocol variant this participant uses when
+// coordinating (Baseline, PA, PN, or PC). Subordinate behavior is
+// governed per transaction by the presumption announced on each
+// Prepare, so participants with different variants interoperate. The
+// default is Presumed Abort, the variant the paper notes became the
+// industry standard.
+func WithVariant(v core.Variant) Option {
+	return func(p *Participant) { p.variant = v }
+}
+
+// WithTimeout overrides the total vote-collection and
+// ack-collection deadlines (default 2s each). Retransmissions happen
+// inside these windows per the RetryPolicy.
+func WithTimeout(vote, ack time.Duration) Option {
+	return func(p *Participant) {
+		p.voteTimeout = vote
+		p.ackTimeout = ack
+	}
+}
+
+// WithTimeouts is the previous name of WithTimeout.
+//
+// Deprecated: use WithTimeout.
+func WithTimeouts(vote, ack time.Duration) Option { return WithTimeout(vote, ack) }
+
+// WithRetry installs the retransmission policy for vote collection,
+// decision delivery, and in-doubt inquiry. Zero fields take the
+// documented defaults.
+func WithRetry(rp RetryPolicy) Option {
+	return func(p *Participant) { p.retry = rp.withDefaults() }
+}
+
+// WithMetrics wires a metrics registry into the participant: message
+// flows, log writes (via a WAL observer), retransmissions, in-doubt
+// entries, outcomes, and commit latency. Several participants may
+// share one registry; counters are keyed by participant name.
+func WithMetrics(reg *metrics.Registry) Option {
+	return func(p *Participant) { p.met = reg }
+}
+
+// WithClock replaces the wall clock with another scheduler. Tests
+// install a *clock.Virtual to drive timeouts and retry backoff
+// deterministically without sleeping.
+func WithClock(s clock.Scheduler) Option {
+	return func(p *Participant) { p.sched = s }
+}
+
+// WithLastAgent enables the §4 Last Agent optimization when this
+// participant coordinates: the final subordinate in the Commit call's
+// list receives the delegation ("prepare, then you decide"),
+// collapsing its exchange to a single round trip.
+func WithLastAgent() Option {
+	return func(p *Participant) { p.lastAgent = true }
+}
+
+// WithGroupCommit installs a group-commit sync policy on the
+// participant's log (§4 Group Commits): forced writes from concurrent
+// transactions coalesce into shared physical syncs — the natural
+// companion of pipelined commits. size is the batch size, maxDelay
+// the longest a force waits for company.
+func WithGroupCommit(size int, maxDelay time.Duration) Option {
+	return func(p *Participant) { p.log.WithPolicy(wal.NewGroupCommit(size, maxDelay)) }
+}
+
+// WithRetrySeed fixes the jitter seed (tests want reproducible
+// backoff schedules; the default seed derives from the participant
+// name).
+func WithRetrySeed(seed int64) Option {
+	return func(p *Participant) { p.retrySeed = seed }
+}

@@ -1,0 +1,114 @@
+package live
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/protocol"
+)
+
+// Inquire sends a single recovery inquiry for txName to the
+// coordinator. The answer (if any) is applied asynchronously by the
+// receive loop; RecoverInDoubt is the synchronous, retrying form.
+func (p *Participant) Inquire(coordinator, txName string) error {
+	return p.send(coordinator, protocol.Message{Type: protocol.MsgInquire, Tx: txName})
+}
+
+// RecoverInDoubt scans the durable log for transactions this
+// participant prepared but never resolved, and drives recovery for
+// each: inquiries to the coordinator, retransmitted on the retry
+// policy's backoff, until an answer lands or the ack-timeout deadline
+// passes. It returns the in-doubt transaction ids found in the log;
+// the error (wrapping ErrInDoubt) reports any that remain unresolved —
+// under the baseline protocol a forgetful coordinator answers Unknown
+// and the transaction stays blocked, exactly the pathology the
+// presumption variants exist to remove.
+//
+// ctx bounds the whole recovery pass.
+func (p *Participant) RecoverInDoubt(ctx context.Context, coordinator string) ([]string, error) {
+	recs, err := p.log.Records()
+	if err != nil {
+		return nil, fmt.Errorf("live: reading log: %w", err)
+	}
+	prepared := make(map[string]bool)
+	var order []string
+	for _, r := range recs {
+		if r.Node != p.name {
+			continue
+		}
+		switch r.Kind {
+		case "Prepared":
+			if !prepared[r.Tx] {
+				prepared[r.Tx] = true
+				order = append(order, r.Tx)
+			}
+		case "Committed", "Aborted", "End":
+			if prepared[r.Tx] {
+				prepared[r.Tx] = false
+			}
+		}
+	}
+	var inDoubt []string
+	for _, tx := range order {
+		if prepared[tx] {
+			inDoubt = append(inDoubt, tx)
+		}
+	}
+
+	var unresolved []string
+	for _, txName := range inDoubt {
+		if p.met != nil {
+			p.met.InDoubtEntry(p.name)
+		}
+		// Reinstate the table entry: a restarted participant has an
+		// empty table, and applyOutcome needs the prepared flag and
+		// presumption to log the answer correctly. The presumption was
+		// not logged, so the participant's own variant stands in for it.
+		st := p.state(txName)
+		st.mu.Lock()
+		if !st.done && !st.prepared {
+			st.prepared = true
+			st.presume = presumptionOf(p.variant)
+		}
+		st.mu.Unlock()
+		if err := p.resolveInDoubt(ctx, coordinator, txName); err != nil {
+			unresolved = append(unresolved, txName)
+			if ctx.Err() != nil {
+				return inDoubt, fmt.Errorf("live: recovery interrupted with %d of %d unresolved: %w (%w)", len(unresolved), len(inDoubt), ErrInDoubt, ctx.Err())
+			}
+		}
+	}
+	if len(unresolved) > 0 {
+		return inDoubt, fmt.Errorf("live: %d of %d transactions still unresolved after inquiry (%v): %w", len(unresolved), len(inDoubt), unresolved, ErrInDoubt)
+	}
+	return inDoubt, nil
+}
+
+// resolveInDoubt drives inquiries for one transaction until its state
+// resolves or the deadline passes.
+func (p *Participant) resolveInDoubt(ctx context.Context, coordinator, txName string) error {
+	st := p.state(txName)
+	inq := protocol.Message{Type: protocol.MsgInquire, Tx: txName}
+	if err := p.send(coordinator, inq); err != nil {
+		return fmt.Errorf("live: inquiry to %s: %w (%v)", coordinator, ErrInDoubt, err)
+	}
+	deadline := p.sched.NewTimer(p.ackTimeout)
+	defer deadline.Stop()
+	bo := p.retry.backoff(p.rng(txName + "/inquire"))
+	retryT := p.nextRetryTimer(bo)
+	defer func() { retryT.Stop() }()
+	for {
+		select {
+		case <-st.resolved:
+			return nil
+		case <-retryT.C():
+			_ = p.send(coordinator, inq)
+			p.countRetry()
+			retryT = p.nextRetryTimer(bo)
+		case <-deadline.C():
+			return fmt.Errorf("live: %s unresolved: %w", txName, ErrInDoubt)
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package live
+
+import (
+	"math/rand"
+	"time"
+)
+
+// RetryPolicy governs retransmission of protocol messages whose
+// answer has not arrived: Prepares awaiting votes, outcome messages
+// awaiting acks, delegations awaiting decisions, and recovery
+// inquiries. Delays grow exponentially and are jittered downward so a
+// fleet of concurrent transactions does not retransmit in lockstep.
+//
+// The zero value takes defaults (see DefaultRetryPolicy); a negative
+// Jitter disables jitter explicitly.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of transmissions per message,
+	// including the first. 0 means 4.
+	MaxAttempts int
+	// BaseDelay is the wait before the first retransmission. 0 means
+	// 50ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff. 0 means 1s.
+	MaxDelay time.Duration
+	// Multiplier is the backoff growth factor. 0 means 2.
+	Multiplier float64
+	// Jitter is the fraction of each delay randomized away (delays
+	// shrink by up to Jitter*delay, never grow, so schedules stay
+	// within their deadline). 0 means 0.2; negative means none.
+	Jitter float64
+}
+
+// DefaultRetryPolicy returns the default policy: 4 attempts, 50ms
+// base delay doubling up to 1s, 20% downward jitter.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{}.withDefaults()
+}
+
+func (rp RetryPolicy) withDefaults() RetryPolicy {
+	if rp.MaxAttempts == 0 {
+		rp.MaxAttempts = 4
+	}
+	if rp.BaseDelay == 0 {
+		rp.BaseDelay = 50 * time.Millisecond
+	}
+	if rp.MaxDelay == 0 {
+		rp.MaxDelay = time.Second
+	}
+	if rp.Multiplier == 0 {
+		rp.Multiplier = 2
+	}
+	if rp.Jitter == 0 {
+		rp.Jitter = 0.2
+	}
+	if rp.Jitter < 0 {
+		rp.Jitter = 0
+	}
+	return rp
+}
+
+// backoff returns an iterator over the policy's retransmission
+// delays, jittered by rng (which must not be shared across
+// goroutines).
+func (rp RetryPolicy) backoff(rng *rand.Rand) *backoff {
+	return &backoff{policy: rp.withDefaults(), rng: rng}
+}
+
+// backoff walks a RetryPolicy's delay schedule.
+type backoff struct {
+	policy  RetryPolicy
+	rng     *rand.Rand
+	attempt int // transmissions already made beyond the first
+}
+
+// Next returns the delay to wait before the next retransmission and
+// whether another transmission is allowed. The first call returns the
+// delay before the first retransmission (the initial send is attempt
+// one and is not scheduled here).
+func (b *backoff) Next() (time.Duration, bool) {
+	if b.attempt >= b.policy.MaxAttempts-1 {
+		return 0, false
+	}
+	d := float64(b.policy.BaseDelay)
+	for i := 0; i < b.attempt; i++ {
+		d *= b.policy.Multiplier
+		if d >= float64(b.policy.MaxDelay) {
+			d = float64(b.policy.MaxDelay)
+			break
+		}
+	}
+	if d > float64(b.policy.MaxDelay) {
+		d = float64(b.policy.MaxDelay)
+	}
+	if b.policy.Jitter > 0 && b.rng != nil {
+		d -= b.policy.Jitter * d * b.rng.Float64()
+	}
+	b.attempt++
+	return time.Duration(d), true
+}
+
+// Attempts reports the transmissions made beyond the first.
+func (b *backoff) Attempts() int { return b.attempt }
+
+// rng returns a fresh jitter source for one collection loop, seeded
+// from the participant seed and the transaction id so schedules are
+// reproducible but uncorrelated across transactions.
+func (p *Participant) rng(tx string) *rand.Rand {
+	return rand.New(rand.NewSource(p.retrySeed ^ seedFromName(tx)))
+}

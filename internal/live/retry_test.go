@@ -1,0 +1,235 @@
+package live
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/protocol"
+	"repro/internal/wal"
+)
+
+func TestBackoffScheduleGrowsAndCaps(t *testing.T) {
+	rp := RetryPolicy{MaxAttempts: 5, BaseDelay: 10 * time.Millisecond, MaxDelay: 40 * time.Millisecond, Multiplier: 2, Jitter: -1}
+	bo := rp.backoff(nil)
+	var got []time.Duration
+	for {
+		d, ok := bo.Next()
+		if !ok {
+			break
+		}
+		got = append(got, d)
+	}
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond, 40 * time.Millisecond}
+	if len(got) != len(want) {
+		t.Fatalf("delays = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("delay[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if bo.Attempts() != 4 {
+		t.Errorf("attempts = %d, want 4", bo.Attempts())
+	}
+}
+
+func TestBackoffJitterOnlyShrinks(t *testing.T) {
+	rp := RetryPolicy{MaxAttempts: 8, BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second, Multiplier: 2, Jitter: 0.5}
+	bo := rp.backoff(rand.New(rand.NewSource(42)))
+	nominal := []time.Duration{100, 200, 400, 800, 1000, 1000, 1000}
+	for i := 0; ; i++ {
+		d, ok := bo.Next()
+		if !ok {
+			break
+		}
+		max := nominal[i] * time.Millisecond
+		if d > max {
+			t.Fatalf("delay[%d] = %v exceeds nominal %v (jitter grew)", i, d, max)
+		}
+		if d < max/2 {
+			t.Fatalf("delay[%d] = %v below jitter floor %v", i, d, max/2)
+		}
+	}
+}
+
+func TestBackoffDeterministicPerSeed(t *testing.T) {
+	rp := DefaultRetryPolicy()
+	seq := func() []time.Duration {
+		bo := rp.backoff(rand.New(rand.NewSource(7)))
+		var out []time.Duration
+		for {
+			d, ok := bo.Next()
+			if !ok {
+				return out
+			}
+			out = append(out, d)
+		}
+	}
+	a, b := seq(), seq()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestRetransmitUnderVirtualClock drives a full commit whose first
+// Prepare is lost, with every timer on a virtual clock: the test
+// advances time to each scheduled deadline instead of sleeping, and
+// the retransmission machinery must deliver the commit.
+func TestRetransmitUnderVirtualClock(t *testing.T) {
+	vc := clock.NewVirtual()
+	// Drop the first packet C sends to S (the Prepare); everything
+	// afterwards is reliable.
+	net := netsim.NewChanNetwork()
+	coord := NewParticipant("C", dropFirst(net.Endpoint("C"), "S"), wal.New(wal.NewMemStore()),
+		[]core.Resource{core.NewStaticResource("rc")},
+		WithClock(vc),
+		WithTimeout(10*time.Second, 10*time.Second),
+		WithRetry(RetryPolicy{MaxAttempts: 4, BaseDelay: 100 * time.Millisecond, Jitter: -1}))
+	sub := NewParticipant("S", net.Endpoint("S"), wal.New(wal.NewMemStore()),
+		[]core.Resource{core.NewStaticResource("rs")}, WithClock(vc))
+	coord.Start()
+	sub.Start()
+	defer coord.Stop()
+	defer sub.Stop()
+
+	tx := core.TxID{Origin: "C", Seq: 1}
+	done := make(chan struct{})
+	var out Outcome
+	var err error
+	go func() {
+		out, err = coord.Commit(context.Background(), tx.String(), []string{"S"})
+		close(done)
+	}()
+
+	// Drive virtual time: whenever the runtime has a timer armed,
+	// advance exactly to it. Yield between steps so goroutines reach
+	// their select statements.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		select {
+		case <-done:
+			if err != nil || out != Committed {
+				t.Fatalf("commit = %v, %v", out, err)
+			}
+			return
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("commit never completed under virtual time")
+		}
+		if d, ok := vc.NextDeadline(); ok {
+			vc.AdvanceTo(d)
+		}
+		runtime.Gosched()
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// TestVoteTimeoutUnderVirtualClock checks the timeout path with no
+// real waiting: the subordinate never answers, virtual time jumps to
+// each armed timer, and Commit must abort with ErrTimeout after
+// exhausting its retransmissions.
+func TestVoteTimeoutUnderVirtualClock(t *testing.T) {
+	vc := clock.NewVirtual()
+	net := netsim.NewChanNetwork()
+	coord := NewParticipant("C", net.Endpoint("C"), wal.New(wal.NewMemStore()), nil,
+		WithClock(vc),
+		WithTimeout(2*time.Second, 2*time.Second),
+		WithRetry(RetryPolicy{MaxAttempts: 3, BaseDelay: 100 * time.Millisecond, Jitter: -1}))
+	coord.Start()
+	defer coord.Stop()
+	net.Endpoint("S1") // exists, never serves
+
+	tx := core.TxID{Origin: "C", Seq: 2}
+	done := make(chan struct{})
+	var out Outcome
+	var err error
+	go func() {
+		out, err = coord.Commit(context.Background(), tx.String(), []string{"S1"})
+		close(done)
+	}()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		select {
+		case <-done:
+			if !errors.Is(err, ErrTimeout) {
+				t.Fatalf("err = %v, want ErrTimeout", err)
+			}
+			if out != Aborted {
+				t.Fatalf("out = %v, want aborted", out)
+			}
+			return
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("commit never timed out under virtual time")
+		}
+		if d, ok := vc.NextDeadline(); ok {
+			vc.AdvanceTo(d)
+		}
+		runtime.Gosched()
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// TestCommitCancelledByContext aborts a stalled vote collection via
+// context cancellation rather than a timeout.
+func TestCommitCancelledByContext(t *testing.T) {
+	net := netsim.NewChanNetwork()
+	coord := NewParticipant("C", net.Endpoint("C"), wal.New(wal.NewMemStore()), nil,
+		WithTimeout(30*time.Second, 30*time.Second))
+	coord.Start()
+	defer coord.Stop()
+	net.Endpoint("S1")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	tx := core.TxID{Origin: "C", Seq: 3}
+	out, err := coord.Commit(ctx, tx.String(), []string{"S1"})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if out != Aborted {
+		t.Fatalf("out = %v, want aborted", out)
+	}
+}
+
+// dropFirstEndpoint wraps an Endpoint and swallows the first packet
+// sent to a chosen peer.
+type dropFirstEndpoint struct {
+	netsim.Endpoint
+	mu      sync.Mutex
+	victim  string
+	dropped bool
+}
+
+func dropFirst(ep netsim.Endpoint, victim string) netsim.Endpoint {
+	return &dropFirstEndpoint{Endpoint: ep, victim: victim}
+}
+
+func (d *dropFirstEndpoint) Send(to string, pkt protocol.Packet) error {
+	d.mu.Lock()
+	drop := to == d.victim && !d.dropped
+	if drop {
+		d.dropped = true
+	}
+	d.mu.Unlock()
+	if drop {
+		return nil
+	}
+	return d.Endpoint.Send(to, pkt)
+}

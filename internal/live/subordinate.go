@@ -1,0 +1,301 @@
+package live
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/protocol"
+	"repro/internal/wal"
+)
+
+// handlePrepare runs a subordinate's phase one for one transaction:
+// prepare local resources, force the prepared record on a yes vote,
+// and answer. The presumption announced on the Prepare is remembered
+// so phase two and recovery follow the coordinator's variant.
+func (p *Participant) handlePrepare(from string, m protocol.Message) {
+	st := p.state(m.Tx)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+
+	if m.Delegate {
+		p.handleDelegateLocked(st, from, m)
+		return
+	}
+	if st.done {
+		// The outcome is already known here — an abort overtook this
+		// Prepare, or it is a late duplicate. Voting no is always safe
+		// for an aborted transaction; a committed one can only see a
+		// duplicate Prepare, which needs no answer.
+		if !st.committed {
+			_ = p.send(from, protocol.Message{Type: protocol.MsgVote, Tx: st.id, Vote: protocol.VoteNo})
+		}
+		return
+	}
+	if st.prepared {
+		// Duplicate Prepare (the coordinator retransmitted): repeat the
+		// vote we already sent.
+		_ = p.send(from, st.voteMsg)
+		return
+	}
+
+	st.presume = m.Presume
+	tx := core.ParseTxID(m.Tx)
+	vote := p.prepareLocal(tx)
+	if vote == protocol.VoteYes {
+		if _, err := p.log.Force(wal.Record{Tx: m.Tx, Node: p.name, Kind: "Prepared"}); err != nil {
+			vote = protocol.VoteNo
+		}
+	}
+	switch vote {
+	case protocol.VoteNo:
+		p.completeResources(tx, false)
+		p.finishLocked(st, false)
+	case protocol.VoteYes:
+		st.prepared = true
+	default:
+		// Read-only (§4): this subordinate is out of the transaction —
+		// no log record, no phase two. Drop the table entry once the
+		// vote is away.
+		defer p.forget(m.Tx)
+	}
+	st.voteMsg = protocol.Message{Type: protocol.MsgVote, Tx: m.Tx, Vote: vote}
+	_ = p.send(from, st.voteMsg)
+}
+
+// handleDelegateLocked runs the last-agent path (§4): the combined
+// "prepare, then you decide" message. The agent prepares, decides
+// unilaterally, forces the decision, applies it, and answers with the
+// outcome — a single round trip, with the agent's End written
+// immediately (the reply doubles as its acknowledgment).
+func (p *Participant) handleDelegateLocked(st *txState, from string, m protocol.Message) {
+	if st.done {
+		// Duplicate delegation: repeat the decision.
+		mt := protocol.MsgAbort
+		if st.committed {
+			mt = protocol.MsgCommit
+		}
+		_ = p.send(from, protocol.Message{Type: mt, Tx: st.id})
+		return
+	}
+	st.presume = m.Presume
+	v := variantOf(m.Presume)
+	tx := core.ParseTxID(m.Tx)
+
+	vote := p.prepareLocal(tx)
+	if vote == protocol.VoteYes {
+		// The decision is commit: force it before answering. Failure to
+		// log downgrades the decision to abort — nothing has been
+		// promised yet.
+		if _, err := p.log.Force(wal.Record{Tx: m.Tx, Node: p.name, Kind: "Committed"}); err != nil {
+			vote = protocol.VoteNo
+		}
+	}
+	if vote == protocol.VoteNo {
+		rec := wal.Record{Tx: m.Tx, Node: p.name, Kind: "Aborted"}
+		if v == core.VariantPA {
+			_, _ = p.log.Append(rec)
+		} else {
+			_, _ = p.log.Force(rec)
+		}
+		p.completeResources(tx, false)
+		p.finishLocked(st, false)
+		_, _ = p.log.Append(wal.Record{Tx: m.Tx, Node: p.name, Kind: "End"})
+		_ = p.send(from, protocol.Message{Type: protocol.MsgAbort, Tx: m.Tx})
+		return
+	}
+	// Commit (a read-only prepare also answers commit, with nothing
+	// logged — there is nothing to redo).
+	p.completeResources(tx, true)
+	p.finishLocked(st, true)
+	_, _ = p.log.Append(wal.Record{Tx: m.Tx, Node: p.name, Kind: "End"})
+	_ = p.send(from, protocol.Message{Type: protocol.MsgCommit, Tx: m.Tx})
+}
+
+// applyOutcome runs a subordinate's phase two when the decision
+// arrives (directly, via retransmission, or as a recovery answer):
+// log it per the transaction's presumption, complete resources, and
+// acknowledge if the variant expects it.
+func (p *Participant) applyOutcome(from string, m protocol.Message, commit bool) {
+	st := p.state(m.Tx)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+
+	// The variant rules come from the Prepare's announced presumption;
+	// for an outcome with no preceding Prepare (redelivery after this
+	// node forgot), fall back to our configured variant.
+	v := variantOf(st.presume)
+	if !st.prepared && !st.done {
+		v = p.variant
+	}
+
+	if st.done {
+		if st.committed == commit && expectsAckFor(v, commit) {
+			// Duplicate outcome: the coordinator missed our ack.
+			_ = p.send(from, protocol.Message{Type: protocol.MsgAck, Tx: m.Tx})
+		}
+		return
+	}
+
+	tx := core.ParseTxID(m.Tx)
+	rec := wal.Record{Tx: m.Tx, Node: p.name, Kind: "Committed"}
+	forced := v != core.VariantPC // PC subordinate commits are presumed: no force
+	if !commit {
+		rec.Kind = "Aborted"
+		forced = v != core.VariantPA // PA subordinate aborts are presumed: no force
+	}
+	if forced {
+		if _, err := p.log.Force(rec); err != nil {
+			return // stay prepared; a retransmission retries
+		}
+	} else {
+		_, _ = p.log.Append(rec)
+	}
+	heur := p.completeResources(tx, commit)
+	p.finishLocked(st, commit)
+	_, _ = p.log.Append(wal.Record{Tx: m.Tx, Node: p.name, Kind: "End"})
+	if expectsAckFor(v, commit) {
+		_ = p.send(from, protocol.Message{Type: protocol.MsgAck, Tx: m.Tx, Heuristics: heur})
+	}
+}
+
+// handleInquire answers a recovery inquiry from its decided table, or
+// by the configured variant's presumption when the transaction is
+// unknown.
+func (p *Participant) handleInquire(from string, m protocol.Message) {
+	p.mu.Lock()
+	committed, known := p.decided[m.Tx]
+	p.mu.Unlock()
+	var out protocol.OutcomeKind
+	switch {
+	case known && committed:
+		out = protocol.OutcomeCommit
+	case known:
+		out = protocol.OutcomeAbort
+	default:
+		switch p.variant {
+		case core.VariantPA:
+			out = protocol.OutcomeAbort
+		case core.VariantPC:
+			out = protocol.OutcomeCommit
+		case core.VariantPN:
+			// PN never forgets a pending transaction before its End, so
+			// no memory of it means commit processing hasn't decided
+			// yet: ask again later.
+			out = protocol.OutcomeInProgress
+		default:
+			// Baseline: no presumption; the inquirer stays blocked.
+			out = protocol.OutcomeUnknown
+		}
+	}
+	_ = p.send(from, protocol.Message{Type: protocol.MsgOutcome, Tx: m.Tx, Outcome: out})
+}
+
+// handleOutcomeReply consumes a recovery answer. Definite answers run
+// normal phase two; Unknown and InProgress leave the transaction in
+// doubt for the next inquiry round.
+func (p *Participant) handleOutcomeReply(from string, m protocol.Message) {
+	switch m.Outcome {
+	case protocol.OutcomeCommit:
+		p.applyOutcome(from, protocol.Message{Type: protocol.MsgCommit, Tx: m.Tx}, true)
+	case protocol.OutcomeAbort:
+		p.applyOutcome(from, protocol.Message{Type: protocol.MsgAbort, Tx: m.Tx}, false)
+	}
+}
+
+// UnsolicitedVote prepares this participant's resources on its own
+// initiative and sends its vote to the coordinator before any Prepare
+// arrives (§4 Unsolicited Vote). The coordinator buffers the vote and
+// skips this subordinate's Prepare when Commit runs.
+func (p *Participant) UnsolicitedVote(coordinator, txName string) error {
+	st := p.state(txName)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.done {
+		return fmt.Errorf("live: unsolicited vote for decided transaction %s", txName)
+	}
+	if st.prepared {
+		_ = p.send(coordinator, st.voteMsg)
+		return nil
+	}
+	tx := core.ParseTxID(txName)
+	vote := p.prepareLocal(tx)
+	if vote == protocol.VoteYes {
+		if _, err := p.log.Force(wal.Record{Tx: txName, Node: p.name, Kind: "Prepared"}); err != nil {
+			vote = protocol.VoteNo
+		}
+	}
+	switch vote {
+	case protocol.VoteNo:
+		p.completeResources(tx, false)
+		p.finishLocked(st, false)
+	case protocol.VoteYes:
+		st.prepared = true
+	}
+	st.voteMsg = protocol.Message{Type: protocol.MsgVote, Tx: txName, Vote: vote, Unsolicited: true}
+	return p.send(coordinator, st.voteMsg)
+}
+
+// prepareLocal prepares every local resource and folds their votes:
+// any failure or no means no; all read-only means read-only.
+func (p *Participant) prepareLocal(tx core.TxID) protocol.VoteValue {
+	vote := protocol.VoteReadOnly
+	for _, r := range p.res {
+		pr, err := r.Prepare(tx)
+		if err != nil || pr.Vote == core.VoteNo {
+			return protocol.VoteNo
+		}
+		if pr.Vote == core.VoteYes {
+			vote = protocol.VoteYes
+		}
+	}
+	return vote
+}
+
+// completeResources applies the outcome to every local resource and
+// collects heuristic reports from any that had already completed
+// unilaterally.
+func (p *Participant) completeResources(tx core.TxID, commit bool) []protocol.HeuristicReport {
+	var heur []protocol.HeuristicReport
+	for _, r := range p.res {
+		var err error
+		if commit {
+			err = r.Commit(tx)
+		} else {
+			err = r.Abort(tx)
+		}
+		if err == nil {
+			continue
+		}
+		hc, ok := r.(core.HeuristicCapable)
+		if !ok || !errors.Is(err, core.ErrHeuristicConflict) {
+			continue
+		}
+		taken, tookCommit := hc.HeuristicTaken(tx)
+		if !taken {
+			continue
+		}
+		damage := tookCommit != commit
+		heur = append(heur, protocol.HeuristicReport{Node: p.name, Committed: tookCommit, Damage: damage})
+		if p.met != nil {
+			p.met.Heuristic(p.name, tookCommit)
+			if damage {
+				p.met.Damage(p.name)
+			}
+		}
+	}
+	return heur
+}
+
+// finishLocked marks a transaction decided at this node (caller holds
+// st.mu and has already completed resources), recording the outcome
+// for duplicates and inquiries and releasing any recovery waiter.
+func (p *Participant) finishLocked(st *txState, commit bool) {
+	if st.done {
+		return
+	}
+	st.done = true
+	st.committed = commit
+	close(st.resolved)
+	p.recordDecision(st.id, commit)
+}

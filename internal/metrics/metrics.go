@@ -31,6 +31,8 @@ type Counters struct {
 	HeuristicCommits int
 	HeuristicAborts  int
 	HeuristicDamage  int // heuristic decisions that disagreed with the outcome
+	Retries          int // protocol retransmissions (prepare, outcome, inquiry)
+	InDoubt          int // transactions that entered the in-doubt window here
 }
 
 // Triplet is the (#messages, #log writes, #forced writes) notation of
@@ -142,6 +144,22 @@ func (r *Registry) Damage(node string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.node(node).HeuristicDamage++
+}
+
+// Retry records one protocol retransmission at node: a re-sent
+// prepare, a re-delivered outcome, or a repeated recovery inquiry.
+func (r *Registry) Retry(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.node(node).Retries++
+}
+
+// InDoubtEntry records that a transaction entered the in-doubt window
+// at node (prepared, outcome unknown, or outcome undeliverable).
+func (r *Registry) InDoubtEntry(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.node(node).InDoubt++
 }
 
 // LockHold accumulates d of lock-hold time at node.
@@ -318,6 +336,83 @@ func (r *Registry) Summary() string {
 		fmt.Fprintf(&b, "mean commit latency: %s over %d transaction(s)\n", lat, len(r.Latencies()))
 	}
 	return b.String()
+}
+
+// LatencySummary condenses the recorded commit-latency distribution.
+type LatencySummary struct {
+	Count         int
+	Mean          time.Duration
+	P50, P95, P99 time.Duration
+	Max           time.Duration
+}
+
+// Snapshot is a point-in-time copy of everything the registry has
+// accumulated: per-node counters, outcome tallies, and the latency
+// distribution. Benchmarks and operational dashboards consume it
+// instead of issuing many individual getter calls under churn.
+type Snapshot struct {
+	Nodes    map[string]Counters
+	Outcomes map[string]int
+	Latency  LatencySummary
+}
+
+// TotalRetries sums protocol retransmissions across all nodes.
+func (s Snapshot) TotalRetries() int {
+	n := 0
+	for _, c := range s.Nodes {
+		n += c.Retries
+	}
+	return n
+}
+
+// TotalInDoubt sums in-doubt entries across all nodes.
+func (s Snapshot) TotalInDoubt() int {
+	n := 0
+	for _, c := range s.Nodes {
+		n += c.InDoubt
+	}
+	return n
+}
+
+// Snapshot returns a consistent copy of the registry's state.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	s := Snapshot{
+		Nodes:    make(map[string]Counters, len(r.perNode)),
+		Outcomes: make(map[string]int, len(r.txOutcome)),
+	}
+	for n, c := range r.perNode {
+		s.Nodes[n] = *c
+	}
+	for k, v := range r.txOutcome {
+		s.Outcomes[k] = v
+	}
+	lats := make([]time.Duration, len(r.latency))
+	copy(lats, r.latency)
+	r.mu.Unlock()
+
+	s.Latency.Count = len(lats)
+	if len(lats) == 0 {
+		return s
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	var sum time.Duration
+	for _, d := range lats {
+		sum += d
+	}
+	s.Latency.Mean = sum / time.Duration(len(lats))
+	s.Latency.Max = lats[len(lats)-1]
+	pct := func(p float64) time.Duration {
+		idx := int(p / 100 * float64(len(lats)))
+		if idx >= len(lats) {
+			idx = len(lats) - 1
+		}
+		return lats[idx]
+	}
+	s.Latency.P50 = pct(50)
+	s.Latency.P95 = pct(95)
+	s.Latency.P99 = pct(99)
+	return s
 }
 
 // LatencyPercentile returns the p-th percentile (0 < p <= 100) of the

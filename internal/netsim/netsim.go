@@ -157,10 +157,12 @@ func (e *chanEndpoint) Send(to string, pkt protocol.Packet) error {
 	n.mu.Unlock()
 
 	deliver := func() {
+		// The mutex is held across the send so Close cannot close the
+		// inbox between the liveness check and the send. The send is
+		// non-blocking, so the critical section stays short.
 		dst.mu.Lock()
-		dead := dst.dead
-		dst.mu.Unlock()
-		if dead {
+		defer dst.mu.Unlock()
+		if dst.dead {
 			return
 		}
 		// Best effort: a full inbox drops the packet (backpressure as
@@ -182,8 +184,8 @@ func (e *chanEndpoint) Close() error {
 	e.closed.Do(func() {
 		e.mu.Lock()
 		e.dead = true
-		e.mu.Unlock()
 		close(e.in)
+		e.mu.Unlock()
 	})
 	return nil
 }

@@ -20,9 +20,19 @@ type TCPEndpoint struct {
 
 	mu    sync.Mutex
 	peers map[string]string // name -> address
-	conns map[string]net.Conn
+	conns map[string]*tcpConn
 	done  chan struct{}
 	once  sync.Once
+}
+
+// tcpConn is one cached outbound connection. Each has its own write
+// lock so concurrent sends to different peers do not serialize on the
+// endpoint — only writes to the same peer queue up (TCP framing
+// requires that much).
+type tcpConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+	bad  bool // a write failed; do not reuse
 }
 
 // maxFrame bounds a frame to keep a corrupted length prefix from
@@ -41,7 +51,7 @@ func ListenTCP(name, addr string) (*TCPEndpoint, error) {
 		ln:    ln,
 		in:    make(chan protocol.Packet, 256),
 		peers: make(map[string]string),
-		conns: make(map[string]net.Conn),
+		conns: make(map[string]*tcpConn),
 		done:  make(chan struct{}),
 	}
 	go e.acceptLoop()
@@ -101,16 +111,16 @@ func (e *TCPEndpoint) readLoop(conn net.Conn) {
 }
 
 // Send implements Endpoint: it frames and writes the packet on a
-// cached connection, dialing on first use.
+// cached per-peer connection, dialing on first use and redialing once
+// if the cached connection has gone stale (the peer restarted, or an
+// idle connection was reset). A second failure is surfaced to the
+// caller — at that point the packet is genuinely lost and the commit
+// protocol's retries/recovery take over.
 func (e *TCPEndpoint) Send(to string, pkt protocol.Packet) error {
 	select {
 	case <-e.done:
 		return ErrClosed
 	default:
-	}
-	conn, err := e.conn(to)
-	if err != nil {
-		return err
 	}
 	data, err := pkt.Encode()
 	if err != nil {
@@ -120,34 +130,66 @@ func (e *TCPEndpoint) Send(to string, pkt protocol.Packet) error {
 	binary.BigEndian.PutUint32(frame, uint32(len(data)))
 	copy(frame[4:], data)
 
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if _, err := conn.Write(frame); err != nil {
-		// Drop the broken connection; the caller may retry (2PC
-		// recovery handles the lost packet).
-		delete(e.conns, to)
-		conn.Close()
-		return fmt.Errorf("netsim: send to %s: %w", to, err)
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		c, err := e.conn(to)
+		if err != nil {
+			return err
+		}
+		c.mu.Lock()
+		if c.bad {
+			c.mu.Unlock()
+			continue // another sender already condemned it; redial
+		}
+		_, err = c.conn.Write(frame)
+		if err == nil {
+			c.mu.Unlock()
+			return nil
+		}
+		c.bad = true
+		c.conn.Close()
+		c.mu.Unlock()
+		e.dropConn(to, c)
+		lastErr = err
 	}
-	return nil
+	return fmt.Errorf("netsim: send to %s: %w", to, lastErr)
 }
 
-func (e *TCPEndpoint) conn(to string) (net.Conn, error) {
+// conn returns the cached connection for to, dialing if absent.
+func (e *TCPEndpoint) conn(to string) (*tcpConn, error) {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	if c, ok := e.conns[to]; ok {
+		e.mu.Unlock()
 		return c, nil
 	}
 	addr, ok := e.peers[to]
+	e.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrUnknown, to)
 	}
-	c, err := net.Dial("tcp", addr)
+	nc, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("netsim: dial %s (%s): %w", to, addr, err)
 	}
+	c := &tcpConn{conn: nc}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if cur, ok := e.conns[to]; ok {
+		// Lost a dial race; keep the established one.
+		nc.Close()
+		return cur, nil
+	}
 	e.conns[to] = c
 	return c, nil
+}
+
+// dropConn removes c from the cache if it is still the cached entry.
+func (e *TCPEndpoint) dropConn(to string, c *tcpConn) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if cur, ok := e.conns[to]; ok && cur == c {
+		delete(e.conns, to)
+	}
 }
 
 // Close implements Endpoint.
@@ -157,7 +199,7 @@ func (e *TCPEndpoint) Close() error {
 		e.ln.Close()
 		e.mu.Lock()
 		for _, c := range e.conns {
-			c.Close()
+			c.conn.Close()
 		}
 		e.mu.Unlock()
 		close(e.in)

@@ -74,6 +74,46 @@ func (v VoteValue) String() string {
 	}
 }
 
+// Presumption is the recovery presumption the coordinator announces
+// on its Prepare: what "no information" will mean if the subordinate
+// later inquires about a forgotten transaction. Carrying it on the
+// wire lets one live participant serve transactions under different
+// protocol variants concurrently — each subordinate learns per
+// transaction whether aborts must be forced and acknowledged.
+type Presumption int
+
+// Presumptions, one per protocol variant.
+const (
+	// PresumeNothingKnown is the baseline protocol: no presumption;
+	// a forgotten transaction leaves the inquirer blocked.
+	PresumeNothingKnown Presumption = iota
+	// PresumeAbort: absence of information means abort (PA / R*).
+	PresumeAbort
+	// PresumePending is IBM's Presumed Nothing: the coordinator forced
+	// a pending record before this Prepare, so it never forgets and
+	// always drives recovery; aborts are forced and acknowledged.
+	PresumePending
+	// PresumeCommit: absence of information means commit (PC);
+	// commits need no subordinate forces or acknowledgments.
+	PresumeCommit
+)
+
+// String returns the wire name of the presumption.
+func (p Presumption) String() string {
+	switch p {
+	case PresumeNothingKnown:
+		return "PresumeNothing"
+	case PresumeAbort:
+		return "PresumeAbort"
+	case PresumePending:
+		return "PresumePending"
+	case PresumeCommit:
+		return "PresumeCommit"
+	default:
+		return fmt.Sprintf("Presumption(%d)", int(p))
+	}
+}
+
 // HeuristicReport describes one heuristic decision in a subtree,
 // carried upstream on acknowledgments.
 type HeuristicReport struct {
@@ -119,7 +159,9 @@ type Message struct {
 	Tx   string // transaction id, "origin:seq"
 
 	// MsgPrepare fields.
-	LongLocks bool // coordinator asks the subordinate to piggyback its ack (§4 Long Locks)
+	LongLocks bool        // coordinator asks the subordinate to piggyback its ack (§4 Long Locks)
+	Presume   Presumption // the variant's recovery presumption, announced per transaction
+	Delegate  bool        // last-agent delegation: "prepare, then you decide" (§4 Last Agent)
 
 	// MsgVote fields.
 	Vote         VoteValue
@@ -160,10 +202,14 @@ func (m Message) Label() string {
 		}
 		return s
 	case MsgPrepare:
+		s := "Prepare"
 		if m.LongLocks {
-			return "Prepare+LongLocks"
+			s += "+LongLocks"
 		}
-		return "Prepare"
+		if m.Delegate {
+			s += "+Delegate"
+		}
+		return s
 	case MsgAck:
 		s := "Ack"
 		if len(m.Heuristics) > 0 {

@@ -1,0 +1,31 @@
+// Package txerr defines the sentinel errors shared by the two commit
+// runtimes. The deterministic simulator (internal/core) and the live
+// runner (internal/live) fail in the same three protocol-level ways —
+// a peer stopped answering, an outcome is stuck in doubt, a heuristic
+// decision disagreed with the global outcome — and callers should be
+// able to test for them uniformly with errors.Is/errors.As regardless
+// of which runtime produced the error. Both runtimes wrap these
+// sentinels; the twopc façade re-exports them.
+package txerr
+
+import "errors"
+
+var (
+	// ErrTimeout reports that votes, acknowledgments, or recovery
+	// answers did not arrive within the configured deadline.
+	ErrTimeout = errors.New("twopc: timed out")
+
+	// ErrInDoubt reports that commit processing could not complete: at
+	// least one participant holds a prepared transaction whose outcome
+	// it has not learned. The transaction is not lost — recovery
+	// (inquiry or coordinator re-drive) will finish it — but locks may
+	// still be held somewhere.
+	ErrInDoubt = errors.New("twopc: transaction outcome in doubt")
+
+	// ErrHeuristicDamage reports that a participant completed
+	// heuristically in a way that disagreed with the global outcome:
+	// part of the transaction committed and part aborted (§5 of the
+	// paper). The damage is permanent; the error exists so the
+	// application and operator learn of it.
+	ErrHeuristicDamage = errors.New("twopc: heuristic damage")
+)

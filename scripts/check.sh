@@ -1,0 +1,21 @@
+#!/bin/sh
+# check.sh — the repo's pre-merge gate: formatting, vet, and the
+# race-enabled suites for the two protocol runtimes.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go test -race (live + core) =="
+go test -race ./internal/live/... ./internal/core/...
+
+echo "All checks passed."

@@ -35,12 +35,16 @@
 package twopc
 
 import (
+	"context"
+
 	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/kvstore"
 	"repro/internal/live"
+	"repro/internal/metrics"
 	"repro/internal/mqueue"
 	"repro/internal/netsim"
+	"repro/internal/txerr"
 	"repro/internal/wal"
 )
 
@@ -209,14 +213,89 @@ func RecoverKVStore(name string, log *Log, eng *Engine, opts ...kvstore.Option) 
 
 // Live (non-simulated) execution over real transports.
 type (
-	// LiveParticipant runs presumed-abort 2PC with goroutines over a
-	// netsim transport.
+	// LiveParticipant runs the commit protocol with goroutines over a
+	// netsim transport, pipelining many concurrent transactions; all
+	// four variants are supported via LiveWithVariant.
 	LiveParticipant = live.Participant
+	// LiveOption configures a live participant at construction.
+	LiveOption = live.Option
+	// LiveRetryPolicy governs retransmission backoff for votes,
+	// outcome delivery, and recovery inquiries.
+	LiveRetryPolicy = live.RetryPolicy
+	// LiveOutcome is a live commit's result.
+	LiveOutcome = live.Outcome
 	// ChanNetwork is an in-process packet network with latency, loss,
 	// and partitions.
 	ChanNetwork = netsim.ChanNetwork
 	// TCPEndpoint is a real TCP transport endpoint.
 	TCPEndpoint = netsim.TCPEndpoint
+)
+
+// Live commit outcomes.
+const (
+	LiveCommitted = live.Committed
+	LiveAborted   = live.Aborted
+	LiveInDoubt   = live.InDoubt
+)
+
+// Sentinel errors shared by the simulator and the live runtime
+// (match with errors.Is). The simulator surfaces them on Result.Err;
+// the live runtime returns them from Commit and RecoverInDoubt.
+var (
+	// ErrTimeout: votes, acks, or recovery answers did not arrive in
+	// time.
+	ErrTimeout = txerr.ErrTimeout
+	// ErrInDoubt: a transaction's outcome is not known everywhere;
+	// recovery owns it.
+	ErrInDoubt = txerr.ErrInDoubt
+	// ErrHeuristicDamage: a unilateral heuristic decision disagreed
+	// with the final outcome.
+	ErrHeuristicDamage = txerr.ErrHeuristicDamage
+)
+
+// Live participant options, re-exported.
+var (
+	// LiveWithVariant selects the coordinating protocol variant.
+	LiveWithVariant = live.WithVariant
+	// LiveWithRetry installs the retransmission policy.
+	LiveWithRetry = live.WithRetry
+	// LiveWithTimeout sets the vote- and ack-collection deadlines.
+	LiveWithTimeout = live.WithTimeout
+	// LiveWithMetrics wires a metrics registry into the live path.
+	LiveWithMetrics = live.WithMetrics
+	// LiveWithClock substitutes a scheduler (tests use clock.Virtual).
+	LiveWithClock = live.WithClock
+	// LiveWithLastAgent enables the §4 Last Agent delegation.
+	LiveWithLastAgent = live.WithLastAgent
+	// LiveWithGroupCommit coalesces concurrent WAL forces (§4 Group
+	// Commits).
+	LiveWithGroupCommit = live.WithGroupCommit
+)
+
+// Metrics instrumentation, re-exported so external callers can use
+// LiveWithMetrics (internal packages are not importable).
+type (
+	// Metrics is a registry of per-node protocol counters, outcome
+	// tallies, and commit latencies.
+	Metrics = metrics.Registry
+	// MetricsSnapshot is a point-in-time copy of a registry, with
+	// latency percentiles.
+	MetricsSnapshot = metrics.Snapshot
+	// MetricsCounters is one node's counter block.
+	MetricsCounters = metrics.Counters
+	// ChanOption configures a ChanNetwork.
+	ChanOption = netsim.ChanOption
+)
+
+// NewMetrics returns an empty metrics registry.
+var NewMetrics = metrics.New
+
+// ChanNetwork options, re-exported.
+var (
+	// ChanWithLatency adds a fixed per-packet delivery delay.
+	ChanWithLatency = netsim.WithLatency
+	// ChanWithLoss drops packets with the given probability (seeded).
+	ChanWithLoss = netsim.WithLoss
 )
 
 // NewChanNetwork returns an in-process network.
@@ -228,6 +307,22 @@ var ListenTCP = netsim.ListenTCP
 // NewLiveParticipant wires a live participant to a transport
 // endpoint.
 var NewLiveParticipant = live.NewParticipant
+
+// LiveCommit runs p as coordinator of tx with the named subordinates
+// under a background context.
+//
+// Deprecated: call p.Commit with a context directly.
+func LiveCommit(p *LiveParticipant, tx string, subs []string) (LiveOutcome, error) {
+	return p.Commit(context.Background(), tx, subs)
+}
+
+// LiveRecoverInDoubt recovers p's in-doubt transactions under a
+// background context.
+//
+// Deprecated: call p.RecoverInDoubt with a context directly.
+func LiveRecoverInDoubt(p *LiveParticipant, coordinator string) ([]string, error) {
+	return p.RecoverInDoubt(context.Background(), coordinator)
+}
 
 // Transactional message queue resource manager.
 type (
