@@ -151,7 +151,9 @@ func (p *Participant) decideCommit(ctx context.Context, st *txState, tx core.TxI
 	// nothing to propagate (§4 Read-Only).
 	if !(localVote == protocol.VoteReadOnly && len(yes) == 0) {
 		if _, err := p.log.Force(wal.Record{Tx: txName, Node: p.name, Kind: "Committed"}); err != nil {
-			return p.abortTx(tx, txName, nil), fmt.Errorf("live: force commit record: %w", err)
+			// The yes-voters sit prepared holding locks; tell them the
+			// abort now rather than leaving them to recovery.
+			return p.abortTx(tx, txName, yes), fmt.Errorf("live: force commit record: %w", err)
 		}
 	}
 	p.completeResources(tx, true)

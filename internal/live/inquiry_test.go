@@ -1,0 +1,185 @@
+package live
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/protocol"
+	"repro/internal/wal"
+)
+
+func TestPresumeDataRoundTrip(t *testing.T) {
+	for _, pr := range []protocol.Presumption{
+		protocol.PresumeNothingKnown, protocol.PresumeAbort,
+		protocol.PresumePending, protocol.PresumeCommit,
+	} {
+		got, ok := presumeFromData(presumeData(pr))
+		if !ok || got != pr {
+			t.Errorf("round trip of %v = %v, %v", pr, got, ok)
+		}
+	}
+	if _, ok := presumeFromData(nil); ok {
+		t.Error("empty payload decoded as a known presumption")
+	}
+	if _, ok := presumeFromData([]byte("garbage")); ok {
+		t.Error("garbage payload decoded as a known presumption")
+	}
+}
+
+// TestLiveInquiryDuringCollectionAnswersInProgress pins the fix for
+// the inquiry race: while the coordinator is still collecting votes
+// it must answer InProgress, never the variant's presumption — the
+// decision may yet go the other way.
+func TestLiveInquiryDuringCollectionAnswersInProgress(t *testing.T) {
+	net := netsim.NewChanNetwork()
+	coord := NewParticipant("C", net.Endpoint("C"), wal.New(wal.NewMemStore()),
+		[]core.Resource{core.NewStaticResource("rc")},
+		WithTimeout(500*time.Millisecond, 100*time.Millisecond))
+	coord.Start()
+	defer coord.Stop()
+	// S exists but never answers: the commit stalls in vote collection.
+	net.Endpoint("S")
+
+	tx := core.TxID{Origin: "C", Seq: 60}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, _ = coord.Commit(context.Background(), tx.String(), []string{"S"})
+	}()
+	waitUntil(t, time.Second, func() bool {
+		coord.mu.Lock()
+		defer coord.mu.Unlock()
+		_, ok := coord.txs[tx.String()]
+		return ok
+	})
+
+	q := net.Endpoint("Q")
+	if err := q.Send("C", protocol.Packet{From: "Q", To: "C",
+		Messages: []protocol.Message{{Type: protocol.MsgInquire, Tx: tx.String()}}}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case pkt := <-q.Recv():
+		m := pkt.Messages[0]
+		if m.Type != protocol.MsgOutcome || m.Outcome != protocol.OutcomeInProgress {
+			t.Fatalf("answer = %s, want OutcomeInProgress", m.Label())
+		}
+	case <-time.After(time.Second):
+		t.Fatal("no inquiry answer")
+	}
+	<-done
+}
+
+// TestLiveCoordinatorRestartAnswersFromLog pins the restart half of
+// the inquiry fix: a PC coordinator that crashed mid-collection left
+// a Collecting record and no decision. On restart it must resolve the
+// transaction to abort and answer inquiries accordingly — the naive
+// commit presumption would violate atomicity.
+func TestLiveCoordinatorRestartAnswersFromLog(t *testing.T) {
+	net := netsim.NewChanNetwork()
+	tx := core.TxID{Origin: "C", Seq: 80}.String()
+
+	coordStore := wal.NewMemStore()
+	coordStore.Append(wal.Record{Tx: tx, Node: "C", Kind: "Collecting", Data: []byte("S"), Forced: true})
+	coordStore.Sync()
+	coordLog := wal.New(coordStore)
+	coord := NewParticipant("C", net.Endpoint("C"), coordLog, nil, WithVariant(core.VariantPC))
+
+	subStore := wal.NewMemStore()
+	subStore.Append(wal.Record{Tx: tx, Node: "S", Kind: "Prepared",
+		Data: presumeData(protocol.PresumeCommit), Forced: true})
+	subStore.Sync()
+	subLog := wal.New(subStore)
+	sub := NewParticipant("S", net.Endpoint("S"), subLog,
+		[]core.Resource{core.NewStaticResource("rs")}, WithVariant(core.VariantPC))
+
+	coord.Start()
+	sub.Start()
+	defer coord.Stop()
+	defer sub.Stop()
+
+	// The restarted coordinator's replay must have forced its abort.
+	if committed, decided := outcomeAt(t, coordLog, "C", tx); !decided || committed {
+		t.Fatalf("coordinator replay: decided=%v committed=%v, want aborted", decided, committed)
+	}
+
+	// The prepared subordinate resolves to abort — by the proactive
+	// notification from replay or by inquiry, never by presuming
+	// commit.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := sub.RecoverInDoubt(ctx, "C"); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, 2*time.Second, func() bool {
+		committed, decided := outcomeAt(t, subLog, "S", tx)
+		return decided && !committed
+	})
+}
+
+// TestLivePreparedRecordCarriesPresumption asserts the subordinate
+// persists the presumption the coordinator announced (here PC, while
+// the subordinate itself is configured PA) so recovery replays the
+// right variant's rules.
+func TestLivePreparedRecordCarriesPresumption(t *testing.T) {
+	net := netsim.NewChanNetwork()
+	subLog := wal.New(wal.NewMemStore())
+	coord := NewParticipant("C", net.Endpoint("C"), wal.New(wal.NewMemStore()),
+		[]core.Resource{core.NewStaticResource("rc")}, WithVariant(core.VariantPC))
+	sub := NewParticipant("S", net.Endpoint("S"), subLog,
+		[]core.Resource{core.NewStaticResource("rs")}) // configured PA
+	coord.Start()
+	sub.Start()
+	defer coord.Stop()
+	defer sub.Stop()
+
+	tx := core.TxID{Origin: "C", Seq: 81}
+	if out, err := coord.Commit(context.Background(), tx.String(), []string{"S"}); err != nil || out != Committed {
+		t.Fatalf("commit = %v, %v", out, err)
+	}
+	recs, err := subLog.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if r.Node != "S" || r.Kind != "Prepared" {
+			continue
+		}
+		if pr, ok := presumeFromData(r.Data); !ok || pr != protocol.PresumeCommit {
+			t.Fatalf("Prepared payload decodes to %v (ok=%v), want PresumeCommit", pr, ok)
+		}
+		return
+	}
+	t.Fatal("no Prepared record in the subordinate log")
+}
+
+// TestLiveLateVoteAfterDecisionDropped pins the table-leak fix: a
+// vote retransmitted after the coordinator decided and forgot the
+// transaction must be dropped, not buffered in a fresh state entry.
+func TestLiveLateVoteAfterDecisionDropped(t *testing.T) {
+	coord, _, _, kv1, _, net := setupChanTrio(t)
+	ctx := context.Background()
+	tx := core.TxID{Origin: "C", Seq: 70}
+	if err := kv1.Put(ctx, tx, "a", "1"); err != nil {
+		t.Fatal(err)
+	}
+	if out, err := coord.Commit(ctx, tx.String(), []string{"S1", "S2"}); err != nil || out != Committed {
+		t.Fatalf("commit = %v, %v", out, err)
+	}
+
+	late := net.Endpoint("X")
+	if err := late.Send("C", protocol.Packet{From: "X", To: "C",
+		Messages: []protocol.Message{{Type: protocol.MsgVote, Tx: tx.String(), Vote: protocol.VoteYes}}}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	coord.mu.Lock()
+	_, leaked := coord.txs[tx.String()]
+	coord.mu.Unlock()
+	if leaked {
+		t.Fatal("late vote for a decided transaction recreated its state entry")
+	}
+}

@@ -187,7 +187,15 @@ func seedFromName(name string) int64 {
 // message is dispatched to its own goroutine; per-transaction state
 // guards keep handling race-free without serializing across
 // transactions.
+//
+// Before serving traffic, Start replays the durable log: decided
+// transactions repopulate the decided table (so inquiries after a
+// restart are answered from real state, not presumption), and a
+// PN Pending / PC Collecting record with no decision after it is
+// resolved to abort — the crashed coordinator had not committed, and
+// its presumption variants depend on it answering definitively.
 func (p *Participant) Start() {
+	p.replayLog()
 	if p.met != nil {
 		node := p.name
 		reg := p.met
@@ -289,9 +297,15 @@ func (p *Participant) recordDecision(tx string, committed bool) {
 
 // routeVote delivers a vote to the coordinator collecting it, or
 // buffers it if the vote arrived before Commit registered (the §4
-// Unsolicited Vote optimization).
+// Unsolicited Vote optimization). Votes for already-decided
+// transactions are dropped outright — buffering them would recreate a
+// table entry nothing ever cleans up.
 func (p *Participant) routeVote(from string, m protocol.Message) {
 	p.mu.Lock()
+	if _, done := p.decided[m.Tx]; done {
+		p.mu.Unlock()
+		return
+	}
 	st := p.stateLocked(m.Tx)
 	ch := st.votes
 	if ch == nil {
@@ -376,6 +390,25 @@ func presumptionOf(v core.Variant) protocol.Presumption {
 	default:
 		return protocol.PresumeNothingKnown
 	}
+}
+
+// presumeData encodes a presumption for a Prepared record's payload,
+// so recovery restores the announced variant rather than guessing.
+func presumeData(pr protocol.Presumption) []byte { return []byte(pr.String()) }
+
+// presumeFromData decodes a presumeData payload; ok is false for a
+// missing or unrecognized payload (e.g. a record written before
+// presumptions were persisted).
+func presumeFromData(b []byte) (protocol.Presumption, bool) {
+	for _, pr := range []protocol.Presumption{
+		protocol.PresumeNothingKnown, protocol.PresumeAbort,
+		protocol.PresumePending, protocol.PresumeCommit,
+	} {
+		if string(b) == pr.String() {
+			return pr, true
+		}
+	}
+	return protocol.PresumeNothingKnown, false
 }
 
 // variantOf is the inverse of presumptionOf: the subordinate recovers

@@ -3,9 +3,73 @@ package live
 import (
 	"context"
 	"fmt"
+	"strings"
 
 	"repro/internal/protocol"
+	"repro/internal/wal"
 )
+
+// replayLog rebuilds this participant's durable commit state at Start.
+// Decided transactions (a Committed or Aborted record by this node)
+// repopulate the decided table so post-restart inquiries are answered
+// from real state rather than presumption. A PN Pending / PC
+// Collecting record with no decision after it means the coordinator
+// crashed mid-collection: no subordinate can have received a commit,
+// so the recovered coordinator decides abort now — forcing the record
+// so the decision survives a second crash — and tells the recorded
+// membership best-effort (subordinates that miss it resolve by
+// inquiry, which the fresh decided entry now answers correctly).
+func (p *Participant) replayLog() {
+	recs, err := p.log.Records()
+	if err != nil || len(recs) == 0 {
+		return
+	}
+	type coordState struct {
+		subs          []string
+		init, decided bool
+		committed     bool
+	}
+	states := make(map[string]*coordState)
+	var order []string
+	for _, r := range recs {
+		if r.Node != p.name {
+			continue
+		}
+		st, ok := states[r.Tx]
+		if !ok {
+			st = &coordState{}
+			states[r.Tx] = st
+			order = append(order, r.Tx)
+		}
+		switch r.Kind {
+		case "Pending", "Collecting":
+			st.init = true
+			if len(r.Data) > 0 {
+				st.subs = strings.Split(string(r.Data), ",")
+			}
+		case "Committed":
+			st.decided, st.committed = true, true
+		case "Aborted":
+			st.decided, st.committed = true, false
+		}
+	}
+	for _, tx := range order {
+		st := states[tx]
+		switch {
+		case st.decided:
+			p.recordDecision(tx, st.committed)
+		case st.init:
+			if _, err := p.log.Force(wal.Record{Tx: tx, Node: p.name, Kind: "Aborted"}); err != nil {
+				continue // leave undecided; the next restart retries
+			}
+			p.recordDecision(tx, false)
+			ab := protocol.Message{Type: protocol.MsgAbort, Tx: tx}
+			for _, s := range st.subs {
+				_ = p.send(s, ab)
+			}
+		}
+	}
+}
 
 // Inquire sends a single recovery inquiry for txName to the
 // coordinator. The answer (if any) is applied asynchronously by the
@@ -31,6 +95,7 @@ func (p *Participant) RecoverInDoubt(ctx context.Context, coordinator string) ([
 		return nil, fmt.Errorf("live: reading log: %w", err)
 	}
 	prepared := make(map[string]bool)
+	announced := make(map[string][]byte) // tx -> Prepared record payload
 	var order []string
 	for _, r := range recs {
 		if r.Node != p.name {
@@ -42,6 +107,7 @@ func (p *Participant) RecoverInDoubt(ctx context.Context, coordinator string) ([
 				prepared[r.Tx] = true
 				order = append(order, r.Tx)
 			}
+			announced[r.Tx] = r.Data
 		case "Committed", "Aborted", "End":
 			if prepared[r.Tx] {
 				prepared[r.Tx] = false
@@ -62,13 +128,16 @@ func (p *Participant) RecoverInDoubt(ctx context.Context, coordinator string) ([
 		}
 		// Reinstate the table entry: a restarted participant has an
 		// empty table, and applyOutcome needs the prepared flag and
-		// presumption to log the answer correctly. The presumption was
-		// not logged, so the participant's own variant stands in for it.
+		// presumption to log the answer correctly. The presumption the
+		// coordinator announced on the original Prepare rides in the
+		// Prepared record's payload; a record without one (pre-payload
+		// logs) falls back to no-presumption, whose force/ack rules are
+		// safe under every variant.
 		st := p.state(txName)
 		st.mu.Lock()
 		if !st.done && !st.prepared {
 			st.prepared = true
-			st.presume = presumptionOf(p.variant)
+			st.presume, _ = presumeFromData(announced[txName])
 		}
 		st.mu.Unlock()
 		if err := p.resolveInDoubt(ctx, coordinator, txName); err != nil {

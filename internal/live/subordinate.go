@@ -43,7 +43,10 @@ func (p *Participant) handlePrepare(from string, m protocol.Message) {
 	tx := core.ParseTxID(m.Tx)
 	vote := p.prepareLocal(tx)
 	if vote == protocol.VoteYes {
-		if _, err := p.log.Force(wal.Record{Tx: m.Tx, Node: p.name, Kind: "Prepared"}); err != nil {
+		// The announced presumption rides in the record's payload so a
+		// restart recovers this transaction under the coordinator's
+		// variant, not whatever this node happens to be configured with.
+		if _, err := p.log.Force(wal.Record{Tx: m.Tx, Node: p.name, Kind: "Prepared", Data: presumeData(m.Presume)}); err != nil {
 			vote = protocol.VoteNo
 		}
 	}
@@ -159,12 +162,18 @@ func (p *Participant) applyOutcome(from string, m protocol.Message, commit bool)
 	}
 }
 
-// handleInquire answers a recovery inquiry from its decided table, or
-// by the configured variant's presumption when the transaction is
-// unknown.
+// handleInquire answers a recovery inquiry: from the decided table
+// when the outcome is known, with InProgress when the transaction is
+// still live here (a coordinator mid-collection, or this node itself
+// prepared and in doubt — its fate may yet go either way, so a
+// presumption answer would race the real decision), and only for
+// transactions with no state at all by the configured variant's
+// presumption. Durable state survives restarts via the Start-time log
+// replay that rebuilds the decided table.
 func (p *Participant) handleInquire(from string, m protocol.Message) {
 	p.mu.Lock()
 	committed, known := p.decided[m.Tx]
+	_, active := p.txs[m.Tx]
 	p.mu.Unlock()
 	var out protocol.OutcomeKind
 	switch {
@@ -172,6 +181,8 @@ func (p *Participant) handleInquire(from string, m protocol.Message) {
 		out = protocol.OutcomeCommit
 	case known:
 		out = protocol.OutcomeAbort
+	case active:
+		out = protocol.OutcomeInProgress
 	default:
 		switch p.variant {
 		case core.VariantPA:
@@ -221,7 +232,10 @@ func (p *Participant) UnsolicitedVote(coordinator, txName string) error {
 	tx := core.ParseTxID(txName)
 	vote := p.prepareLocal(tx)
 	if vote == protocol.VoteYes {
-		if _, err := p.log.Force(wal.Record{Tx: txName, Node: p.name, Kind: "Prepared"}); err != nil {
+		// No Prepare has announced a presumption yet; st.presume's zero
+		// value (PresumeNothingKnown) is what phase two will run under,
+		// so it is also what recovery must restore.
+		if _, err := p.log.Force(wal.Record{Tx: txName, Node: p.name, Kind: "Prepared", Data: presumeData(st.presume)}); err != nil {
 			vote = protocol.VoteNo
 		}
 	}

@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -38,6 +39,10 @@ type tcpConn struct {
 // maxFrame bounds a frame to keep a corrupted length prefix from
 // allocating unbounded memory.
 const maxFrame = 16 << 20
+
+// errCondemned stands in for the write error observed by whichever
+// concurrent sender condemned a cached connection first.
+var errCondemned = errors.New("netsim: cached connection condemned by concurrent send failure")
 
 // ListenTCP starts an endpoint named name on addr (e.g.
 // "127.0.0.1:0"). The OS-assigned address is available from Addr.
@@ -138,8 +143,14 @@ func (e *TCPEndpoint) Send(to string, pkt protocol.Packet) error {
 		}
 		c.mu.Lock()
 		if c.bad {
+			// Another sender already condemned it between our conn()
+			// and locking. Drop it from the cache (the condemner may
+			// not have yet) so the retry dials fresh, and record a real
+			// cause in case this was the last attempt.
 			c.mu.Unlock()
-			continue // another sender already condemned it; redial
+			e.dropConn(to, c)
+			lastErr = errCondemned
+			continue
 		}
 		_, err = c.conn.Write(frame)
 		if err == nil {
