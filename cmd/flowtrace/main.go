@@ -5,6 +5,9 @@
 //
 //	flowtrace -figure N    render figure N (1,2,3,4,6,7,8)
 //	flowtrace -all         render every figure
+//	flowtrace -chaos -seed N
+//	                       replay chaos schedule N (internal/check),
+//	                       render its trace, and run the safety oracle
 package main
 
 import (
@@ -12,6 +15,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/check"
 	"repro/internal/core"
 )
 
@@ -19,7 +23,14 @@ func main() {
 	figure := flag.Int("figure", 0, "figure number to render (1,2,3,4,6,7,8)")
 	all := flag.Bool("all", false, "render every figure")
 	mermaid := flag.Bool("mermaid", false, "emit Mermaid sequenceDiagram instead of ASCII")
+	chaos := flag.Bool("chaos", false, "replay a chaos schedule (with -seed) instead of a figure")
+	seed := flag.Int64("seed", 0, "chaos schedule seed for -chaos")
 	flag.Parse()
+
+	if *chaos {
+		renderChaos(*seed, *mermaid)
+		return
+	}
 
 	figures := map[int]func() (string, *core.Engine, []core.NodeID){
 		1: figure1, 2: figure2, 3: figure3, 4: figure4,
@@ -59,6 +70,38 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// renderChaos replays one seeded chaos schedule on its engine,
+// renders the interleaving, and reports the safety oracle's verdict.
+// It exits nonzero on a violation, so it doubles as a shell-scriptable
+// checker.
+func renderChaos(seed int64, mermaid bool) {
+	s := check.FromSeed(seed)
+	res, err := check.Execute(s)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "flowtrace: chaos %s: %v\n", s, err)
+		os.Exit(1)
+	}
+	fmt.Printf("=== Chaos schedule %s ===\n\n", s)
+	if mermaid {
+		fmt.Println("```mermaid")
+		fmt.Print(res.Mermaid())
+		fmt.Println("```")
+	} else {
+		fmt.Println(res.Tracer.Render(s.Nodes()...))
+	}
+	vs := check.Check(res.Run)
+	if len(vs) == 0 {
+		fmt.Println("oracle: clean (AC1-AC5 hold)")
+		return
+	}
+	fmt.Printf("oracle: %d violation(s)\n", len(vs))
+	for _, v := range vs {
+		fmt.Printf("  %s\n", v)
+	}
+	fmt.Printf("replay: %s\n", s.ReplayCommand())
+	os.Exit(1)
 }
 
 func pairEngine(cfg core.Config) (*core.Engine, *core.Tx) {

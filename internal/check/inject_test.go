@@ -1,0 +1,111 @@
+package check
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/live"
+	"repro/internal/netsim"
+	"repro/internal/protocol"
+	"repro/internal/trace"
+	"repro/internal/wal"
+)
+
+// TestInjectedAtomicityBugSim plants an atomicity bug in the
+// simulator — the first Commit message on the wire is flipped to an
+// Abort — and requires the oracle to convict it. This is the
+// harness's own smoke test: a checker that cannot see a flipped
+// outcome is not checking anything.
+func TestInjectedAtomicityBugSim(t *testing.T) {
+	const seed = int64(424242)
+	s := FromSeed(seed) // any schedule works; the flip alone must convict
+	s.Engine = "sim"
+	s.Variant = core.VariantPA
+	s.CrashCoord, s.CrashSub = false, false
+	s.PartitionSub, s.LossPermil = -1, 0
+	s.Subs = 2
+
+	eng := core.NewEngine(core.Config{Variant: s.Variant})
+	for _, name := range s.Nodes() {
+		eng.AddNode(core.NodeID(name)).AttachResource(core.NewStaticResource(name + "-res"))
+	}
+	flipped := false
+	eng.SetMessageFilter(func(from, to core.NodeID, m protocol.Message) (protocol.Message, bool) {
+		if m.Type == protocol.MsgCommit && !flipped {
+			flipped = true
+			m.Type = protocol.MsgAbort
+		}
+		return m, true
+	})
+	tx := eng.Begin("C")
+	for i := 0; i < s.Subs; i++ {
+		if err := tx.Send("C", core.NodeID(SubName(i)), "work"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tx.CommitAsync("C")
+	eng.Drain()
+	eng.FlushSessions()
+	eng.Drain()
+
+	if !flipped {
+		t.Fatal("injection never fired: no Commit message crossed the wire")
+	}
+	vs := Check(Run{Variant: s.Variant, Events: eng.Trace().Events()})
+	wantRule(t, vs, "AC1")
+	t.Logf("oracle convicted the injected flip (seed=%d): %v", seed, vs)
+}
+
+// TestInjectedAtomicityBugLive does the same through the live
+// runtime's real transport, flipping the outcome with a
+// netsim.Transform. Must convict well inside a minute.
+func TestInjectedAtomicityBugLive(t *testing.T) {
+	start := time.Now()
+	const seed = int64(424243)
+	trc := trace.New()
+	var flipped atomic.Bool
+	net := netsim.NewChanNetwork(netsim.WithTransform(
+		func(from, to string, m protocol.Message) (protocol.Message, bool) {
+			if m.Type == protocol.MsgCommit && flipped.CompareAndSwap(false, true) {
+				m.Type = protocol.MsgAbort
+			}
+			return m, true
+		}))
+	mk := func(name string) *live.Participant {
+		p := live.NewParticipant(name, net.Endpoint(name), wal.New(wal.NewMemStore()),
+			[]core.Resource{core.NewStaticResource(name + "-res")},
+			live.WithVariant(core.VariantBaseline),
+			live.WithTrace(trc),
+			live.WithTimeout(liveTimeout, liveTimeout),
+			live.WithRetry(liveRetry()),
+			live.WithRetrySeed(seed),
+		)
+		p.Start()
+		return p
+	}
+	c, s1 := mk("C"), mk("S1")
+	defer c.Stop()
+	defer s1.Stop()
+
+	ctx, cancel := context.WithTimeout(context.Background(), liveRecovery)
+	defer cancel()
+	c.Commit(ctx, "C:1", []string{"S1"})
+	time.Sleep(30 * time.Millisecond)
+
+	if !flipped.Load() {
+		t.Fatal("injection never fired: no Commit message crossed the wire")
+	}
+	final := map[string]Final{
+		"C":  {Outcomes: c.Decided()},
+		"S1": {Outcomes: s1.Decided()},
+	}
+	vs := Check(Run{Variant: core.VariantBaseline, Events: trc.Events(), Final: final})
+	wantRule(t, vs, "AC1")
+	if el := time.Since(start); el > time.Minute {
+		t.Errorf("conviction took %v; the acceptance bar is under a minute", el)
+	}
+	t.Logf("oracle convicted the injected flip in %v (seed=%d): %v", time.Since(start), seed, vs)
+}

@@ -1,0 +1,514 @@
+// Package check is the trace-driven safety oracle and chaos scheduler
+// for the commit protocols: it consumes internal/trace events produced
+// by either engine (the deterministic simulator in internal/core or
+// the concurrent runtime in internal/live) and asserts the invariants
+// that make the paper's optimizations sound, under schedules of
+// crashes, restarts, partitions, and message loss generated from a
+// single replayable seed.
+//
+// The invariants, in the shape Gray & Lamport ("Consensus on
+// Transaction Commit") state transaction commit:
+//
+//	AC1  No two participants apply different outcomes (heuristic
+//	     decisions excepted — they are the sanctioned violation, and
+//	     must be flagged as such in the trace).
+//	AC2  A commit decision requires every asked participant's yes
+//	     vote; a subordinate commits only when told to.
+//	AC3  A forced log record precedes every message the paper requires
+//	     it to precede, and the presumption variants' skipped forces
+//	     are the ONLY skipped forces.
+//	AC4  After recovery, in-doubt participants resolve to the
+//	     coordinator's outcome (the baseline's amnesia blocking is the
+//	     known exception), and heuristic damage reaches the root
+//	     under PN.
+//	AC5  Locks release no earlier than the variant permits: never
+//	     before the local decision point.
+package check
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// Final is one node's state when a run ends, as read from the engine
+// (simulator node tables or live logs/decided maps) rather than the
+// trace — the oracle cross-checks the two.
+type Final struct {
+	// Crashed reports the node was down (and never restarted) at the
+	// end of the run; its unresolved state is excused.
+	Crashed bool
+	// Outcomes maps transaction id to the applied outcome (true =
+	// committed) for every transaction the node knows decided.
+	Outcomes map[string]bool
+	// InDoubt maps transaction id to true when the node still holds
+	// the transaction prepared with no outcome.
+	InDoubt map[string]bool
+}
+
+// Run is everything the oracle checks: the variant the run was
+// configured with, the full event trace, and (optionally) the final
+// per-node state.
+type Run struct {
+	Variant core.Variant
+	Events  []trace.Event
+	Final   map[string]Final
+}
+
+// Violation is one invariant breach, anchored to the trace.
+type Violation struct {
+	Rule string // "AC1" .. "AC5"
+	Tx   string
+	Node string
+	Seq  int // sequence number of the offending (or anchoring) event
+	Msg  string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s tx=%s node=%s seq=%d: %s", v.Rule, v.Tx, v.Node, v.Seq, v.Msg)
+}
+
+// Check runs every invariant over the run and returns the violations
+// found (nil for a clean run).
+func Check(r Run) []Violation {
+	var out []Violation
+	byTx := make(map[string][]trace.Event)
+	var order []string
+	for _, e := range r.Events {
+		if e.Tx == "" {
+			continue
+		}
+		if _, ok := byTx[e.Tx]; !ok {
+			order = append(order, e.Tx)
+		}
+		byTx[e.Tx] = append(byTx[e.Tx], e)
+	}
+	for _, tx := range order {
+		v := &txView{variant: r.Variant, tx: tx, events: byTx[tx], final: r.Final}
+		out = append(out, v.check()...)
+	}
+	return out
+}
+
+// txView is the oracle's working state for one transaction.
+type txView struct {
+	variant core.Variant
+	tx      string
+	events  []trace.Event // in Seq order
+	final   map[string]Final
+}
+
+// pendingKinds are the stable pre-prepare records PN and PC stand on
+// (core and live spell them differently).
+var pendingKinds = map[string]bool{
+	"CommitPending": true, "AgentPending": true,
+	"Pending": true, "Collecting": true,
+}
+
+// tmKinds are the transaction-manager record kinds the force rules
+// govern; anything else in the log belongs to a resource manager.
+var tmKinds = map[string]bool{
+	"CommitPending": true, "AgentPending": true, "Pending": true,
+	"Collecting": true, "Prepared": true, "Committed": true,
+	"Aborted": true, "End": true, "Heuristic": true,
+}
+
+// msgBase strips the transaction suffix and option flags from a traced
+// message detail: "VoteYes+Reliable(C:1)" -> "VoteYes".
+func msgBase(detail string) string {
+	if i := strings.LastIndex(detail, "("); i >= 0 {
+		detail = detail[:i]
+	}
+	if i := strings.Index(detail, "+"); i >= 0 {
+		detail = detail[:i]
+	}
+	return detail
+}
+
+// msgHasFlag reports whether a traced message detail carries the named
+// option flag ("Delegate", "Heuristics", ...).
+func msgHasFlag(detail, flag string) bool {
+	if i := strings.LastIndex(detail, "("); i >= 0 {
+		detail = detail[:i]
+	}
+	parts := strings.Split(detail, "+")
+	for _, p := range parts[1:] {
+		if p == flag {
+			return true
+		}
+	}
+	return false
+}
+
+// before reports whether any event with Seq < seq satisfies pred.
+func (v *txView) before(seq int, pred func(trace.Event) bool) bool {
+	for _, e := range v.events {
+		if e.Seq >= seq {
+			return false
+		}
+		if pred(e) {
+			return true
+		}
+	}
+	return false
+}
+
+func (v *txView) logWriteBefore(node string, seq int, kinds map[string]bool, mustForce bool) bool {
+	return v.before(seq, func(e trace.Event) bool {
+		return e.Kind == trace.KindLogWrite && e.Node == node &&
+			kinds[e.Detail] && (!mustForce || e.Forced)
+	})
+}
+
+func (v *txView) receivedBefore(node string, seq int, bases ...string) bool {
+	return v.before(seq, func(e trace.Event) bool {
+		if e.Kind != trace.KindReceive || e.Node != node {
+			return false
+		}
+		b := msgBase(e.Detail)
+		for _, want := range bases {
+			if b == want {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+// receivedPlainPrepare reports whether node was asked to prepare as an
+// ordinary subordinate (a Prepare without the Delegate flag) — the
+// role that must never invent an outcome and whose PC commit record
+// may stay lazy.
+func (v *txView) receivedPlainPrepare(node string) bool {
+	for _, e := range v.events {
+		if e.Kind == trace.KindReceive && e.Node == node &&
+			msgBase(e.Detail) == "Prepare" && !msgHasFlag(e.Detail, "Delegate") {
+			return true
+		}
+	}
+	return false
+}
+
+// heuristicAt reports whether node took a traced heuristic decision
+// for this transaction (a forced Heuristic record), the one sanctioned
+// way to diverge from the global outcome.
+func (v *txView) heuristicAt(node string) bool {
+	for _, e := range v.events {
+		if e.Kind == trace.KindLogWrite && e.Node == node && e.Detail == "Heuristic" {
+			return true
+		}
+	}
+	return false
+}
+
+func (v *txView) check() []Violation {
+	var out []Violation
+	out = append(out, v.ac1()...)
+	out = append(out, v.ac2()...)
+	out = append(out, v.ac3()...)
+	out = append(out, v.ac4()...)
+	out = append(out, v.ac5()...)
+	return out
+}
+
+func (v *txView) vio(rule, node string, seq int, format string, args ...any) Violation {
+	return Violation{Rule: rule, Tx: v.tx, Node: node, Seq: seq, Msg: fmt.Sprintf(format, args...)}
+}
+
+// ac1: atomicity. Every non-heuristic participant that applies an
+// outcome applies the same one, in the trace and in the final state.
+func (v *txView) ac1() []Violation {
+	var out []Violation
+	last := make(map[string]bool) // node -> last decided outcome
+	var nodeOrder []string
+	for _, e := range v.events {
+		if e.Kind != trace.KindDecision {
+			continue
+		}
+		commit := strings.HasPrefix(e.Detail, "commit")
+		if prev, ok := last[e.Node]; ok && prev != commit && !v.heuristicAt(e.Node) {
+			out = append(out, v.vio("AC1", e.Node, e.Seq,
+				"node decided both commit and abort without a heuristic record"))
+		}
+		if _, ok := last[e.Node]; !ok {
+			nodeOrder = append(nodeOrder, e.Node)
+		}
+		last[e.Node] = commit
+	}
+	for node, f := range v.final {
+		if o, ok := f.Outcomes[v.tx]; ok {
+			if prev, seen := last[node]; seen && prev != o && !v.heuristicAt(node) {
+				out = append(out, v.vio("AC1", node, 0,
+					"final applied outcome disagrees with the node's traced decision"))
+			}
+			if _, seen := last[node]; !seen {
+				nodeOrder = append(nodeOrder, node)
+				last[node] = o
+			}
+		}
+	}
+	// Cross-node agreement among non-heuristic participants.
+	firstNode, have := "", false
+	var global bool
+	for _, node := range nodeOrder {
+		if v.heuristicAt(node) {
+			continue
+		}
+		o := last[node]
+		if !have {
+			firstNode, global, have = node, o, true
+			continue
+		}
+		if o != global {
+			out = append(out, v.vio("AC1", node, 0,
+				"applied %s but %s applied %s", word(o), firstNode, word(global)))
+		}
+	}
+	return out
+}
+
+func word(commit bool) string {
+	if commit {
+		return "commit"
+	}
+	return "abort"
+}
+
+// ac2: a commit decision is justified — either the node was told
+// (received the outcome) or it owns the decision and holds a yes (or
+// read-only) vote from every participant it asked.
+func (v *txView) ac2() []Violation {
+	var out []Violation
+	// First commit decision per node.
+	firstCommit := make(map[string]int)
+	var nodes []string
+	for _, e := range v.events {
+		if e.Kind == trace.KindDecision && strings.HasPrefix(e.Detail, "commit") {
+			if _, ok := firstCommit[e.Node]; !ok {
+				firstCommit[e.Node] = e.Seq
+				nodes = append(nodes, e.Node)
+			}
+		}
+	}
+	for _, node := range nodes {
+		s := firstCommit[node]
+		if v.heuristicAt(node) {
+			continue // sanctioned unilateral decision; AC1/AC4 cover it
+		}
+		if v.receivedBefore(node, s, "Commit", "OutcomeCommit") {
+			continue // told by the decision owner
+		}
+		if v.receivedPlainPrepare(node) {
+			out = append(out, v.vio("AC2", node, s,
+				"subordinate decided commit without receiving the outcome"))
+			continue
+		}
+		// Decision owner: unanimous yes among everyone asked before s.
+		if v.receivedBefore(node, s, "VoteNo") {
+			out = append(out, v.vio("AC2", node, s,
+				"decided commit after receiving a no vote"))
+		}
+		for _, e := range v.events {
+			if e.Seq >= s || e.Kind != trace.KindSend || e.Node != node || msgBase(e.Detail) != "Prepare" {
+				continue
+			}
+			peer := e.Peer
+			if msgHasFlag(e.Detail, "Delegate") {
+				out = append(out, v.vio("AC2", node, s,
+					"decided commit while the delegated agent %s had not answered", peer))
+				continue
+			}
+			ok := v.before(s, func(ev trace.Event) bool {
+				if ev.Kind != trace.KindReceive || ev.Node != node || ev.Peer != peer {
+					return false
+				}
+				b := msgBase(ev.Detail)
+				return b == "VoteYes" || b == "VoteReadOnly"
+			})
+			if !ok {
+				out = append(out, v.vio("AC2", node, s,
+					"decided commit without a yes vote from %s", peer))
+			}
+		}
+	}
+	return out
+}
+
+// ac3: the force rules. Forced records precede the messages that
+// promise them, and only the variant's sanctioned lazy writes are
+// lazy.
+func (v *txView) ac3() []Violation {
+	var out []Violation
+	firstPrepareSend := make(map[string]int)
+	for _, e := range v.events {
+		if e.Kind != trace.KindSend {
+			continue
+		}
+		base := msgBase(e.Detail)
+		if base == "Prepare" {
+			if _, ok := firstPrepareSend[e.Node]; !ok {
+				firstPrepareSend[e.Node] = e.Seq
+			}
+		}
+		switch base {
+		case "VoteYes":
+			if !v.logWriteBefore(e.Node, e.Seq, map[string]bool{"Prepared": true}, true) {
+				out = append(out, v.vio("AC3", e.Node, e.Seq,
+					"yes vote sent without a forced Prepared record"))
+			}
+		case "Commit":
+			mustForce := !(v.variant == core.VariantPC && v.receivedPlainPrepare(e.Node))
+			if !v.logWriteBefore(e.Node, e.Seq, map[string]bool{"Committed": true}, mustForce) {
+				out = append(out, v.vio("AC3", e.Node, e.Seq,
+					"Commit sent without a preceding Committed record (forced=%v required)", mustForce))
+			}
+		case "Abort":
+			if v.variant == core.VariantPA {
+				break // presumed abort: aborts need no stable record
+			}
+			forcedAny := v.before(e.Seq, func(ev trace.Event) bool {
+				return ev.Kind == trace.KindLogWrite && ev.Node == e.Node && ev.Forced && tmKinds[ev.Detail]
+			})
+			if !forcedAny && v.receivedBefore(e.Node, e.Seq, "VoteYes") {
+				out = append(out, v.vio("AC3", e.Node, e.Seq,
+					"Abort sent after collecting yes votes with nothing forced"))
+			}
+		case "Ack":
+			done := map[string]bool{"Committed": true, "Aborted": true, "Heuristic": true}
+			if v.logWriteBefore(e.Node, e.Seq, done, false) {
+				break
+			}
+			votedYes := v.before(e.Seq, func(ev trace.Event) bool {
+				return ev.Kind == trace.KindSend && ev.Node == e.Node && msgBase(ev.Detail) == "VoteYes"
+			})
+			if votedYes {
+				out = append(out, v.vio("AC3", e.Node, e.Seq,
+					"Ack sent before the outcome was logged"))
+			}
+		}
+	}
+	// PN and PC hang their presumptions on a stable pre-prepare record:
+	// a coordinator (root or cascaded) must force it before its first
+	// Prepare leaves.
+	if v.variant == core.VariantPN || v.variant == core.VariantPC {
+		for node, seq := range firstPrepareSend {
+			if !v.logWriteBefore(node, seq, pendingKinds, true) {
+				out = append(out, v.vio("AC3", node, seq,
+					"%s Prepare sent without a forced pending/collecting record", v.variant))
+			}
+		}
+	}
+	// Lazy allowlist: PA's and PC's skipped forces are the ONLY
+	// skipped forces (plus End, which every variant writes lazily).
+	for _, e := range v.events {
+		if e.Kind != trace.KindLogWrite || e.Forced || !tmKinds[e.Detail] {
+			continue
+		}
+		switch e.Detail {
+		case "End":
+			// Always lazy: its loss only costs redundant recovery work.
+		case "Aborted":
+			if v.variant != core.VariantPA {
+				out = append(out, v.vio("AC3", e.Node, e.Seq,
+					"lazy Aborted record outside Presumed Abort"))
+			}
+		case "Committed":
+			if !(v.variant == core.VariantPC && v.receivedPlainPrepare(e.Node)) {
+				out = append(out, v.vio("AC3", e.Node, e.Seq,
+					"lazy Committed record outside a PC subordinate"))
+			}
+		default:
+			out = append(out, v.vio("AC3", e.Node, e.Seq,
+				"record %s written lazily; the variant requires a force", e.Detail))
+		}
+	}
+	return out
+}
+
+// ac4: recovery resolves doubt. A node that finishes the run prepared
+// with no outcome is a violation unless it is still crashed or the
+// variant is the baseline (whose coordinator amnesia famously blocks).
+// Under PN a heuristic decision must be reported upstream on the ack.
+func (v *txView) ac4() []Violation {
+	var out []Violation
+	for node, f := range v.final {
+		if !f.InDoubt[v.tx] || f.Crashed {
+			continue
+		}
+		if v.variant == core.VariantBaseline {
+			continue // the known blocking case the presumptions remove
+		}
+		out = append(out, v.vio("AC4", node, 0,
+			"still in doubt after recovery under %s", v.variant))
+	}
+	if v.variant == core.VariantPN {
+		for _, e := range v.events {
+			if e.Kind != trace.KindLogWrite || e.Detail != "Heuristic" {
+				continue
+			}
+			node := e.Node
+			var sawAck, sawReport bool
+			for _, ev := range v.events {
+				if ev.Seq <= e.Seq || ev.Kind != trace.KindSend || ev.Node != node {
+					continue
+				}
+				if msgBase(ev.Detail) == "Ack" {
+					sawAck = true
+					if msgHasFlag(ev.Detail, "Heuristics") {
+						sawReport = true
+					}
+				}
+			}
+			if sawAck && !sawReport {
+				out = append(out, v.vio("AC4", node, e.Seq,
+					"PN heuristic decision not reported on the acknowledgment"))
+			}
+		}
+	}
+	return out
+}
+
+// ac5: locks release no earlier than the variant permits — never
+// before this node's own decision point (a decision taken, an outcome
+// received, a no/read-only vote sent, or a decision record written).
+func (v *txView) ac5() []Violation {
+	var out []Violation
+	for _, e := range v.events {
+		if e.Kind != trace.KindUnlock {
+			continue
+		}
+		node := e.Node
+		ok := v.before(e.Seq, func(ev trace.Event) bool {
+			if ev.Node != node {
+				return false
+			}
+			switch ev.Kind {
+			case trace.KindDecision:
+				return true
+			case trace.KindReceive:
+				switch msgBase(ev.Detail) {
+				case "Commit", "Abort", "OutcomeCommit", "OutcomeAbort":
+					return true
+				}
+			case trace.KindSend:
+				switch msgBase(ev.Detail) {
+				case "VoteNo", "VoteReadOnly":
+					return true
+				}
+			case trace.KindLogWrite:
+				switch ev.Detail {
+				case "Committed", "Aborted", "Heuristic":
+					return true
+				}
+			}
+			return false
+		})
+		if !ok {
+			out = append(out, v.vio("AC5", node, e.Seq,
+				"locks released before any local decision point"))
+		}
+	}
+	return out
+}

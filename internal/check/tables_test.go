@@ -1,0 +1,89 @@
+package check
+
+import (
+	"testing"
+
+	"repro/internal/analytic"
+	"repro/internal/harness"
+)
+
+// TestTablesMatchClosedForms regression-locks the cost model: the
+// simulator's measured message flows, log writes, and forced writes
+// for the paper's Tables 2-4 must equal internal/analytic's closed
+// forms, row for row. The four-variant rows of Table 2 are asserted
+// against their formulas explicitly, so a drift in either the
+// simulator or the analytic package fails with the variant named.
+func TestTablesMatchClosedForms(t *testing.T) {
+	rows, err := harness.Table2()
+	if err != nil {
+		t.Fatalf("table 2: %v", err)
+	}
+	wantVariant := map[string]analytic.Triplet{
+		"Basic 2PC":      analytic.Basic2PC(2),
+		"PN":             analytic.PN(2),
+		"PC (extension)": analytic.PC(2),
+		"PA, commit":     analytic.PACommit(2),
+	}
+	seen := make(map[string]bool)
+	for _, r := range rows {
+		if !r.Match() {
+			t.Errorf("table 2 %q: measured (%s) != closed form (%s)", r.Name, r.Measured, r.Paper)
+		}
+		if want, ok := wantVariant[r.Name]; ok {
+			seen[r.Name] = true
+			if r.Paper != want {
+				t.Errorf("table 2 %q: paper column (%s) drifted from analytic closed form (%s)", r.Name, r.Paper, want)
+			}
+		}
+	}
+	for name := range wantVariant {
+		if !seen[name] {
+			t.Errorf("table 2 lost its %q row", name)
+		}
+	}
+
+	rows3, err := harness.Table3(2, 1)
+	if err != nil {
+		t.Fatalf("table 3: %v", err)
+	}
+	for _, r := range rows3 {
+		if !r.Match() {
+			t.Errorf("table 3 %q: measured (%s) != closed form (%s)", r.Name, r.Measured, r.Paper)
+		}
+	}
+
+	// Table 4's long-locks rows carry documented modeling tolerances
+	// (the final ack flushes at session close; the paper amortizes the
+	// delegation vote onto the conversation's data flush — see
+	// EXPERIMENTS.md), so flows are checked to those bounds while the
+	// write counts stay exact.
+	rows4, err := harness.Table4(3)
+	if err != nil {
+		t.Fatalf("table 4: %v", err)
+	}
+	for _, r := range rows4 {
+		if r.Measured.Writes != r.Paper.Writes || r.Measured.Forced != r.Paper.Forced {
+			t.Errorf("table 4 %q: measured writes (%s) != closed form (%s)", r.Name, r.Measured, r.Paper)
+		}
+	}
+	t4 := func(name string) harness.Row {
+		for _, r := range rows4 {
+			if r.Name == name {
+				return r
+			}
+		}
+		t.Fatalf("table 4 lost its %q row", name)
+		return harness.Row{}
+	}
+	basic, ll, lla := t4("Basic 2PC"), t4("PA & Long Locks (not last agent)"), t4("PA & Long Locks (last agent)")
+	if !basic.Match() {
+		t.Errorf("table 4 basic row: measured (%s) != closed form (%s)", basic.Measured, basic.Paper)
+	}
+	if ll.Measured.Flows > ll.Paper.Flows+1 {
+		t.Errorf("table 4 long-locks flows %d exceed closed form %d (+1 tolerance)", ll.Measured.Flows, ll.Paper.Flows)
+	}
+	if !(basic.Measured.Flows > ll.Measured.Flows && ll.Measured.Flows > lla.Measured.Flows) {
+		t.Errorf("table 4 flow ordering broken: %d, %d, %d",
+			basic.Measured.Flows, ll.Measured.Flows, lla.Measured.Flows)
+	}
+}

@@ -39,8 +39,23 @@ type Engine struct {
 	latency    map[linkKey]time.Duration
 	partitions map[linkKey]bool
 
+	// filter, if set, may mutate or drop each message before delivery
+	// (seeded loss and fault injection for the chaos harness).
+	filter MessageFilter
+
 	txSeq uint64
 }
+
+// MessageFilter inspects one in-flight message. It returns the
+// (possibly rewritten) message and whether to deliver it at all; a
+// false verdict drops the message like a lossy link would.
+type MessageFilter func(from, to NodeID, m protocol.Message) (protocol.Message, bool)
+
+// SetMessageFilter installs (or, with nil, removes) the delivery
+// filter. The filter runs after the send is traced and before the
+// packet is queued, so a drop is visible in the trace as an error
+// event rather than a phantom receive.
+func (e *Engine) SetMessageFilter(f MessageFilter) { e.filter = f }
 
 type linkKey struct{ a, b NodeID }
 
@@ -331,7 +346,7 @@ func (e *Engine) sendPacket(n *Node, to NodeID, msgs []protocol.Message) {
 		e.met.MessageSent(string(n.id), i > 0)
 		e.trc.Add(trace.Event{
 			At: n.localTime, Node: string(n.id), Peer: string(to),
-			Kind: trace.KindSend, Detail: m.Label() + "(" + m.Tx + ")",
+			Kind: trace.KindSend, Tx: m.Tx, Detail: m.Label() + "(" + m.Tx + ")",
 		})
 	}
 	e.met.PacketSent(string(n.id), msgs[0].Type != protocol.MsgData)
@@ -339,6 +354,22 @@ func (e *Engine) sendPacket(n *Node, to NodeID, msgs []protocol.Message) {
 		e.trc.Add(trace.Event{At: n.localTime, Node: string(n.id), Peer: string(to),
 			Kind: trace.KindError, Detail: "packet lost (partition)"})
 		return
+	}
+	if e.filter != nil {
+		kept := msgs[:0:0]
+		for _, m := range msgs {
+			fm, deliver := e.filter(n.id, to, m)
+			if !deliver {
+				e.trc.Add(trace.Event{At: n.localTime, Node: string(n.id), Peer: string(to),
+					Kind: trace.KindError, Tx: m.Tx, Detail: "packet lost (chaos): " + m.Label()})
+				continue
+			}
+			kept = append(kept, fm)
+		}
+		if len(kept) == 0 {
+			return
+		}
+		msgs = kept
 	}
 	arrive := n.localTime + e.linkLatency(n.id, to)
 	pkt := protocol.Packet{From: string(n.id), To: string(to), Messages: msgs}

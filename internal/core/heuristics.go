@@ -76,6 +76,7 @@ func (n *Node) takeHeuristicDecision(c *txCtx) {
 	}
 	c.myHeuristic = &HeuristicReport{Node: n.id, Committed: commit}
 	c.state = stHeurDone
+	n.trcUnlock(c.id, "released")
 }
 
 // resolveHeuristic runs when the true outcome finally reaches a node
@@ -96,6 +97,7 @@ func (n *Node) resolveHeuristic(c *txCtx, commit bool) {
 	c.status.Heuristics = append(c.status.Heuristics, rep)
 	c.decided = true
 	c.decisionCommit = commit
+	n.trcDecision(c, commit)
 
 	// Acknowledge with the report (aborts under PA are normally not
 	// acked, but a heuristic conflict must be surfaced: the paper's

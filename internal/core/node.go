@@ -104,7 +104,7 @@ func (n *Node) observeLog(l *wal.Log) {
 		n.eng.met.LogWrite(string(n.id), rec.Forced)
 		n.eng.trc.Add(trace.Event{
 			At: n.localTime, Node: string(n.id),
-			Kind: trace.KindLogWrite, Detail: rec.Kind, Forced: rec.Forced,
+			Kind: trace.KindLogWrite, Tx: rec.Tx, Detail: rec.Kind, Forced: rec.Forced,
 		})
 		if rec.Forced {
 			n.localTime += n.eng.cfg.ForceDelay
@@ -206,7 +206,7 @@ func (n *Node) deliver(pkt protocol.Packet) {
 		n.eng.met.MessageReceived(string(n.id))
 		n.eng.trc.Add(trace.Event{
 			At: n.localTime, Node: string(n.id), Peer: pkt.From,
-			Kind: trace.KindReceive, Detail: m.Label() + "(" + m.Tx + ")",
+			Kind: trace.KindReceive, Tx: m.Tx, Detail: m.Label() + "(" + m.Tx + ")",
 		})
 		from := NodeID(pkt.From)
 		switch m.Type {
@@ -233,8 +233,18 @@ func (n *Node) deliver(pkt protocol.Packet) {
 // trcState records a state transition in the trace.
 func (n *Node) trcState(tx TxID, detail string) {
 	n.eng.trc.Add(trace.Event{
-		At: n.localTime, Node: string(n.id),
+		At: n.localTime, Node: string(n.id), Tx: tx.String(),
 		Kind: trace.KindState, Detail: detail + "(" + tx.String() + ")",
+	})
+}
+
+// trcUnlock records that this node's resources released their locks
+// for tx — the event the safety oracle's lock-release rule (AC5)
+// checks against the decision point.
+func (n *Node) trcUnlock(tx TxID, detail string) {
+	n.eng.trc.Add(trace.Event{
+		At: n.localTime, Node: string(n.id), Tx: tx.String(),
+		Kind: trace.KindUnlock, Detail: detail + "(" + tx.String() + ")",
 	})
 }
 

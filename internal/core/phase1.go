@@ -531,6 +531,7 @@ func (n *Node) voteUpstream(c *txCtx) {
 		c.votedReadOnly = true
 		n.send(c.coord, msg)
 		n.trcState(c.id, "read-only, released")
+		n.trcUnlock(c.id, "released")
 		n.forget(c, OutcomeUnknown, false)
 		if c.allLeaveOut && opts.LeaveOut {
 			n.suspendTowards(c.coord)
@@ -619,6 +620,7 @@ func (n *Node) suspendTowards(coord NodeID) {
 func (n *Node) abortLocally(c *txCtx) {
 	c.decided = true
 	c.decisionCommit = false
+	n.trcDecision(c, false)
 	n.phase2(c)
 }
 

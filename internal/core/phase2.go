@@ -42,7 +42,7 @@ func (n *Node) trcDecision(c *txCtx, commit bool) {
 		d = "commit"
 	}
 	n.eng.trc.Add(trace.Event{At: n.localTime, Node: string(n.id), Kind: trace.KindDecision,
-		Detail: d + "(" + c.id.String() + ")"})
+		Tx: c.id.String(), Detail: d + "(" + c.id.String() + ")"})
 }
 
 // receivedDecision is taken by a prepared subordinate when the
@@ -53,6 +53,7 @@ func (n *Node) receivedDecision(c *txCtx, commit bool) {
 	}
 	c.decided = true
 	c.decisionCommit = commit
+	n.trcDecision(c, commit)
 	n.disarmHeuristic(c)
 	cfg := n.eng.cfg
 	if commit {
@@ -181,6 +182,7 @@ func (n *Node) completeResources(c *txCtx, commit bool) {
 				n.noteResourceHeuristic(c, r, commit, err)
 			}
 		}
+		n.trcUnlock(c.id, "released")
 		return
 	}
 	for i, r := range c.resources {
@@ -197,6 +199,7 @@ func (n *Node) completeResources(c *txCtx, commit bool) {
 			n.noteResourceHeuristic(c, r, commit, err)
 		}
 	}
+	n.trcUnlock(c.id, "released")
 }
 
 // noteResourceHeuristic interprets a commit/abort failure as a
@@ -286,6 +289,7 @@ func (n *Node) coordinatorOutcome(c *txCtx, commit bool) {
 	}
 	c.decided = true
 	c.decisionCommit = commit
+	n.trcDecision(c, commit)
 	n.disarmHeuristic(c)
 	cfg := n.eng.cfg
 	if c.votedReadOnly {

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/protocol"
+	"repro/internal/trace"
 	"repro/internal/wal"
 )
 
@@ -31,6 +32,7 @@ func (n *Node) restart() {
 	n.crashed = false
 	n.log = wal.New(n.store)
 	n.observeLog(n.log)
+	n.eng.trc.Add(trace.Event{At: n.localTime, Node: string(n.id), Kind: trace.KindError, Detail: "restart"})
 	n.trcApp("restart: scanning log")
 
 	recs, err := n.log.Records()
@@ -203,6 +205,7 @@ func (n *Node) resumeOutcome(tx TxID, p *recPayload, commit bool) {
 	c := n.ctx(tx)
 	c.decided = true
 	c.decisionCommit = commit
+	n.trcDecision(c, commit)
 	c.loggedAny = true
 	c.coord = p.Coord
 	c.haveCoord = p.Coord != ""
@@ -239,6 +242,7 @@ func (n *Node) resumeOutcome(tx TxID, p *recPayload, commit bool) {
 			n.noteResourceHeuristic(c, r, commit, err)
 		}
 	}
+	n.trcUnlock(tx, "released")
 	if !c.isRoot && !c.ackSent {
 		// Our coordinator may still be waiting for our ack.
 		n.sendAckUpstream(c)

@@ -49,11 +49,11 @@ func (p *Participant) runCommit(ctx context.Context, txName string, subs []strin
 	// presumptions hold through a coordinator crash.
 	switch p.variant {
 	case core.VariantPN:
-		if _, err := p.log.Force(wal.Record{Tx: txName, Node: p.name, Kind: "Pending", Data: []byte(strings.Join(subs, ","))}); err != nil {
+		if err := p.force(wal.Record{Tx: txName, Node: p.name, Kind: "Pending", Data: []byte(strings.Join(subs, ","))}); err != nil {
 			return p.abortTx(tx, txName, subs), fmt.Errorf("live: force pending record: %w", err)
 		}
 	case core.VariantPC:
-		if _, err := p.log.Force(wal.Record{Tx: txName, Node: p.name, Kind: "Collecting", Data: []byte(strings.Join(subs, ","))}); err != nil {
+		if err := p.force(wal.Record{Tx: txName, Node: p.name, Kind: "Collecting", Data: []byte(strings.Join(subs, ","))}); err != nil {
 			return p.abortTx(tx, txName, subs), fmt.Errorf("live: force collecting record: %w", err)
 		}
 	}
@@ -132,6 +132,8 @@ func (p *Participant) runCommit(ctx context.Context, txName string, subs []strin
 				retryT = p.nextRetryTimer(bo)
 			case <-deadline.C():
 				return p.abortTx(tx, txName, subs), fmt.Errorf("live: collecting votes for %s: %w", txName, ErrTimeout)
+			case <-p.crashc:
+				return InDoubt, ErrCrashed
 			case <-ctx.Done():
 				return p.abortTx(tx, txName, subs), ctx.Err()
 			}
@@ -150,14 +152,14 @@ func (p *Participant) decideCommit(ctx context.Context, st *txState, tx core.TxI
 	// A fully read-only transaction commits with nothing to log and
 	// nothing to propagate (§4 Read-Only).
 	if !(localVote == protocol.VoteReadOnly && len(yes) == 0) {
-		if _, err := p.log.Force(wal.Record{Tx: txName, Node: p.name, Kind: "Committed"}); err != nil {
+		if err := p.force(wal.Record{Tx: txName, Node: p.name, Kind: "Committed"}); err != nil {
 			// The yes-voters sit prepared holding locks; tell them the
 			// abort now rather than leaving them to recovery.
 			return p.abortTx(tx, txName, yes), fmt.Errorf("live: force commit record: %w", err)
 		}
 	}
-	p.completeResources(tx, true)
 	p.recordDecision(txName, true)
+	p.completeResources(tx, true)
 
 	out := protocol.Message{Type: protocol.MsgCommit, Tx: txName}
 	for _, s := range yes {
@@ -169,7 +171,7 @@ func (p *Participant) decideCommit(ctx context.Context, st *txState, tx core.TxI
 	if expectsAckFor(p.variant, true) && len(yes) > 0 {
 		heur, collectErr = p.collectAcks(ctx, st, txName, yes, out)
 	}
-	_, _ = p.log.Append(wal.Record{Tx: txName, Node: p.name, Kind: "End"})
+	_ = p.lazy(wal.Record{Tx: txName, Node: p.name, Kind: "End"})
 	if err := damageError(txName, heur); err != nil {
 		return Committed, err
 	}
@@ -200,22 +202,22 @@ func (p *Participant) delegate(ctx context.Context, st *txState, tx core.TxID, t
 			if env.msg.Type != protocol.MsgCommit {
 				// The agent decided abort; it has already logged it.
 				p.logAbort(txName)
-				p.completeResources(tx, false)
 				p.recordDecision(txName, false)
+				p.completeResources(tx, false)
 				ab := protocol.Message{Type: protocol.MsgAbort, Tx: txName}
 				for _, s := range yes {
 					_ = p.send(s, ab)
 				}
-				_, _ = p.log.Append(wal.Record{Tx: txName, Node: p.name, Kind: "End"})
+				_ = p.lazy(wal.Record{Tx: txName, Node: p.name, Kind: "End"})
 				return Aborted, nil
 			}
-			if _, err := p.log.Force(wal.Record{Tx: txName, Node: p.name, Kind: "Committed"}); err != nil {
+			if err := p.force(wal.Record{Tx: txName, Node: p.name, Kind: "Committed"}); err != nil {
 				// The global decision is commit regardless; record what
 				// we can and surface the log failure.
 				return Committed, fmt.Errorf("live: force commit record after delegation: %w", err)
 			}
-			p.completeResources(tx, true)
 			p.recordDecision(txName, true)
+			p.completeResources(tx, true)
 			out := protocol.Message{Type: protocol.MsgCommit, Tx: txName}
 			for _, s := range yes {
 				_ = p.send(s, out)
@@ -225,7 +227,7 @@ func (p *Participant) delegate(ctx context.Context, st *txState, tx core.TxID, t
 			if expectsAckFor(p.variant, true) && len(yes) > 0 {
 				heur, collectErr = p.collectAcks(ctx, st, txName, yes, out)
 			}
-			_, _ = p.log.Append(wal.Record{Tx: txName, Node: p.name, Kind: "End"})
+			_ = p.lazy(wal.Record{Tx: txName, Node: p.name, Kind: "End"})
 			if err := damageError(txName, heur); err != nil {
 				return Committed, err
 			}
@@ -234,6 +236,8 @@ func (p *Participant) delegate(ctx context.Context, st *txState, tx core.TxID, t
 			_ = p.send(agent, dm)
 			p.countRetry()
 			retryT = p.nextRetryTimer(bo)
+		case <-p.crashc:
+			return InDoubt, ErrCrashed
 		case <-deadline.C():
 			// The agent owns the decision and may have gone either way:
 			// we are genuinely in doubt until recovery reaches it.
@@ -294,6 +298,8 @@ func (p *Participant) collectAcks(ctx context.Context, st *txState, txName strin
 				}
 			}
 			return heur, fmt.Errorf("live: %d/%d acks outstanding for %s; delivery falls to recovery: %w", missing, len(targets), txName, ErrInDoubt)
+		case <-p.crashc:
+			return heur, ErrCrashed
 		case <-ctx.Done():
 			return heur, ctx.Err()
 		}
@@ -308,13 +314,13 @@ func (p *Participant) collectAcks(ctx context.Context, st *txState, txName strin
 // through inquiry and presumption.
 func (p *Participant) abortTx(tx core.TxID, txName string, subs []string) Outcome {
 	p.logAbort(txName)
-	p.completeResources(tx, false)
 	p.recordDecision(txName, false)
+	p.completeResources(tx, false)
 	ab := protocol.Message{Type: protocol.MsgAbort, Tx: txName}
 	for _, s := range subs {
 		_ = p.send(s, ab)
 	}
-	_, _ = p.log.Append(wal.Record{Tx: txName, Node: p.name, Kind: "End"})
+	_ = p.lazy(wal.Record{Tx: txName, Node: p.name, Kind: "End"})
 	return Aborted
 }
 
@@ -323,9 +329,9 @@ func (p *Participant) abortTx(tx core.TxID, txName string, subs []string) Outcom
 func (p *Participant) logAbort(txName string) {
 	rec := wal.Record{Tx: txName, Node: p.name, Kind: "Aborted"}
 	if p.variant == core.VariantPA {
-		_, _ = p.log.Append(rec)
+		_ = p.lazy(rec)
 	} else {
-		_, _ = p.log.Force(rec)
+		_ = p.force(rec)
 	}
 }
 

@@ -31,6 +31,7 @@
 package live
 
 import (
+	"errors"
 	"sync"
 	"time"
 
@@ -39,6 +40,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/protocol"
+	"repro/internal/trace"
 	"repro/internal/txerr"
 	"repro/internal/wal"
 )
@@ -82,6 +84,11 @@ var (
 	ErrHeuristicDamage = txerr.ErrHeuristicDamage
 )
 
+// ErrCrashed is returned by operations interrupted by an injected
+// crash (see Crash and WithFailpoint). A crashed participant's durable
+// log survives; Restarted builds its successor.
+var ErrCrashed = errors.New("live: participant crashed")
+
 // Participant is one node of a live commit: a transaction manager
 // with local resources, listening on a transport endpoint. A single
 // participant coordinates and subordinates many concurrent
@@ -99,6 +106,8 @@ type Participant struct {
 	retry       RetryPolicy
 	sched       clock.Scheduler
 	met         *metrics.Registry
+	trc         *trace.Tracer
+	fp          func(point string) bool
 	lastAgent   bool
 	retrySeed   int64
 
@@ -107,6 +116,9 @@ type Participant struct {
 	decided map[string]bool // tx -> committed? (for inquiries and duplicates)
 	stopped chan struct{}
 	wg      sync.WaitGroup
+
+	crashOnce sync.Once
+	crashc    chan struct{}
 }
 
 // envelope pairs a protocol message with its sender.
@@ -160,6 +172,7 @@ func NewParticipant(name string, ep netsim.Endpoint, log *wal.Log, resources []c
 		txs:         make(map[string]*txState),
 		decided:     make(map[string]bool),
 		stopped:     make(chan struct{}),
+		crashc:      make(chan struct{}),
 	}
 	for _, o := range opts {
 		o(p)
@@ -195,12 +208,16 @@ func seedFromName(name string) int64 {
 // resolved to abort — the crashed coordinator had not committed, and
 // its presumption variants depend on it answering definitively.
 func (p *Participant) Start() {
-	p.replayLog()
-	if p.met != nil {
-		node := p.name
-		reg := p.met
-		p.log.SetObserver(func(rec wal.Record) { reg.LogWrite(node, rec.Forced) })
+	if p.met != nil || p.trc != nil {
+		node, reg, trc := p.name, p.met, p.trc
+		p.log.SetObserver(func(rec wal.Record) {
+			if reg != nil {
+				reg.LogWrite(node, rec.Forced)
+			}
+			trc.Add(trace.Event{Node: node, Kind: trace.KindLogWrite, Tx: rec.Tx, Detail: rec.Kind, Forced: rec.Forced})
+		})
 	}
+	p.replayLog()
 	p.wg.Add(1)
 	go func() {
 		defer p.wg.Done()
@@ -225,16 +242,114 @@ func (p *Participant) Stop() {
 	p.wg.Wait()
 }
 
+// Crash simulates a process failure: the log's volatile buffer is lost
+// (synced records survive in the store), the endpoint closes, and all
+// further protocol activity at this participant is suppressed. The
+// participant object is dead afterwards; Restarted builds the process
+// image that reboots over the same durable store.
+func (p *Participant) Crash() {
+	p.crashOnce.Do(func() {
+		close(p.crashc)
+		p.log.Crash()
+		p.ep.Close()
+		p.trc.Add(trace.Event{Node: p.name, Kind: trace.KindError, Detail: "crash"})
+	})
+}
+
+// Crashed reports whether Crash has been called.
+func (p *Participant) Crashed() bool {
+	select {
+	case <-p.crashc:
+		return true
+	default:
+		return false
+	}
+}
+
+// hitFailpoint consults the injected failpoint hook (WithFailpoint)
+// and crashes the participant when the hook fires at this point.
+func (p *Participant) hitFailpoint(point string) bool {
+	if p.fp != nil && p.fp(point) {
+		p.Crash()
+		return true
+	}
+	return false
+}
+
+// force writes a forced record through the crash and failpoint hooks:
+// a chaos schedule may kill the participant immediately before or
+// after the record reaches stable storage.
+func (p *Participant) force(rec wal.Record) error {
+	if p.hitFailpoint("before-force:"+rec.Kind) || p.Crashed() {
+		return ErrCrashed
+	}
+	_, err := p.log.Force(rec)
+	if p.hitFailpoint("after-force:" + rec.Kind) {
+		return ErrCrashed
+	}
+	return err
+}
+
+// lazy writes a non-forced record (crash-guarded; lazy writes are not
+// failpoint sites — the protocol never depends on their timing).
+func (p *Participant) lazy(rec wal.Record) error {
+	if p.Crashed() {
+		return ErrCrashed
+	}
+	_, err := p.log.Append(rec)
+	return err
+}
+
+// Restarted returns the participant's reboot: a fresh process image
+// over the same durable store, configuration, resources, tracer, and
+// metrics. The caller supplies the new transport endpoint (the old one
+// died with the crash), optionally overrides options, and must call
+// Start on the result — which replays the durable log exactly as a
+// real restart would.
+func (p *Participant) Restarted(ep netsim.Endpoint, opts ...Option) *Participant {
+	np := NewParticipant(p.name, ep, wal.New(p.log.Store()), p.res,
+		WithVariant(p.variant),
+		WithTimeout(p.voteTimeout, p.ackTimeout),
+		WithRetry(p.retry),
+		WithClock(p.sched),
+		WithRetrySeed(p.retrySeed))
+	np.met = p.met
+	np.trc = p.trc
+	np.lastAgent = p.lastAgent
+	for _, o := range opts {
+		o(np)
+	}
+	np.trc.Add(trace.Event{Node: np.name, Kind: trace.KindError, Detail: "restart"})
+	return np
+}
+
+// Decided returns a snapshot of the decided table: transaction id to
+// committed flag. Chaos harnesses read it to build the oracle's final
+// state.
+func (p *Participant) Decided() map[string]bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]bool, len(p.decided))
+	for tx, c := range p.decided {
+		out[tx] = c
+	}
+	return out
+}
+
 // handle dispatches one wire packet. Collection messages (votes,
 // acks, delegated decisions) are routed to the waiting coordinator
 // inline; work-carrying messages (prepare, outcome, inquiry) each get
 // a goroutine so a slow prepare at one transaction never blocks
 // another transaction's traffic.
 func (p *Participant) handle(pkt protocol.Packet) {
+	if p.Crashed() {
+		return
+	}
 	for _, m := range pkt.Messages {
 		if p.met != nil {
 			p.met.MessageReceived(p.name)
 		}
+		p.trc.Add(trace.Event{Node: p.name, Peer: pkt.From, Kind: trace.KindReceive, Tx: m.Tx, Detail: m.Label() + "(" + m.Tx + ")"})
 		switch m.Type {
 		case protocol.MsgPrepare:
 			p.spawn(pkt.From, m, p.handlePrepare)
@@ -288,11 +403,25 @@ func (p *Participant) forget(tx string) {
 }
 
 // recordDecision publishes tx's outcome for inquiries and duplicate
-// deliveries.
+// deliveries. The first recording of each outcome is traced as the
+// node's decision point (the event the oracle orders lock releases
+// against); crashed participants record nothing.
 func (p *Participant) recordDecision(tx string, committed bool) {
+	if p.Crashed() {
+		return
+	}
 	p.mu.Lock()
+	prev, known := p.decided[tx]
 	p.decided[tx] = committed
 	p.mu.Unlock()
+	if known && prev == committed {
+		return // duplicate (e.g. retransmitted outcome)
+	}
+	d := "abort"
+	if committed {
+		d = "commit"
+	}
+	p.trc.Add(trace.Event{Node: p.name, Kind: trace.KindDecision, Tx: tx, Detail: d + "(" + tx + ")"})
 }
 
 // routeVote delivers a vote to the coordinator collecting it, or
@@ -306,7 +435,28 @@ func (p *Participant) routeVote(from string, m protocol.Message) {
 		p.mu.Unlock()
 		return
 	}
-	st := p.stateLocked(m.Tx)
+	st, exists := p.txs[m.Tx]
+	if !exists && !m.Unsolicited {
+		// A solicited vote for a transaction this node has no memory
+		// of: it sent the Prepare, crashed, and restarted with no
+		// pending record. Nothing can have committed without a durable
+		// decision here, so abort — durably, so later inquiries get the
+		// same answer — rather than resurrecting the transaction as
+		// forever "in progress".
+		p.mu.Unlock()
+		rec := wal.Record{Tx: m.Tx, Node: p.name, Kind: "Aborted"}
+		if p.variant == core.VariantPA {
+			_ = p.lazy(rec)
+		} else if err := p.force(rec); err != nil {
+			return // crashed again; the next restart retries
+		}
+		p.recordDecision(m.Tx, false)
+		_ = p.send(from, protocol.Message{Type: protocol.MsgAbort, Tx: m.Tx})
+		return
+	}
+	if st == nil {
+		st = p.stateLocked(m.Tx)
+	}
 	ch := st.votes
 	if ch == nil {
 		if st.early == nil {
@@ -362,13 +512,24 @@ func (p *Participant) routeAck(from string, m protocol.Message) {
 	}
 }
 
-// send transmits a single protocol message, counting it in metrics.
+// send transmits a single protocol message, counting it in metrics
+// and tracing it. Chaos failpoints fire on either side of the
+// transmission, so a schedule can kill the participant with the
+// message unsent or just sent.
 func (p *Participant) send(to string, m protocol.Message) error {
+	if p.hitFailpoint("before-send:"+m.Type.String()) || p.Crashed() {
+		return ErrCrashed
+	}
 	if p.met != nil {
 		p.met.MessageSent(p.name, false)
 		p.met.PacketSent(p.name, m.Type != protocol.MsgData)
 	}
-	return p.ep.Send(to, protocol.Packet{From: p.name, To: to, Messages: []protocol.Message{m}})
+	p.trc.Add(trace.Event{Node: p.name, Peer: to, Kind: trace.KindSend, Tx: m.Tx, Detail: m.Label() + "(" + m.Tx + ")"})
+	err := p.ep.Send(to, protocol.Packet{From: p.name, To: to, Messages: []protocol.Message{m}})
+	if p.hitFailpoint("after-send:" + m.Type.String()) {
+		return ErrCrashed
+	}
+	return err
 }
 
 // countRetry tallies one retransmission.

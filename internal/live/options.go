@@ -6,6 +6,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/trace"
 	"repro/internal/wal"
 )
 
@@ -83,4 +84,22 @@ func WithGroupCommit(size int, maxDelay time.Duration) Option {
 // name).
 func WithRetrySeed(seed int64) Option {
 	return func(p *Participant) { p.retrySeed = seed }
+}
+
+// WithTrace wires a tracer into the participant: sends, receives, log
+// writes, decisions, lock releases, and crash/restart markers — the
+// event schema internal/check's safety oracle consumes. Participants
+// of one run share a single tracer so the oracle sees a totally
+// ordered interleaving.
+func WithTrace(t *trace.Tracer) Option {
+	return func(p *Participant) { p.trc = t }
+}
+
+// WithFailpoint installs a crash-injection hook. The hook is called at
+// every instrumented protocol step with a point name — for example
+// "before-force:Prepared", "after-send:Commit" — and the participant
+// crashes (as if the process died) whenever the hook returns true.
+// Chaos schedules count points to kill a participant at an exact step.
+func WithFailpoint(fn func(point string) bool) Option {
+	return func(p *Participant) { p.fp = fn }
 }

@@ -59,7 +59,7 @@ func (p *Participant) replayLog() {
 		case st.decided:
 			p.recordDecision(tx, st.committed)
 		case st.init:
-			if _, err := p.log.Force(wal.Record{Tx: tx, Node: p.name, Kind: "Aborted"}); err != nil {
+			if err := p.force(wal.Record{Tx: tx, Node: p.name, Kind: "Aborted"}); err != nil {
 				continue // leave undecided; the next restart retries
 			}
 			p.recordDecision(tx, false)
@@ -90,35 +90,9 @@ func (p *Participant) Inquire(coordinator, txName string) error {
 //
 // ctx bounds the whole recovery pass.
 func (p *Participant) RecoverInDoubt(ctx context.Context, coordinator string) ([]string, error) {
-	recs, err := p.log.Records()
+	inDoubt, announced, err := p.scanInDoubt()
 	if err != nil {
-		return nil, fmt.Errorf("live: reading log: %w", err)
-	}
-	prepared := make(map[string]bool)
-	announced := make(map[string][]byte) // tx -> Prepared record payload
-	var order []string
-	for _, r := range recs {
-		if r.Node != p.name {
-			continue
-		}
-		switch r.Kind {
-		case "Prepared":
-			if !prepared[r.Tx] {
-				prepared[r.Tx] = true
-				order = append(order, r.Tx)
-			}
-			announced[r.Tx] = r.Data
-		case "Committed", "Aborted", "End":
-			if prepared[r.Tx] {
-				prepared[r.Tx] = false
-			}
-		}
-	}
-	var inDoubt []string
-	for _, tx := range order {
-		if prepared[tx] {
-			inDoubt = append(inDoubt, tx)
-		}
+		return nil, err
 	}
 
 	var unresolved []string
@@ -153,6 +127,50 @@ func (p *Participant) RecoverInDoubt(ctx context.Context, coordinator string) ([
 	return inDoubt, nil
 }
 
+// scanInDoubt folds the durable log into the set of transactions this
+// participant prepared but never saw decided, with the presumption
+// payload each Prepared record announced.
+func (p *Participant) scanInDoubt() (inDoubt []string, announced map[string][]byte, err error) {
+	recs, err := p.log.Records()
+	if err != nil {
+		return nil, nil, fmt.Errorf("live: reading log: %w", err)
+	}
+	prepared := make(map[string]bool)
+	announced = make(map[string][]byte) // tx -> Prepared record payload
+	var order []string
+	for _, r := range recs {
+		if r.Node != p.name {
+			continue
+		}
+		switch r.Kind {
+		case "Prepared":
+			if !prepared[r.Tx] {
+				prepared[r.Tx] = true
+				order = append(order, r.Tx)
+			}
+			announced[r.Tx] = r.Data
+		case "Committed", "Aborted", "End":
+			if prepared[r.Tx] {
+				prepared[r.Tx] = false
+			}
+		}
+	}
+	for _, tx := range order {
+		if prepared[tx] {
+			inDoubt = append(inDoubt, tx)
+		}
+	}
+	return inDoubt, announced, nil
+}
+
+// InDoubtTxs returns the transactions this participant's durable log
+// holds prepared with no decision — the set RecoverInDoubt would
+// drive. Chaos harnesses read it to build the oracle's final state.
+func (p *Participant) InDoubtTxs() ([]string, error) {
+	inDoubt, _, err := p.scanInDoubt()
+	return inDoubt, err
+}
+
 // resolveInDoubt drives inquiries for one transaction until its state
 // resolves or the deadline passes.
 func (p *Participant) resolveInDoubt(ctx context.Context, coordinator, txName string) error {
@@ -176,6 +194,8 @@ func (p *Participant) resolveInDoubt(ctx context.Context, coordinator, txName st
 			retryT = p.nextRetryTimer(bo)
 		case <-deadline.C():
 			return fmt.Errorf("live: %s unresolved: %w", txName, ErrInDoubt)
+		case <-p.crashc:
+			return ErrCrashed
 		case <-ctx.Done():
 			return ctx.Err()
 		}

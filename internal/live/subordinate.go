@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/protocol"
+	"repro/internal/trace"
 	"repro/internal/wal"
 )
 
@@ -46,12 +47,13 @@ func (p *Participant) handlePrepare(from string, m protocol.Message) {
 		// The announced presumption rides in the record's payload so a
 		// restart recovers this transaction under the coordinator's
 		// variant, not whatever this node happens to be configured with.
-		if _, err := p.log.Force(wal.Record{Tx: m.Tx, Node: p.name, Kind: "Prepared", Data: presumeData(m.Presume)}); err != nil {
+		if err := p.force(wal.Record{Tx: m.Tx, Node: p.name, Kind: "Prepared", Data: presumeData(m.Presume)}); err != nil {
 			vote = protocol.VoteNo
 		}
 	}
 	switch vote {
 	case protocol.VoteNo:
+		p.recordDecision(st.id, false)
 		p.completeResources(tx, false)
 		p.finishLocked(st, false)
 	case protocol.VoteYes:
@@ -90,28 +92,30 @@ func (p *Participant) handleDelegateLocked(st *txState, from string, m protocol.
 		// The decision is commit: force it before answering. Failure to
 		// log downgrades the decision to abort — nothing has been
 		// promised yet.
-		if _, err := p.log.Force(wal.Record{Tx: m.Tx, Node: p.name, Kind: "Committed"}); err != nil {
+		if err := p.force(wal.Record{Tx: m.Tx, Node: p.name, Kind: "Committed"}); err != nil {
 			vote = protocol.VoteNo
 		}
 	}
 	if vote == protocol.VoteNo {
 		rec := wal.Record{Tx: m.Tx, Node: p.name, Kind: "Aborted"}
 		if v == core.VariantPA {
-			_, _ = p.log.Append(rec)
+			_ = p.lazy(rec)
 		} else {
-			_, _ = p.log.Force(rec)
+			_ = p.force(rec)
 		}
+		p.recordDecision(st.id, false)
 		p.completeResources(tx, false)
 		p.finishLocked(st, false)
-		_, _ = p.log.Append(wal.Record{Tx: m.Tx, Node: p.name, Kind: "End"})
+		_ = p.lazy(wal.Record{Tx: m.Tx, Node: p.name, Kind: "End"})
 		_ = p.send(from, protocol.Message{Type: protocol.MsgAbort, Tx: m.Tx})
 		return
 	}
 	// Commit (a read-only prepare also answers commit, with nothing
 	// logged — there is nothing to redo).
+	p.recordDecision(st.id, true)
 	p.completeResources(tx, true)
 	p.finishLocked(st, true)
-	_, _ = p.log.Append(wal.Record{Tx: m.Tx, Node: p.name, Kind: "End"})
+	_ = p.lazy(wal.Record{Tx: m.Tx, Node: p.name, Kind: "End"})
 	_ = p.send(from, protocol.Message{Type: protocol.MsgCommit, Tx: m.Tx})
 }
 
@@ -148,15 +152,16 @@ func (p *Participant) applyOutcome(from string, m protocol.Message, commit bool)
 		forced = v != core.VariantPA // PA subordinate aborts are presumed: no force
 	}
 	if forced {
-		if _, err := p.log.Force(rec); err != nil {
+		if err := p.force(rec); err != nil {
 			return // stay prepared; a retransmission retries
 		}
 	} else {
-		_, _ = p.log.Append(rec)
+		_ = p.lazy(rec)
 	}
+	p.recordDecision(st.id, commit)
 	heur := p.completeResources(tx, commit)
 	p.finishLocked(st, commit)
-	_, _ = p.log.Append(wal.Record{Tx: m.Tx, Node: p.name, Kind: "End"})
+	_ = p.lazy(wal.Record{Tx: m.Tx, Node: p.name, Kind: "End"})
 	if expectsAckFor(v, commit) {
 		_ = p.send(from, protocol.Message{Type: protocol.MsgAck, Tx: m.Tx, Heuristics: heur})
 	}
@@ -235,12 +240,13 @@ func (p *Participant) UnsolicitedVote(coordinator, txName string) error {
 		// No Prepare has announced a presumption yet; st.presume's zero
 		// value (PresumeNothingKnown) is what phase two will run under,
 		// so it is also what recovery must restore.
-		if _, err := p.log.Force(wal.Record{Tx: txName, Node: p.name, Kind: "Prepared", Data: presumeData(st.presume)}); err != nil {
+		if err := p.force(wal.Record{Tx: txName, Node: p.name, Kind: "Prepared", Data: presumeData(st.presume)}); err != nil {
 			vote = protocol.VoteNo
 		}
 	}
 	switch vote {
 	case protocol.VoteNo:
+		p.recordDecision(st.id, false)
 		p.completeResources(tx, false)
 		p.finishLocked(st, false)
 	case protocol.VoteYes:
@@ -268,8 +274,12 @@ func (p *Participant) prepareLocal(tx core.TxID) protocol.VoteValue {
 
 // completeResources applies the outcome to every local resource and
 // collects heuristic reports from any that had already completed
-// unilaterally.
+// unilaterally. A crashed participant touches nothing: its resources'
+// fate belongs to the restarted process image.
 func (p *Participant) completeResources(tx core.TxID, commit bool) []protocol.HeuristicReport {
+	if p.Crashed() {
+		return nil
+	}
 	var heur []protocol.HeuristicReport
 	for _, r := range p.res {
 		var err error
@@ -298,6 +308,7 @@ func (p *Participant) completeResources(tx core.TxID, commit bool) []protocol.He
 			}
 		}
 	}
+	p.trc.Add(trace.Event{Node: p.name, Kind: trace.KindUnlock, Tx: tx.String(), Detail: "released(" + tx.String() + ")"})
 	return heur
 }
 

@@ -9,6 +9,7 @@ package netsim
 
 import (
 	"errors"
+	"hash/fnv"
 	"math/rand"
 	"sync"
 	"time"
@@ -38,6 +39,12 @@ type Endpoint interface {
 	Close() error
 }
 
+// Transform inspects (and may rewrite or drop) a message in flight.
+// It returns the message to deliver and whether to deliver it at all.
+// Chaos tests use it to inject protocol bugs (e.g. flip a Commit into
+// an Abort) that the safety oracle must catch.
+type Transform func(from, to string, m protocol.Message) (protocol.Message, bool)
+
 // ChanNetwork is an in-process network delivering packets over Go
 // channels, with per-link latency, probabilistic loss and partitions.
 // It is safe for concurrent use.
@@ -47,7 +54,9 @@ type ChanNetwork struct {
 	latency    time.Duration
 	lossProb   float64
 	partitions map[[2]string]bool
-	rng        *rand.Rand
+	seed       int64
+	linkRng    map[[2]string]*rand.Rand
+	transform  Transform
 	closed     bool
 }
 
@@ -60,11 +69,22 @@ func WithLatency(d time.Duration) ChanOption {
 }
 
 // WithLoss sets the probability in [0,1] that any packet is dropped.
+// Each link draws from its own RNG, seeded deterministically from the
+// given seed and the link's (sorted) endpoint names, so a loss pattern
+// replays exactly for a given seed regardless of goroutine scheduling
+// across other links.
 func WithLoss(p float64, seed int64) ChanOption {
 	return func(n *ChanNetwork) {
 		n.lossProb = p
-		n.rng = rand.New(rand.NewSource(seed))
+		n.seed = seed
+		n.linkRng = make(map[[2]string]*rand.Rand)
 	}
+}
+
+// WithTransform installs a message transform applied to every message
+// before delivery (after partition and loss checks).
+func WithTransform(t Transform) ChanOption {
+	return func(n *ChanNetwork) { n.transform = t }
 }
 
 // NewChanNetwork returns an empty channel-backed network.
@@ -72,12 +92,37 @@ func NewChanNetwork(opts ...ChanOption) *ChanNetwork {
 	n := &ChanNetwork{
 		endpoints:  make(map[string]*chanEndpoint),
 		partitions: make(map[[2]string]bool),
-		rng:        rand.New(rand.NewSource(1)),
+		seed:       1,
+		linkRng:    make(map[[2]string]*rand.Rand),
 	}
 	for _, o := range opts {
 		o(n)
 	}
 	return n
+}
+
+// SetLoss changes the drop probability at runtime. Chaos schedules use
+// it to end a loss window (e.g. before driving recovery, which must be
+// able to make progress).
+func (n *ChanNetwork) SetLoss(p float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.lossProb = p
+}
+
+// rngFor returns the deterministic RNG for a link, creating it on
+// first use from the network seed and the link name. Callers hold n.mu.
+func (n *ChanNetwork) rngFor(link [2]string) *rand.Rand {
+	if r, ok := n.linkRng[link]; ok {
+		return r
+	}
+	h := fnv.New64a()
+	h.Write([]byte(link[0]))
+	h.Write([]byte{0})
+	h.Write([]byte(link[1]))
+	r := rand.New(rand.NewSource(n.seed ^ int64(h.Sum64())))
+	n.linkRng[link] = r
+	return r
 }
 
 func linkOf(a, b string) [2]string {
@@ -101,12 +146,19 @@ func (n *ChanNetwork) Heal(a, b string) {
 	delete(n.partitions, linkOf(a, b))
 }
 
-// Endpoint registers (or returns) the endpoint named name.
+// Endpoint registers (or returns) the endpoint named name. A closed
+// endpoint is replaced with a fresh one, which is how a restarted
+// participant rejoins the network after a simulated crash.
 func (n *ChanNetwork) Endpoint(name string) Endpoint {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if ep, ok := n.endpoints[name]; ok {
-		return ep
+		ep.mu.Lock()
+		dead := ep.dead
+		ep.mu.Unlock()
+		if !dead {
+			return ep
+		}
 	}
 	ep := &chanEndpoint{
 		name: name,
@@ -145,16 +197,31 @@ func (e *chanEndpoint) Send(to string, pkt protocol.Packet) error {
 		n.mu.Unlock()
 		return ErrUnknown
 	}
-	if n.partitions[linkOf(e.name, to)] {
+	link := linkOf(e.name, to)
+	if n.partitions[link] {
 		n.mu.Unlock()
 		return nil // silently lost, like a real partition
 	}
-	if n.lossProb > 0 && n.rng.Float64() < n.lossProb {
+	if n.lossProb > 0 && n.rngFor(link).Float64() < n.lossProb {
 		n.mu.Unlock()
 		return nil // dropped
 	}
 	latency := n.latency
+	transform := n.transform
 	n.mu.Unlock()
+
+	if transform != nil {
+		kept := pkt.Messages[:0:0]
+		for _, m := range pkt.Messages {
+			if tm, ok := transform(e.name, to, m); ok {
+				kept = append(kept, tm)
+			}
+		}
+		if len(kept) == 0 {
+			return nil
+		}
+		pkt.Messages = kept
+	}
 
 	deliver := func() {
 		// The mutex is held across the send so Close cannot close the

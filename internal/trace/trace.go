@@ -61,6 +61,7 @@ type Event struct {
 	Node   string
 	Peer   string
 	Kind   Kind
+	Tx     string // transaction the event belongs to ("" if not tx-scoped)
 	Detail string // message type, record type, state name, ...
 	Forced bool   // for KindLogWrite: whether the write was forced
 }
@@ -324,12 +325,16 @@ func (t *Tracer) Participants() []string {
 	return out
 }
 
-// ForTx returns the events that mention the given transaction id in
-// their detail (protocol traces embed "(origin:seq)") — useful when a
-// trace interleaves several transactions.
+// ForTx returns the events belonging to the given transaction id:
+// those tagged with it in their Tx field, plus untagged events that
+// mention it in their detail (protocol traces embed "(origin:seq)") —
+// useful when a trace interleaves several transactions.
 func (t *Tracer) ForTx(txID string) []Event {
 	needle := "(" + txID + ")"
 	return t.Filter(func(e Event) bool {
+		if e.Tx != "" {
+			return e.Tx == txID
+		}
 		return strings.Contains(e.Detail, needle)
 	})
 }

@@ -86,6 +86,15 @@ func (l *Log) WithPolicy(p SyncPolicy) *Log {
 	return l
 }
 
+// Store returns the stable storage the log writes to. A restart after
+// Crash builds a fresh Log over the same store, which is exactly how
+// durable records survive the loss of the volatile buffer.
+func (l *Log) Store() Store {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.store
+}
+
 // SetObserver installs fn, which is called (outside the log's lock)
 // for every logical append or force.
 func (l *Log) SetObserver(fn Observer) {

@@ -1,6 +1,7 @@
 #!/bin/sh
-# check.sh — the repo's pre-merge gate: formatting, vet, and the
-# race-enabled suites for the two protocol runtimes.
+# check.sh — the repo's pre-merge gate: formatting, vet, the
+# race-enabled test suite (including the chaos harness and its safety
+# oracle), and short fuzz smokes over the wire/identifier parsers.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -15,7 +16,11 @@ fi
 echo "== go vet =="
 go vet ./...
 
-echo "== go test -race (live + core) =="
-go test -race ./internal/live/... ./internal/core/...
+echo "== go test -race ./... =="
+go test -race ./...
+
+echo "== fuzz smokes (10s each) =="
+go test -run='^$' -fuzz=FuzzDecode -fuzztime=10s ./internal/protocol
+go test -run='^$' -fuzz=FuzzParseTxID -fuzztime=10s ./internal/core
 
 echo "All checks passed."
