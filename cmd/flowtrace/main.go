@@ -8,16 +8,75 @@
 //	flowtrace -chaos -seed N
 //	                       replay chaos schedule N (internal/check),
 //	                       render its trace, and run the safety oracle
+//	flowtrace -cpuprofile cpu.prof -memprofile mem.prof ...
+//	                       write pprof profiles of the run; chaos
+//	                       replays are the usual target
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/check"
 	"repro/internal/core"
 )
+
+// profiles holds the active pprof outputs so every exit path — normal
+// return or the explicit exit() below — flushes them. os.Exit skips
+// defers, which is why nothing in this command calls it directly.
+type profiles struct {
+	cpu     *os.File
+	memPath string
+}
+
+var prof profiles
+
+func (p *profiles) start(cpuPath, memPath string) {
+	p.memPath = memPath
+	if cpuPath == "" {
+		return
+	}
+	f, err := os.Create(cpuPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flowtrace:", err)
+		exit(1)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, "flowtrace:", err)
+		exit(1)
+	}
+	p.cpu = f
+}
+
+func (p *profiles) stop() {
+	if p.cpu != nil {
+		pprof.StopCPUProfile()
+		p.cpu.Close()
+		p.cpu = nil
+	}
+	if p.memPath != "" {
+		f, err := os.Create(p.memPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "flowtrace:", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // collect dead objects so the profile shows live heap
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "flowtrace:", err)
+		}
+		p.memPath = ""
+	}
+}
+
+// exit flushes profiles and terminates; use instead of os.Exit.
+func exit(code int) {
+	prof.stop()
+	os.Exit(code)
+}
 
 func main() {
 	figure := flag.Int("figure", 0, "figure number to render (1,2,3,4,6,7,8)")
@@ -25,10 +84,16 @@ func main() {
 	mermaid := flag.Bool("mermaid", false, "emit Mermaid sequenceDiagram instead of ASCII")
 	chaos := flag.Bool("chaos", false, "replay a chaos schedule (with -seed) instead of a figure")
 	seed := flag.Int64("seed", 0, "chaos schedule seed for -chaos")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
+
+	prof.start(*cpuprofile, *memprofile)
+	defer prof.stop()
 
 	if *chaos {
 		renderChaos(*seed, *mermaid)
+		prof.stop()
 		return
 	}
 
@@ -40,7 +105,7 @@ func main() {
 		f, ok := figures[n]
 		if !ok {
 			fmt.Fprintf(os.Stderr, "flowtrace: no figure %d (figure 5 is the leave-out hazard; see the Figure-5 test)\n", n)
-			os.Exit(2)
+			exit(2)
 		}
 		title, eng, order := f()
 		fmt.Printf("=== Figure %d: %s ===\n\n", n, title)
@@ -68,7 +133,7 @@ func main() {
 		render(*figure)
 	default:
 		flag.Usage()
-		os.Exit(2)
+		exit(2)
 	}
 }
 
@@ -81,7 +146,7 @@ func renderChaos(seed int64, mermaid bool) {
 	res, err := check.Execute(s)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "flowtrace: chaos %s: %v\n", s, err)
-		os.Exit(1)
+		exit(1)
 	}
 	fmt.Printf("=== Chaos schedule %s ===\n\n", s)
 	if mermaid {
@@ -101,7 +166,7 @@ func renderChaos(seed int64, mermaid bool) {
 		fmt.Printf("  %s\n", v)
 	}
 	fmt.Printf("replay: %s\n", s.ReplayCommand())
-	os.Exit(1)
+	exit(1)
 }
 
 func pairEngine(cfg core.Config) (*core.Engine, *core.Tx) {
@@ -201,6 +266,6 @@ func figure8() (string, *core.Engine, []core.NodeID) {
 func must(err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "flowtrace:", err)
-		os.Exit(1)
+		exit(1)
 	}
 }

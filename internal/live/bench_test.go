@@ -27,6 +27,7 @@ func BenchmarkLiveCommitChannels(b *testing.B) {
 	defer coord.Stop()
 	defer sub.Stop()
 	ctx := context.Background()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tx := core.TxID{Origin: "C", Seq: uint64(i + 1)}
@@ -57,6 +58,7 @@ func BenchmarkLiveCommitTCP(b *testing.B) {
 	defer coord.Stop()
 	defer sub.Stop()
 	ctx := context.Background()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tx := core.TxID{Origin: "C", Seq: uint64(i + 1)}
@@ -86,6 +88,7 @@ func BenchmarkLiveFanout(b *testing.B) {
 				defer p.Stop()
 			}
 			ctx := context.Background()
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				tx := core.TxID{Origin: "C", Seq: uint64(i + 1)}
@@ -128,6 +131,7 @@ func BenchmarkLiveThroughput(b *testing.B) {
 	ctx := context.Background()
 	var seq atomic.Uint64
 	var wg sync.WaitGroup
+	b.ReportAllocs()
 	b.ResetTimer()
 	start := time.Now()
 	for w := 0; w < workers; w++ {
@@ -158,4 +162,117 @@ func BenchmarkLiveThroughput(b *testing.B) {
 		b.ReportMetric(float64(snap.Latency.P50.Microseconds()), "p50_us")
 		b.ReportMetric(float64(snap.Latency.P99.Microseconds()), "p99_us")
 	}
+}
+
+// benchParallelMultiSub drives the headline throughput scenario: many
+// worker goroutines pipelining commits from one coordinator to several
+// subordinates. baseline reverts every hot-path optimization in this
+// package at once — single-shard state table, no flow coalescing, and
+// (over TCP) the per-packet codec — so one run records the pre- and
+// post-optimization numbers side by side.
+func benchParallelMultiSub(b *testing.B, tcp, baseline bool) {
+	const (
+		workers = 16
+		subs    = 3
+	)
+	pOpts := []Option{WithGroupCommit(8, 200*time.Microsecond)}
+	if baseline {
+		pOpts = append(pOpts, WithShards(1), WithoutCoalescing())
+	}
+	var tcpOpts []netsim.TCPOption
+	if baseline {
+		tcpOpts = append(tcpOpts, netsim.WithPerPacketCodec())
+	}
+
+	names := make([]string, subs)
+	for i := range names {
+		names[i] = fmt.Sprintf("S%d", i)
+	}
+	var parts []*Participant
+	if tcp {
+		eps := make(map[string]*netsim.TCPEndpoint, subs+1)
+		for _, name := range append([]string{"C"}, names...) {
+			ep, err := netsim.ListenTCP(name, "127.0.0.1:0", tcpOpts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			eps[name] = ep
+		}
+		for from, ep := range eps {
+			for to, other := range eps {
+				if from != to {
+					ep.Register(to, other.Addr())
+				}
+			}
+		}
+		for name, ep := range eps {
+			parts = append(parts, NewParticipant(name, ep, wal.New(wal.NewMemStore()),
+				[]core.Resource{core.NewStaticResource("r" + name)}, pOpts...))
+		}
+	} else {
+		net := netsim.NewChanNetwork()
+		for _, name := range append([]string{"C"}, names...) {
+			parts = append(parts, NewParticipant(name, net.Endpoint(name), wal.New(wal.NewMemStore()),
+				[]core.Resource{core.NewStaticResource("r" + name)}, pOpts...))
+		}
+	}
+	var coord *Participant
+	for _, p := range parts {
+		if p.Name() == "C" {
+			coord = p
+		}
+		p.Start()
+	}
+	defer func() {
+		for _, p := range parts {
+			p.Stop()
+		}
+	}()
+
+	ctx := context.Background()
+	var seq atomic.Uint64
+	var wg sync.WaitGroup
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				n := seq.Add(1)
+				if n > uint64(b.N) {
+					return
+				}
+				tx := core.TxID{Origin: "C", Seq: n}
+				out, err := coord.Commit(ctx, tx.String(), names)
+				if err != nil || out != Committed {
+					b.Errorf("commit %d: %v %v", n, out, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/elapsed.Seconds(), "commits/sec")
+}
+
+// BenchmarkLiveParallelMultiSub is the acceptance benchmark for the
+// hot-path overhaul: 16 workers × 3 subordinates over the in-process
+// channel transport, optimized (sharded table + flow coalescing, the
+// defaults) against the pre-optimization baseline.
+func BenchmarkLiveParallelMultiSub(b *testing.B) {
+	b.Run("optimized", func(b *testing.B) { benchParallelMultiSub(b, false, false) })
+	b.Run("baseline", func(b *testing.B) { benchParallelMultiSub(b, false, true) })
+}
+
+// BenchmarkLiveParallelMultiSubTCP is the same scenario over loopback
+// TCP, where the baseline additionally pays the per-packet gob codec
+// (a fresh type dictionary on every frame) and one syscall per
+// message.
+func BenchmarkLiveParallelMultiSubTCP(b *testing.B) {
+	b.Run("optimized", func(b *testing.B) { benchParallelMultiSub(b, true, false) })
+	b.Run("baseline", func(b *testing.B) { benchParallelMultiSub(b, true, true) })
 }

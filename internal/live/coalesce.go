@@ -1,0 +1,132 @@
+package live
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/protocol"
+)
+
+// coalescer batches a participant's outbound messages per peer. Send
+// enqueues; a flusher goroutine per busy peer drains the queue and
+// ships each batch as one wire packet (Packet.Messages), so messages
+// to the same peer that overlap in time share framing, encoding, and
+// — over TCP — a syscall. It is the wire-level analog of group
+// commit: the first message in a burst pays for the packet, the rest
+// ride along as piggybacked flows.
+//
+// Flushers are transient: one starts when a peer's queue goes
+// non-empty and exits when it drains, so an idle participant holds no
+// goroutines. With delay == 0 (the default) a batch is whatever
+// accumulated while the previous ep.Send was in flight — latency is
+// never traded for batching. A positive delay holds each batch open
+// on the participant's scheduler for that window before flushing;
+// under a virtual clock the window only closes when a test advances
+// time, which is why 0 is the default.
+type coalescer struct {
+	p     *Participant
+	delay time.Duration
+
+	mu     sync.Mutex
+	peers  map[string]*peerQueue
+	wg     sync.WaitGroup // transient flusher goroutines
+	closed bool
+}
+
+// peerQueue is one peer's pending batch. active is true while a
+// flusher goroutine owns the queue; guarded by the coalescer's mutex
+// (batches are small slices and peers are few, so one lock is cheaper
+// than a lock per peer plus a map lock in front of it).
+type peerQueue struct {
+	pending []protocol.Message
+	active  bool
+}
+
+func newCoalescer(p *Participant, delay time.Duration) *coalescer {
+	return &coalescer{p: p, delay: delay, peers: make(map[string]*peerQueue)}
+}
+
+// enqueue appends m to the peer's batch, starting a flusher if none
+// is running. piggybacked reports whether m joined a packet another
+// message already opened (the batch was non-empty).
+func (c *coalescer) enqueue(to string, m protocol.Message) (piggybacked bool, err error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return false, netsim.ErrClosed
+	}
+	q := c.peers[to]
+	if q == nil {
+		q = &peerQueue{}
+		c.peers[to] = q
+	}
+	piggybacked = len(q.pending) > 0
+	q.pending = append(q.pending, m)
+	if !q.active {
+		q.active = true
+		c.wg.Add(1)
+		go c.flush(to, q)
+	}
+	c.mu.Unlock()
+	return piggybacked, nil
+}
+
+// flush drains one peer's queue: swap the batch out under the lock,
+// ship it with no lock held, repeat until the queue is empty. Send
+// errors are dropped — a condemned connection loses its in-flight
+// packets exactly like the wire does, and the protocol's retries and
+// recovery take over.
+func (c *coalescer) flush(to string, q *peerQueue) {
+	defer c.wg.Done()
+	for {
+		if c.delay > 0 && !c.isClosed() {
+			t := c.p.sched.NewTimer(c.delay)
+			select {
+			case <-t.C():
+			case <-c.p.stopped:
+				t.Stop()
+			case <-c.p.crashc:
+				t.Stop()
+			}
+		}
+		c.mu.Lock()
+		batch := q.pending
+		if len(batch) == 0 {
+			q.active = false
+			c.mu.Unlock()
+			return
+		}
+		q.pending = nil
+		c.mu.Unlock()
+		_ = c.p.ep.Send(to, protocol.Packet{From: c.p.name, To: to, Messages: batch})
+	}
+}
+
+func (c *coalescer) isClosed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
+}
+
+// close stops accepting messages and waits for every queued batch to
+// reach the endpoint; Stop calls it before closing the endpoint so
+// nothing enqueued before Stop is silently dropped.
+func (c *coalescer) close() {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	c.wg.Wait()
+}
+
+// discard stops accepting messages and drops every pending batch
+// without waiting: a crash loses buffered output by design. Flushers
+// mid-Send finish on their own once the endpoint dies.
+func (c *coalescer) discard() {
+	c.mu.Lock()
+	c.closed = true
+	for _, q := range c.peers {
+		q.pending = nil
+	}
+	c.mu.Unlock()
+}

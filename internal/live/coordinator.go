@@ -59,10 +59,11 @@ func (p *Participant) runCommit(ctx context.Context, txName string, subs []strin
 	}
 
 	// Harvest unsolicited votes that arrived before Commit was called.
-	p.mu.Lock()
+	sh := p.shardFor(txName)
+	sh.mu.Lock()
 	early := st.early
 	st.early = nil
-	p.mu.Unlock()
+	sh.mu.Unlock()
 
 	expected := make(map[string]bool, len(others))
 	for _, s := range others {
@@ -349,9 +350,10 @@ func damageError(txName string, heur []protocol.HeuristicReport) error {
 // registerCoord installs the coordinator-side collection channels for
 // one transaction.
 func (p *Participant) registerCoord(txName string, n int) *txState {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	st := p.stateLocked(txName)
+	sh := p.shardFor(txName)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st := sh.stateLocked(txName)
 	st.isCoord = true
 	st.votes = make(chan envelope, 2*n+4)
 	st.acks = make(chan envelope, 2*n+4)
@@ -362,12 +364,13 @@ func (p *Participant) registerCoord(txName string, n int) *txState {
 // unregisterCoord tears the collection channels down once Commit
 // returns; the outcome lives on in the decided map.
 func (p *Participant) unregisterCoord(txName string) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if st, ok := p.txs[txName]; ok && st.isCoord {
+	sh := p.shardFor(txName)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if st, ok := sh.txs[txName]; ok && st.isCoord {
 		// A participant never subordinates a transaction it
 		// coordinates, so the whole entry can go.
-		delete(p.txs, txName)
+		delete(sh.txs, txName)
 	}
 }
 

@@ -50,9 +50,7 @@ func TestLiveInquiryDuringCollectionAnswersInProgress(t *testing.T) {
 		_, _ = coord.Commit(context.Background(), tx.String(), []string{"S"})
 	}()
 	waitUntil(t, time.Second, func() bool {
-		coord.mu.Lock()
-		defer coord.mu.Unlock()
-		_, ok := coord.txs[tx.String()]
+		_, ok := coord.lookup(tx.String())
 		return ok
 	})
 
@@ -176,9 +174,7 @@ func TestLiveLateVoteAfterDecisionDropped(t *testing.T) {
 		t.Fatal(err)
 	}
 	time.Sleep(50 * time.Millisecond)
-	coord.mu.Lock()
-	_, leaked := coord.txs[tx.String()]
-	coord.mu.Unlock()
+	_, leaked := coord.lookup(tx.String())
 	if leaked {
 		t.Fatal("late vote for a decided transaction recreated its state entry")
 	}

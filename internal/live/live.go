@@ -111,9 +111,19 @@ type Participant struct {
 	lastAgent   bool
 	retrySeed   int64
 
-	mu      sync.Mutex
-	txs     map[string]*txState
-	decided map[string]bool // tx -> committed? (for inquiries and duplicates)
+	// Per-transaction state, sharded by fnv hash of the transaction id
+	// (see shard.go). shardHint is the WithShards override consumed at
+	// construction; 0 means GOMAXPROCS-derived.
+	shards    []*txShard
+	shardMask uint32
+	shardHint int
+
+	// out coalesces outbound messages per peer (see coalesce.go); nil
+	// when WithoutCoalescing disabled it.
+	out           *coalescer
+	noCoalesce    bool
+	coalesceDelay time.Duration
+
 	stopped chan struct{}
 	wg      sync.WaitGroup
 
@@ -169,16 +179,23 @@ func NewParticipant(name string, ep netsim.Endpoint, log *wal.Log, resources []c
 		retry:       DefaultRetryPolicy(),
 		sched:       clock.NewWall(),
 		retrySeed:   seedFromName(name),
-		txs:         make(map[string]*txState),
-		decided:     make(map[string]bool),
 		stopped:     make(chan struct{}),
 		crashc:      make(chan struct{}),
 	}
 	for _, o := range opts {
 		o(p)
 	}
+	p.shards = newTxShards(p.shardHint)
+	p.shardMask = uint32(len(p.shards) - 1)
+	if !p.noCoalesce {
+		p.out = newCoalescer(p, p.coalesceDelay)
+	}
 	return p
 }
+
+// ShardCount reports how many shards back the per-transaction state
+// table.
+func (p *Participant) ShardCount() int { return len(p.shards) }
 
 // Name returns the participant's transport name.
 func (p *Participant) Name() string { return p.name }
@@ -236,8 +253,13 @@ func (p *Participant) Start() {
 }
 
 // Stop shuts the participant down and waits for in-flight handlers.
+// Coalesced messages already enqueued are flushed to the wire before
+// the endpoint closes.
 func (p *Participant) Stop() {
 	close(p.stopped)
+	if p.out != nil {
+		p.out.close()
+	}
 	p.ep.Close()
 	p.wg.Wait()
 }
@@ -250,6 +272,9 @@ func (p *Participant) Stop() {
 func (p *Participant) Crash() {
 	p.crashOnce.Do(func() {
 		close(p.crashc)
+		if p.out != nil {
+			p.out.discard()
+		}
 		p.log.Crash()
 		p.ep.Close()
 		p.trc.Add(trace.Event{Node: p.name, Kind: trace.KindError, Detail: "crash"})
@@ -327,12 +352,10 @@ func (p *Participant) Restarted(ep netsim.Endpoint, opts ...Option) *Participant
 // committed flag. Chaos harnesses read it to build the oracle's final
 // state.
 func (p *Participant) Decided() map[string]bool {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	out := make(map[string]bool, len(p.decided))
-	for tx, c := range p.decided {
-		out[tx] = c
-	}
+	out := make(map[string]bool)
+	p.forEachDecided(func(tx string, committed bool) {
+		out[tx] = committed
+	})
 	return out
 }
 
@@ -377,31 +400,6 @@ func (p *Participant) spawn(from string, m protocol.Message, fn func(string, pro
 	}()
 }
 
-// state returns the per-transaction state entry, creating it if
-// needed.
-func (p *Participant) state(tx string) *txState {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stateLocked(tx)
-}
-
-func (p *Participant) stateLocked(tx string) *txState {
-	st, ok := p.txs[tx]
-	if !ok {
-		st = &txState{id: tx, resolved: make(chan struct{})}
-		p.txs[tx] = st
-	}
-	return st
-}
-
-// forget drops a transaction's table entry (its final outcome stays
-// in the decided map for duplicate and inquiry handling).
-func (p *Participant) forget(tx string) {
-	p.mu.Lock()
-	delete(p.txs, tx)
-	p.mu.Unlock()
-}
-
 // recordDecision publishes tx's outcome for inquiries and duplicate
 // deliveries. The first recording of each outcome is traced as the
 // node's decision point (the event the oracle orders lock releases
@@ -410,10 +408,11 @@ func (p *Participant) recordDecision(tx string, committed bool) {
 	if p.Crashed() {
 		return
 	}
-	p.mu.Lock()
-	prev, known := p.decided[tx]
-	p.decided[tx] = committed
-	p.mu.Unlock()
+	sh := p.shardFor(tx)
+	sh.mu.Lock()
+	prev, known := sh.decided[tx]
+	sh.decided[tx] = committed
+	sh.mu.Unlock()
 	if known && prev == committed {
 		return // duplicate (e.g. retransmitted outcome)
 	}
@@ -430,12 +429,13 @@ func (p *Participant) recordDecision(tx string, committed bool) {
 // transactions are dropped outright — buffering them would recreate a
 // table entry nothing ever cleans up.
 func (p *Participant) routeVote(from string, m protocol.Message) {
-	p.mu.Lock()
-	if _, done := p.decided[m.Tx]; done {
-		p.mu.Unlock()
+	sh := p.shardFor(m.Tx)
+	sh.mu.Lock()
+	if _, done := sh.decided[m.Tx]; done {
+		sh.mu.Unlock()
 		return
 	}
-	st, exists := p.txs[m.Tx]
+	st, exists := sh.txs[m.Tx]
 	if !exists && !m.Unsolicited {
 		// A solicited vote for a transaction this node has no memory
 		// of: it sent the Prepare, crashed, and restarted with no
@@ -443,7 +443,7 @@ func (p *Participant) routeVote(from string, m protocol.Message) {
 		// decision here, so abort — durably, so later inquiries get the
 		// same answer — rather than resurrecting the transaction as
 		// forever "in progress".
-		p.mu.Unlock()
+		sh.mu.Unlock()
 		rec := wal.Record{Tx: m.Tx, Node: p.name, Kind: "Aborted"}
 		if p.variant == core.VariantPA {
 			_ = p.lazy(rec)
@@ -455,7 +455,7 @@ func (p *Participant) routeVote(from string, m protocol.Message) {
 		return
 	}
 	if st == nil {
-		st = p.stateLocked(m.Tx)
+		st = sh.stateLocked(m.Tx)
 	}
 	ch := st.votes
 	if ch == nil {
@@ -463,10 +463,10 @@ func (p *Participant) routeVote(from string, m protocol.Message) {
 			st.early = make(map[string]protocol.VoteValue)
 		}
 		st.early[from] = m.Vote
-		p.mu.Unlock()
+		sh.mu.Unlock()
 		return
 	}
-	p.mu.Unlock()
+	sh.mu.Unlock()
 	select {
 	case ch <- envelope{from: from, msg: m}:
 	default:
@@ -477,13 +477,14 @@ func (p *Participant) routeVote(from string, m protocol.Message) {
 // coordinator awaiting its last agent's decision, or down the
 // subordinate outcome path.
 func (p *Participant) routeOutcome(from string, m protocol.Message, commit bool) {
-	p.mu.Lock()
-	st, ok := p.txs[m.Tx]
+	sh := p.shardFor(m.Tx)
+	sh.mu.Lock()
+	st, ok := sh.txs[m.Tx]
 	var ch chan envelope
 	if ok && st.isCoord {
 		ch = st.decision
 	}
-	p.mu.Unlock()
+	sh.mu.Unlock()
 	if ch != nil {
 		select {
 		case ch <- envelope{from: from, msg: m}:
@@ -497,13 +498,14 @@ func (p *Participant) routeOutcome(from string, m protocol.Message, commit bool)
 }
 
 func (p *Participant) routeAck(from string, m protocol.Message) {
-	p.mu.Lock()
-	st, ok := p.txs[m.Tx]
+	sh := p.shardFor(m.Tx)
+	sh.mu.Lock()
+	st, ok := sh.txs[m.Tx]
 	var ch chan envelope
 	if ok {
 		ch = st.acks
 	}
-	p.mu.Unlock()
+	sh.mu.Unlock()
 	if ch != nil {
 		select {
 		case ch <- envelope{from: from, msg: m}:
@@ -516,16 +518,31 @@ func (p *Participant) routeAck(from string, m protocol.Message) {
 // and tracing it. Chaos failpoints fire on either side of the
 // transmission, so a schedule can kill the participant with the
 // message unsent or just sent.
+//
+// With coalescing enabled (the default), "transmission" means handing
+// the message to the per-peer coalescing writer: messages bound for
+// the same peer that overlap in time ride one wire packet. The
+// failpoint, trace, and metric side effects all happen here at
+// enqueue, so chaos schedules and the safety oracle observe the same
+// per-message event order whether or not the wire batches; a message
+// that joined a packet another message opened is counted as
+// piggybacked, the paper's flow-coalescing accounting.
 func (p *Participant) send(to string, m protocol.Message) error {
 	if p.hitFailpoint("before-send:"+m.Type.String()) || p.Crashed() {
 		return ErrCrashed
 	}
+	p.trc.Add(trace.Event{Node: p.name, Peer: to, Kind: trace.KindSend, Tx: m.Tx, Detail: m.Label() + "(" + m.Tx + ")"})
+	var err error
+	piggybacked := false
+	if p.out != nil {
+		piggybacked, err = p.out.enqueue(to, m)
+	} else {
+		err = p.ep.Send(to, protocol.Packet{From: p.name, To: to, Messages: []protocol.Message{m}})
+	}
 	if p.met != nil {
-		p.met.MessageSent(p.name, false)
+		p.met.MessageSent(p.name, piggybacked)
 		p.met.PacketSent(p.name, m.Type != protocol.MsgData)
 	}
-	p.trc.Add(trace.Event{Node: p.name, Peer: to, Kind: trace.KindSend, Tx: m.Tx, Detail: m.Label() + "(" + m.Tx + ")"})
-	err := p.ep.Send(to, protocol.Packet{From: p.name, To: to, Messages: []protocol.Message{m}})
 	if p.hitFailpoint("after-send:" + m.Type.String()) {
 		return ErrCrashed
 	}

@@ -95,6 +95,32 @@ func WithTrace(t *trace.Tracer) Option {
 	return func(p *Participant) { p.trc = t }
 }
 
+// WithShards overrides the shard count of the per-transaction state
+// table (rounded up to a power of two). The default derives from
+// GOMAXPROCS. Benchmarks use WithShards(1) to measure the pre-sharding
+// single-mutex layout; the table's behavior is identical at any count.
+func WithShards(n int) Option {
+	return func(p *Participant) { p.shardHint = n }
+}
+
+// WithoutCoalescing disables the per-peer flow-coalescing writer:
+// every protocol message goes to the endpoint as its own packet, the
+// pre-coalescing behavior. Benchmarks use it as the baseline.
+func WithoutCoalescing() Option {
+	return func(p *Participant) { p.noCoalesce = true }
+}
+
+// WithCoalesceWindow holds each outbound batch open for d on the
+// participant's scheduler before flushing, trading latency for larger
+// batches (§4 flow coalescing, the wire analog of a group-commit
+// delay). The default window is zero: a batch is whatever accumulated
+// while the previous send was in flight, so latency is never traded
+// away. Under a virtual clock a positive window only closes when the
+// test advances time.
+func WithCoalesceWindow(d time.Duration) Option {
+	return func(p *Participant) { p.coalesceDelay = d }
+}
+
 // WithFailpoint installs a crash-injection hook. The hook is called at
 // every instrumented protocol step with a point name — for example
 // "before-force:Prepared", "after-send:Commit" — and the participant

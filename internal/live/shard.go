@@ -1,0 +1,142 @@
+package live
+
+import (
+	"hash/fnv"
+	"runtime"
+	"sync"
+)
+
+// txShard is one hash bucket of a participant's per-transaction state:
+// the live table and the decided map for the transactions hashing
+// here, under one mutex. Keeping both maps in the same shard preserves
+// the old single-mutex atomicity per transaction (routing decisions
+// look at "decided?" and "live entry?" in one critical section) while
+// letting independent transactions proceed on different shards without
+// contention.
+type txShard struct {
+	mu      sync.Mutex
+	txs     map[string]*txState
+	decided map[string]bool // tx -> committed? (for inquiries and duplicates)
+}
+
+// defaultTxShards is the GOMAXPROCS-derived shard count used when
+// WithShards is not given.
+func defaultTxShards() int {
+	n := 4 * runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	if n > 128 {
+		n = 128
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+func newTxShards(n int) []*txShard {
+	if n < 1 {
+		n = defaultTxShards()
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	shards := make([]*txShard, p)
+	for i := range shards {
+		shards[i] = &txShard{
+			txs:     make(map[string]*txState),
+			decided: make(map[string]bool),
+		}
+	}
+	return shards
+}
+
+// shardFor maps a transaction id to its shard by fnv-1a hash.
+func (p *Participant) shardFor(tx string) *txShard {
+	h := fnv.New32a()
+	h.Write([]byte(tx))
+	return p.shards[h.Sum32()&p.shardMask]
+}
+
+// stateLocked returns the shard's entry for tx, creating it if needed.
+// Caller holds sh.mu.
+func (sh *txShard) stateLocked(tx string) *txState {
+	st, ok := sh.txs[tx]
+	if !ok {
+		st = &txState{id: tx, resolved: make(chan struct{})}
+		sh.txs[tx] = st
+	}
+	return st
+}
+
+// state returns the per-transaction state entry, creating it if
+// needed.
+func (p *Participant) state(tx string) *txState {
+	sh := p.shardFor(tx)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.stateLocked(tx)
+}
+
+// lookup returns the live table entry for tx without creating one.
+// Tests and iteration-averse probes use it.
+func (p *Participant) lookup(tx string) (*txState, bool) {
+	sh := p.shardFor(tx)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st, ok := sh.txs[tx]
+	return st, ok
+}
+
+// forget drops a transaction's table entry (its final outcome stays
+// in the decided map for duplicate and inquiry handling).
+func (p *Participant) forget(tx string) {
+	sh := p.shardFor(tx)
+	sh.mu.Lock()
+	delete(sh.txs, tx)
+	sh.mu.Unlock()
+}
+
+// forEachDecided calls fn for every decided transaction across all
+// shards. Recovery, inquiry handling, and the chaos harness see a
+// single logical table through this and Decided — the sharding is
+// invisible above this file.
+//
+// fn runs under the shard's mutex: keep it fast and never call back
+// into the participant's state helpers from it.
+func (p *Participant) forEachDecided(fn func(tx string, committed bool)) {
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		for tx, c := range sh.decided {
+			fn(tx, c)
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// forEachState calls fn for every live table entry across all shards,
+// under the same contract as forEachDecided.
+func (p *Participant) forEachState(fn func(tx string, st *txState)) {
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		for tx, st := range sh.txs {
+			fn(tx, st)
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// StateTableSize reports the number of live (undecided) table entries
+// across all shards; soak tests use it to assert the table drains.
+func (p *Participant) StateTableSize() int {
+	n := 0
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		n += len(sh.txs)
+		sh.mu.Unlock()
+	}
+	return n
+}

@@ -257,9 +257,10 @@ func TestLiveUnsolicitedVote(t *testing.T) {
 	}
 	// Let the vote land in the coordinator's early buffer.
 	waitUntil(t, time.Second, func() bool {
-		coord.mu.Lock()
-		defer coord.mu.Unlock()
-		st, ok := coord.txs[tx.String()]
+		sh := coord.shardFor(tx.String())
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		st, ok := sh.txs[tx.String()]
 		return ok && len(st.early) == 1
 	})
 	out, err := coord.Commit(context.Background(), tx.String(), []string{"S"})

@@ -176,10 +176,11 @@ func (p *Participant) applyOutcome(from string, m protocol.Message, commit bool)
 // presumption. Durable state survives restarts via the Start-time log
 // replay that rebuilds the decided table.
 func (p *Participant) handleInquire(from string, m protocol.Message) {
-	p.mu.Lock()
-	committed, known := p.decided[m.Tx]
-	_, active := p.txs[m.Tx]
-	p.mu.Unlock()
+	sh := p.shardFor(m.Tx)
+	sh.mu.Lock()
+	committed, known := sh.decided[m.Tx]
+	_, active := sh.txs[m.Tx]
+	sh.mu.Unlock()
 	var out protocol.OutcomeKind
 	switch {
 	case known && committed:

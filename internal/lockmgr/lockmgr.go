@@ -12,12 +12,20 @@
 // surfaced immediately) and Acquire for live goroutine workloads
 // (FIFO blocking with context cancellation). Deadlocks among blocked
 // transactions are detected with a waits-for graph.
+//
+// The lock table is sharded by fnv-hashed key (GOMAXPROCS-derived
+// shard count, overridable with WithShards), so independent
+// transactions touching unrelated keys never contend on one mutex.
+// Only the waits-for graph is global — it is consulted exclusively on
+// the slow path, when a request actually blocks.
 package lockmgr
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -78,35 +86,123 @@ type lockState struct {
 	queue   []*waiter
 }
 
-// Manager is a lock manager. The zero value is unusable; construct
-// with New.
-type Manager struct {
+// lockShard is one hash bucket of the lock table: a self-contained
+// lock map with its owner index and hold-time accounting, all under
+// one mutex.
+type lockShard struct {
 	clk clock.Clock
 
 	mu       sync.Mutex
 	locks    map[string]*lockState
-	byOwner  map[string]map[string]bool // owner -> set of keys held
-	waitsOn  map[string]string          // blocked owner -> key it waits on
+	byOwner  map[string]map[string]bool // owner -> set of keys held in this shard
 	holdSum  map[string]time.Duration   // cumulative released hold time per owner
 	totalSum time.Duration
 }
 
-// New returns an empty manager accounting time against clk.
-func New(clk clock.Clock) *Manager {
-	return &Manager{
-		clk:     clk,
-		locks:   make(map[string]*lockState),
-		byOwner: make(map[string]map[string]bool),
-		waitsOn: make(map[string]string),
-		holdSum: make(map[string]time.Duration),
-	}
+// Manager is a sharded lock manager. The zero value is unusable;
+// construct with New.
+type Manager struct {
+	clk    clock.Clock
+	shards []*lockShard
+	mask   uint32
+
+	// The waits-for graph is global (a cycle may span shards) but
+	// slow-path only: it is touched when a request blocks, never on a
+	// grant. Lock order is graphMu before any shard mutex; no path
+	// takes graphMu while holding a shard mutex.
+	graphMu sync.Mutex
+	waitsOn map[string]string // blocked owner -> key it waits on
 }
 
-func (m *Manager) state(key string) *lockState {
-	ls, ok := m.locks[key]
+// Option configures a Manager at construction time.
+type Option func(*managerConfig)
+
+type managerConfig struct {
+	shards int
+}
+
+// WithShards overrides the lock-table shard count (rounded up to a
+// power of two). n < 1 selects the GOMAXPROCS-derived default; 1
+// recovers the unsharded pre-sharding behavior.
+func WithShards(n int) Option {
+	return func(c *managerConfig) { c.shards = n }
+}
+
+// DefaultShards is the GOMAXPROCS-derived shard count New uses when
+// WithShards is not given.
+func DefaultShards() int {
+	return nextPow2(clampInt(4*runtime.GOMAXPROCS(0), 1, 128))
+}
+
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+func clampInt(n, lo, hi int) int {
+	if n < lo {
+		return lo
+	}
+	if n > hi {
+		return hi
+	}
+	return n
+}
+
+// New returns an empty manager accounting time against clk.
+func New(clk clock.Clock, opts ...Option) *Manager {
+	cfg := managerConfig{}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	n := cfg.shards
+	if n < 1 {
+		n = DefaultShards()
+	}
+	n = nextPow2(n)
+	m := &Manager{
+		clk:     clk,
+		shards:  make([]*lockShard, n),
+		mask:    uint32(n - 1),
+		waitsOn: make(map[string]string),
+	}
+	for i := range m.shards {
+		m.shards[i] = &lockShard{
+			clk:     clk,
+			locks:   make(map[string]*lockState),
+			byOwner: make(map[string]map[string]bool),
+			holdSum: make(map[string]time.Duration),
+		}
+	}
+	return m
+}
+
+// ShardCount reports the configured shard count; tests use it to
+// construct keys that land in specific shards.
+func (m *Manager) ShardCount() int { return len(m.shards) }
+
+// shard maps a key to its shard by fnv-1a hash.
+func (m *Manager) shard(key string) *lockShard {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return m.shards[h.Sum32()&m.mask]
+}
+
+// ShardIndex exposes the key-to-shard mapping for tests.
+func (m *Manager) ShardIndex(key string) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() & m.mask)
+}
+
+func (sh *lockShard) state(key string) *lockState {
+	ls, ok := sh.locks[key]
 	if !ok {
 		ls = &lockState{holders: make(map[string]*holder)}
-		m.locks[key] = ls
+		sh.locks[key] = ls
 	}
 	return ls
 }
@@ -125,18 +221,18 @@ func compatible(ls *lockState, owner string, mode Mode) bool {
 	return true
 }
 
-// grantLocked records the grant. Caller holds m.mu.
-func (m *Manager) grantLocked(ls *lockState, key, owner string, mode Mode) {
+// grantLocked records the grant. Caller holds sh.mu.
+func (sh *lockShard) grantLocked(ls *lockState, key, owner string, mode Mode) {
 	h, ok := ls.holders[owner]
 	if !ok {
-		ls.holders[owner] = &holder{mode: mode, granted: m.clk.Now()}
+		ls.holders[owner] = &holder{mode: mode, granted: sh.clk.Now()}
 	} else if mode == Exclusive && h.mode == Shared {
 		h.mode = Exclusive // upgrade keeps the original grant time
 	}
-	keys := m.byOwner[owner]
+	keys := sh.byOwner[owner]
 	if keys == nil {
 		keys = make(map[string]bool)
-		m.byOwner[owner] = keys
+		sh.byOwner[owner] = keys
 	}
 	keys[key] = true
 }
@@ -146,7 +242,7 @@ func (m *Manager) grantLocked(ls *lockState, key, owner string, mode Mode) {
 // waiter from a different owner is queued (which prevents writer
 // starvation). Re-requests and upgrades by an existing holder bypass
 // the queue.
-func (m *Manager) canGrantLocked(ls *lockState, owner string, mode Mode) bool {
+func canGrantLocked(ls *lockState, owner string, mode Mode) bool {
 	if !compatible(ls, owner, mode) {
 		return false
 	}
@@ -165,59 +261,84 @@ func (m *Manager) canGrantLocked(ls *lockState, owner string, mode Mode) bool {
 // never blocks, which makes it safe to call from the deterministic
 // simulator's single dispatcher.
 func (m *Manager) TryAcquire(owner, key string, mode Mode) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	ls := m.state(key)
+	sh := m.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ls := sh.state(key)
 	if h, ok := ls.holders[owner]; ok && (mode == Shared || h.mode == Exclusive) {
 		return nil // already held in a sufficient mode
 	}
-	if !m.canGrantLocked(ls, owner, mode) {
+	if !canGrantLocked(ls, owner, mode) {
 		return fmt.Errorf("%w: %s wants %v on %q", ErrConflict, owner, mode, key)
 	}
-	m.grantLocked(ls, key, owner, mode)
+	sh.grantLocked(ls, key, owner, mode)
 	return nil
 }
 
 // Acquire blocks until the lock is granted, ctx is done, or a
 // deadlock is detected (in which case the caller is the victim).
 func (m *Manager) Acquire(ctx context.Context, owner, key string, mode Mode) error {
-	m.mu.Lock()
-	ls := m.state(key)
+	sh := m.shard(key)
+	sh.mu.Lock()
+	ls := sh.state(key)
 	if h, ok := ls.holders[owner]; ok && (mode == Shared || h.mode == Exclusive) {
-		m.mu.Unlock()
+		sh.mu.Unlock()
 		return nil
 	}
-	if m.canGrantLocked(ls, owner, mode) {
-		m.grantLocked(ls, key, owner, mode)
-		m.mu.Unlock()
+	if canGrantLocked(ls, owner, mode) {
+		sh.grantLocked(ls, key, owner, mode)
+		sh.mu.Unlock()
 		return nil
-	}
-	if m.wouldDeadlockLocked(owner, key) {
-		m.mu.Unlock()
-		return fmt.Errorf("%w: victim %s waiting for %q", ErrDeadlock, owner, key)
 	}
 	w := &waiter{owner: owner, mode: mode, ready: make(chan struct{})}
 	ls.queue = append(ls.queue, w)
+	sh.mu.Unlock()
+
+	// The wait edge goes into the graph before the cycle check, so two
+	// racing requests that jointly close a cycle cannot both miss it
+	// (at worst both are victimized — safe, just unlucky).
+	m.graphMu.Lock()
 	m.waitsOn[owner] = key
-	m.mu.Unlock()
+	cyclic := m.cyclicLocked(owner, key)
+	m.graphMu.Unlock()
+	if cyclic {
+		sh.mu.Lock()
+		granted := false
+		select {
+		case <-w.ready:
+			granted = true // raced with a release; the grant wins
+		default:
+			sh.removeWaiterLocked(key, w)
+		}
+		sh.mu.Unlock()
+		m.clearWait(owner)
+		if granted {
+			return w.err
+		}
+		return fmt.Errorf("%w: victim %s waiting for %q", ErrDeadlock, owner, key)
+	}
 
 	select {
 	case <-w.ready:
-		m.mu.Lock()
-		delete(m.waitsOn, owner)
-		m.mu.Unlock()
+		m.clearWait(owner)
 		return w.err
 	case <-ctx.Done():
-		m.mu.Lock()
-		delete(m.waitsOn, owner)
-		m.removeWaiterLocked(key, w)
-		m.mu.Unlock()
+		sh.mu.Lock()
+		sh.removeWaiterLocked(key, w)
+		sh.mu.Unlock()
+		m.clearWait(owner)
 		return ctx.Err()
 	}
 }
 
-func (m *Manager) removeWaiterLocked(key string, w *waiter) {
-	ls, ok := m.locks[key]
+func (m *Manager) clearWait(owner string) {
+	m.graphMu.Lock()
+	delete(m.waitsOn, owner)
+	m.graphMu.Unlock()
+}
+
+func (sh *lockShard) removeWaiterLocked(key string, w *waiter) {
+	ls, ok := sh.locks[key]
 	if !ok {
 		return
 	}
@@ -227,24 +348,30 @@ func (m *Manager) removeWaiterLocked(key string, w *waiter) {
 			break
 		}
 	}
-	m.wakeLocked(key)
+	sh.wakeLocked(key)
 }
 
-// wouldDeadlockLocked walks the waits-for graph: owner would wait for
-// the holders of key; if any path of waits leads back to owner, the
-// wait is unsafe.
-func (m *Manager) wouldDeadlockLocked(owner, key string) bool {
+// cyclicLocked walks the waits-for graph: owner is waiting for the
+// holders of key; if any chain of waits leads back to owner, the wait
+// is unsafe. Caller holds graphMu; shard mutexes are taken briefly
+// (one at a time) to snapshot holders.
+func (m *Manager) cyclicLocked(owner, start string) bool {
 	visited := make(map[string]bool)
-	var blockedBy func(k string, depth int) bool
-	blockedBy = func(k string, depth int) bool {
+	var blockedBy func(key string, depth int) bool
+	blockedBy = func(key string, depth int) bool {
 		if depth > 1000 {
 			return false
 		}
-		ls, ok := m.locks[k]
-		if !ok {
-			return false
+		sh := m.shard(key)
+		sh.mu.Lock()
+		var level []string
+		if ls, ok := sh.locks[key]; ok {
+			for h := range ls.holders {
+				level = append(level, h)
+			}
 		}
-		for h := range ls.holders {
+		sh.mu.Unlock()
+		for _, h := range level {
 			if h == owner {
 				return true
 			}
@@ -258,13 +385,13 @@ func (m *Manager) wouldDeadlockLocked(owner, key string) bool {
 		}
 		return false
 	}
-	return blockedBy(key, 0)
+	return blockedBy(start, 0)
 }
 
 // wakeLocked grants as many queued waiters on key as compatibility
-// allows, in FIFO order.
-func (m *Manager) wakeLocked(key string) {
-	ls, ok := m.locks[key]
+// allows, in FIFO order. Caller holds sh.mu.
+func (sh *lockShard) wakeLocked(key string) {
+	ls, ok := sh.locks[key]
 	if !ok {
 		return
 	}
@@ -274,7 +401,7 @@ func (m *Manager) wakeLocked(key string) {
 			return
 		}
 		ls.queue = ls.queue[1:]
-		m.grantLocked(ls, key, w.owner, w.mode)
+		sh.grantLocked(ls, key, w.owner, w.mode)
 		close(w.ready)
 	}
 }
@@ -282,39 +409,42 @@ func (m *Manager) wakeLocked(key string) {
 // ReleaseAll releases every lock owner holds, returning the released
 // locks with their hold durations, and wakes eligible waiters. It is
 // the unlock step of strict 2PL: all locks drop together at commit or
-// abort.
+// abort (shard by shard; within a shard the release is atomic).
 func (m *Manager) ReleaseAll(owner string) []Held {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	now := m.clk.Now()
-	keys := m.byOwner[owner]
-	out := make([]Held, 0, len(keys))
-	for key := range keys {
-		ls := m.locks[key]
-		h, ok := ls.holders[owner]
-		if !ok {
-			continue
+	var out []Held
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		keys := sh.byOwner[owner]
+		for key := range keys {
+			ls := sh.locks[key]
+			h, ok := ls.holders[owner]
+			if !ok {
+				continue
+			}
+			hold := now - h.granted
+			if hold < 0 {
+				hold = 0
+			}
+			out = append(out, Held{Key: key, Mode: h.mode, Hold: hold})
+			sh.holdSum[owner] += hold
+			sh.totalSum += hold
+			delete(ls.holders, owner)
+			sh.wakeLocked(key)
 		}
-		hold := now - h.granted
-		if hold < 0 {
-			hold = 0
-		}
-		out = append(out, Held{Key: key, Mode: h.mode, Hold: hold})
-		m.holdSum[owner] += hold
-		m.totalSum += hold
-		delete(ls.holders, owner)
-		m.wakeLocked(key)
+		delete(sh.byOwner, owner)
+		sh.mu.Unlock()
 	}
-	delete(m.byOwner, owner)
 	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
 	return out
 }
 
 // Holds reports whether owner currently holds key in at least mode.
 func (m *Manager) Holds(owner, key string, mode Mode) bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	ls, ok := m.locks[key]
+	sh := m.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ls, ok := sh.locks[key]
 	if !ok {
 		return false
 	}
@@ -327,11 +457,13 @@ func (m *Manager) Holds(owner, key string, mode Mode) bool {
 
 // HeldKeys returns the sorted keys owner currently holds.
 func (m *Manager) HeldKeys(owner string) []string {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	var out []string
-	for k := range m.byOwner[owner] {
-		out = append(out, k)
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		for k := range sh.byOwner[owner] {
+			out = append(out, k)
+		}
+		sh.mu.Unlock()
 	}
 	sort.Strings(out)
 	return out
@@ -340,25 +472,34 @@ func (m *Manager) HeldKeys(owner string) []string {
 // HoldTime returns the cumulative hold time of locks owner has
 // released so far.
 func (m *Manager) HoldTime(owner string) time.Duration {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.holdSum[owner]
+	var sum time.Duration
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		sum += sh.holdSum[owner]
+		sh.mu.Unlock()
+	}
+	return sum
 }
 
 // TotalHoldTime returns cumulative released hold time across all
 // owners.
 func (m *Manager) TotalHoldTime() time.Duration {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.totalSum
+	var sum time.Duration
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		sum += sh.totalSum
+		sh.mu.Unlock()
+	}
+	return sum
 }
 
 // WaiterCount reports how many requests are queued on key; tests use
 // it to assert fairness behavior.
 func (m *Manager) WaiterCount(key string) int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if ls, ok := m.locks[key]; ok {
+	sh := m.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if ls, ok := sh.locks[key]; ok {
 		return len(ls.queue)
 	}
 	return 0

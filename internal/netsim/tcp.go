@@ -12,52 +12,85 @@ import (
 )
 
 // TCPEndpoint is an Endpoint backed by a real TCP listener. Packets
-// are length-prefixed gob frames; connections are dialed lazily per
-// destination and reused.
+// are length-prefixed frames from a persistent per-connection gob
+// stream (protocol.StreamCodec): the type dictionary crosses the wire
+// once per connection, not once per packet. Connections are dialed
+// lazily per destination and reused; each has a dedicated writer
+// goroutine, so senders only enqueue — encoding happens outside any
+// caller-visible critical section, and frames queued while a write
+// syscall was in flight are flushed together in one syscall.
 type TCPEndpoint struct {
-	name string
-	ln   net.Listener
-	in   chan protocol.Packet
+	name      string
+	ln        net.Listener
+	in        chan protocol.Packet
+	perPacket bool // use the stateless per-packet codec (see WithPerPacketCodec)
 
-	mu    sync.Mutex
-	peers map[string]string // name -> address
-	conns map[string]*tcpConn
-	done  chan struct{}
-	once  sync.Once
+	mu       sync.Mutex
+	peers    map[string]string // name -> address
+	conns    map[string]*tcpConn
+	accepted map[net.Conn]struct{} // inbound connections, closed on shutdown
+	done     chan struct{}
+	once     sync.Once
+	wg       sync.WaitGroup // per-connection reader and writer goroutines
 }
 
-// tcpConn is one cached outbound connection. Each has its own write
-// lock so concurrent sends to different peers do not serialize on the
-// endpoint — only writes to the same peer queue up (TCP framing
-// requires that much).
+// TCPOption configures a TCPEndpoint.
+type TCPOption func(*TCPEndpoint)
+
+// WithPerPacketCodec makes the endpoint frame every packet as a
+// self-contained gob blob (protocol.PacketCodec) instead of a
+// persistent per-connection stream, and write one frame per syscall.
+// This is the pre-streaming wire format; benchmarks use it as the
+// baseline, and both ends of a link must agree on the codec.
+func WithPerPacketCodec() TCPOption {
+	return func(e *TCPEndpoint) { e.perPacket = true }
+}
+
+// tcpConn is one cached outbound connection. Senders enqueue packets
+// on q; the connection's writer goroutine owns the codec and the
+// socket, encoding and writing with no lock held. dead is closed when
+// the writer exits (write failure or endpoint shutdown) — a sender
+// that observes it drops the connection from the cache and redials.
 type tcpConn struct {
-	mu   sync.Mutex
 	conn net.Conn
-	bad  bool // a write failed; do not reuse
+	q    chan protocol.Packet
+	dead chan struct{}
 }
 
 // maxFrame bounds a frame to keep a corrupted length prefix from
 // allocating unbounded memory.
 const maxFrame = 16 << 20
 
+// maxWriteBatch caps how many bytes of queued frames one writer-loop
+// iteration coalesces into a single Write.
+const maxWriteBatch = 256 << 10
+
+// sendQueueDepth is the per-connection outbound queue. A full queue
+// applies backpressure (Send blocks) rather than dropping.
+const sendQueueDepth = 256
+
 // errCondemned stands in for the write error observed by whichever
-// concurrent sender condemned a cached connection first.
+// send condemned a cached connection first.
 var errCondemned = errors.New("netsim: cached connection condemned by concurrent send failure")
 
 // ListenTCP starts an endpoint named name on addr (e.g.
 // "127.0.0.1:0"). The OS-assigned address is available from Addr.
-func ListenTCP(name, addr string) (*TCPEndpoint, error) {
+func ListenTCP(name, addr string, opts ...TCPOption) (*TCPEndpoint, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("netsim: listen %s: %w", addr, err)
 	}
 	e := &TCPEndpoint{
-		name:  name,
-		ln:    ln,
-		in:    make(chan protocol.Packet, 256),
-		peers: make(map[string]string),
-		conns: make(map[string]*tcpConn),
-		done:  make(chan struct{}),
+		name:     name,
+		ln:       ln,
+		in:       make(chan protocol.Packet, 256),
+		peers:    make(map[string]string),
+		conns:    make(map[string]*tcpConn),
+		accepted: make(map[net.Conn]struct{}),
+		done:     make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(e)
 	}
 	go e.acceptLoop()
 	return e, nil
@@ -85,12 +118,34 @@ func (e *TCPEndpoint) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
+		e.mu.Lock()
+		select {
+		case <-e.done:
+			e.mu.Unlock()
+			conn.Close()
+			return
+		default:
+		}
+		e.accepted[conn] = struct{}{}
+		e.wg.Add(1)
+		e.mu.Unlock()
 		go e.readLoop(conn)
 	}
 }
 
 func (e *TCPEndpoint) readLoop(conn net.Conn) {
-	defer conn.Close()
+	defer e.wg.Done()
+	defer func() {
+		conn.Close()
+		e.mu.Lock()
+		delete(e.accepted, conn)
+		e.mu.Unlock()
+	}()
+	var codec protocol.Codec = protocol.PacketCodec{}
+	if !e.perPacket {
+		codec = protocol.NewStreamCodec()
+	}
+	var buf []byte
 	for {
 		var length uint32
 		if err := binary.Read(conn, binary.BigEndian, &length); err != nil {
@@ -99,13 +154,19 @@ func (e *TCPEndpoint) readLoop(conn net.Conn) {
 		if length > maxFrame {
 			return
 		}
-		buf := make([]byte, length)
+		if uint32(cap(buf)) < length {
+			buf = make([]byte, length)
+		}
+		buf = buf[:length]
 		if _, err := io.ReadFull(conn, buf); err != nil {
 			return
 		}
-		pkt, err := protocol.Decode(buf)
+		pkt, err := codec.DecodeFrame(buf)
 		if err != nil {
-			continue // corrupt frame: drop, keep the connection
+			if !e.perPacket {
+				return // stream state is unrecoverable; drop the connection
+			}
+			continue // self-contained frame: drop it, keep the connection
 		}
 		select {
 		case e.in <- pkt:
@@ -115,58 +176,88 @@ func (e *TCPEndpoint) readLoop(conn net.Conn) {
 	}
 }
 
-// Send implements Endpoint: it frames and writes the packet on a
-// cached per-peer connection, dialing on first use and redialing once
-// if the cached connection has gone stale (the peer restarted, or an
-// idle connection was reset). A second failure is surfaced to the
-// caller — at that point the packet is genuinely lost and the commit
-// protocol's retries/recovery take over.
+// Send implements Endpoint: it enqueues the packet on a cached per-peer
+// connection's writer, dialing on first use and redialing once if the
+// cached connection has died (the peer restarted, or a concurrent send
+// hit a write error). The writer goroutine encodes and writes
+// asynchronously; a failure there condemns the connection, and the
+// queued packets are lost exactly like packets on the wire — the
+// commit protocol's retries and recovery take over. A second enqueue
+// failure is surfaced to the caller.
 func (e *TCPEndpoint) Send(to string, pkt protocol.Packet) error {
 	select {
 	case <-e.done:
 		return ErrClosed
 	default:
 	}
-	data, err := pkt.Encode()
-	if err != nil {
-		return err
-	}
-	frame := make([]byte, 4+len(data))
-	binary.BigEndian.PutUint32(frame, uint32(len(data)))
-	copy(frame[4:], data)
-
-	var lastErr error
 	for attempt := 0; attempt < 2; attempt++ {
 		c, err := e.conn(to)
 		if err != nil {
 			return err
 		}
-		c.mu.Lock()
-		if c.bad {
-			// Another sender already condemned it between our conn()
-			// and locking. Drop it from the cache (the condemner may
-			// not have yet) so the retry dials fresh, and record a real
-			// cause in case this was the last attempt.
-			c.mu.Unlock()
-			e.dropConn(to, c)
-			lastErr = errCondemned
-			continue
-		}
-		_, err = c.conn.Write(frame)
-		if err == nil {
-			c.mu.Unlock()
+		select {
+		case c.q <- pkt:
 			return nil
+		case <-c.dead:
+			e.dropConn(to, c)
+		case <-e.done:
+			return ErrClosed
 		}
-		c.bad = true
-		c.conn.Close()
-		c.mu.Unlock()
-		e.dropConn(to, c)
-		lastErr = err
 	}
-	return fmt.Errorf("netsim: send to %s: %w", to, lastErr)
+	return fmt.Errorf("netsim: send to %s: %w", to, errCondemned)
 }
 
-// conn returns the cached connection for to, dialing if absent.
+// writeLoop drains one connection's queue: the first packet is taken
+// blocking, then every packet already queued is coalesced into the
+// same buffer (up to maxWriteBatch) and the whole batch goes out in
+// one Write. Under per-packet load this degenerates to one frame per
+// syscall; under concurrent senders it is the wire-level analog of
+// group commit.
+func (e *TCPEndpoint) writeLoop(c *tcpConn) {
+	defer e.wg.Done()
+	defer close(c.dead)
+	defer c.conn.Close()
+	var codec protocol.Codec = protocol.PacketCodec{}
+	if !e.perPacket {
+		codec = protocol.NewStreamCodec()
+	}
+	bufp := protocol.FrameBufPool.Get().(*[]byte)
+	defer protocol.FrameBufPool.Put(bufp)
+	for {
+		var pkt protocol.Packet
+		select {
+		case pkt = <-c.q:
+		case <-e.done:
+			return
+		}
+		buf := (*bufp)[:0]
+		var err error
+		if buf, err = codec.AppendFrame(buf, pkt); err != nil {
+			return
+		}
+		if !e.perPacket {
+			// Batch whatever queued while we were encoding or writing.
+		drain:
+			for len(buf) < maxWriteBatch {
+				select {
+				case pkt = <-c.q:
+					if buf, err = codec.AppendFrame(buf, pkt); err != nil {
+						return
+					}
+				default:
+					break drain
+				}
+			}
+		}
+		*bufp = buf[:0] // keep the grown capacity for the next iteration
+		if _, err := c.conn.Write(buf); err != nil {
+			return
+		}
+	}
+}
+
+// conn returns the cached connection for to, dialing (and starting its
+// writer) if absent.
 func (e *TCPEndpoint) conn(to string) (*tcpConn, error) {
 	e.mu.Lock()
 	if c, ok := e.conns[to]; ok {
@@ -182,15 +273,27 @@ func (e *TCPEndpoint) conn(to string) (*tcpConn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("netsim: dial %s (%s): %w", to, addr, err)
 	}
-	c := &tcpConn{conn: nc}
+	c := &tcpConn{conn: nc, q: make(chan protocol.Packet, sendQueueDepth), dead: make(chan struct{})}
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	if cur, ok := e.conns[to]; ok {
 		// Lost a dial race; keep the established one.
+		e.mu.Unlock()
 		nc.Close()
 		return cur, nil
 	}
 	e.conns[to] = c
+	select {
+	case <-e.done:
+		// Closed while dialing: don't start a writer on a dead endpoint.
+		e.mu.Unlock()
+		nc.Close()
+		close(c.dead)
+		return c, nil
+	default:
+	}
+	e.wg.Add(1)
+	e.mu.Unlock()
+	go e.writeLoop(c)
 	return c, nil
 }
 
@@ -212,7 +315,11 @@ func (e *TCPEndpoint) Close() error {
 		for _, c := range e.conns {
 			c.conn.Close()
 		}
+		for c := range e.accepted {
+			c.Close()
+		}
 		e.mu.Unlock()
+		e.wg.Wait()
 		close(e.in)
 	})
 	return nil

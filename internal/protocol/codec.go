@@ -1,0 +1,119 @@
+package protocol
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"sync"
+)
+
+// Codec frames packets for a byte-stream transport. AppendFrame
+// appends one length-prefixed frame carrying pkt to dst and returns
+// the extended slice; DecodeFrame decodes the packet carried by one
+// frame (the payload only, without its length prefix).
+//
+// A codec instance is bound to one connection: the streaming
+// implementation keeps per-connection gob state, so frames must be
+// decoded by the same codec that will decode the rest of that
+// connection's stream, in wire order. The length prefix — not the gob
+// stream — carries the frame boundaries, so transports can still
+// inspect, drop, or transform whole frames in flight.
+type Codec interface {
+	AppendFrame(dst []byte, pkt Packet) ([]byte, error)
+	DecodeFrame(frame []byte) (Packet, error)
+}
+
+// PacketCodec is the stateless per-packet codec: every frame is a
+// self-contained gob stream (Packet.Encode / Decode). It re-transmits
+// gob's type dictionary on every frame, which is what the streaming
+// codec exists to avoid; it remains the compatibility path for stored
+// blobs, fuzz corpora, and mixed-version peers.
+type PacketCodec struct{}
+
+// AppendFrame implements Codec with a fresh gob encoder per packet.
+func (PacketCodec) AppendFrame(dst []byte, pkt Packet) ([]byte, error) {
+	data, err := pkt.Encode()
+	if err != nil {
+		return dst, err
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(data)))
+	dst = append(dst, hdr[:]...)
+	return append(dst, data...), nil
+}
+
+// DecodeFrame implements Codec with a fresh gob decoder per frame.
+func (PacketCodec) DecodeFrame(frame []byte) (Packet, error) {
+	return Decode(frame)
+}
+
+// StreamCodec is a persistent gob codec for one connection: a single
+// gob.Encoder/Decoder pair lives for the connection's lifetime, so the
+// type dictionary crosses the wire exactly once (in the first frame)
+// and steady-state frames carry only values. Encoding reuses an
+// internal buffer, so AppendFrame into a caller-reused dst slice is
+// allocation-free at steady state.
+//
+// Each direction of a connection is an independent byte stream, so a
+// transport uses one StreamCodec per direction (encode on the dialing
+// side, decode on the accepting side). After any decode error the gob
+// stream state is unrecoverable and the connection must be dropped —
+// unlike PacketCodec, a corrupt frame cannot be skipped.
+type StreamCodec struct {
+	encMu  sync.Mutex
+	encBuf bytes.Buffer
+	enc    *gob.Encoder
+
+	decMu  sync.Mutex
+	decBuf bytes.Buffer
+	dec    *gob.Decoder
+}
+
+// NewStreamCodec returns a codec whose gob state begins at
+// stream-start: the first encoded frame carries the type dictionary,
+// and the first decoded frame must be a peer's first frame.
+func NewStreamCodec() *StreamCodec {
+	c := &StreamCodec{}
+	c.enc = gob.NewEncoder(&c.encBuf)
+	c.dec = gob.NewDecoder(&c.decBuf)
+	return c
+}
+
+// AppendFrame implements Codec. gob writes into the codec's reusable
+// buffer; only the length prefix and payload are appended to dst.
+func (c *StreamCodec) AppendFrame(dst []byte, pkt Packet) ([]byte, error) {
+	c.encMu.Lock()
+	defer c.encMu.Unlock()
+	c.encBuf.Reset()
+	if err := c.enc.Encode(pkt); err != nil {
+		return dst, fmt.Errorf("protocol: stream encode packet: %w", err)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(c.encBuf.Len()))
+	dst = append(dst, hdr[:]...)
+	return append(dst, c.encBuf.Bytes()...), nil
+}
+
+// DecodeFrame implements Codec. The frame's bytes are appended to the
+// codec's stream buffer and exactly one packet is decoded from it;
+// frames must arrive in encode order. The caller may reuse frame's
+// backing array after DecodeFrame returns.
+func (c *StreamCodec) DecodeFrame(frame []byte) (Packet, error) {
+	c.decMu.Lock()
+	defer c.decMu.Unlock()
+	c.decBuf.Write(frame)
+	var p Packet
+	if err := c.dec.Decode(&p); err != nil {
+		return Packet{}, fmt.Errorf("protocol: stream decode frame: %w", err)
+	}
+	return p, nil
+}
+
+// FrameBufPool pools frame assembly buffers for transports: Get a
+// buffer, AppendFrame into it, write it, Put it back. Buffers keep
+// their grown capacity across uses, so steady-state framing does not
+// allocate.
+var FrameBufPool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 4096); return &b },
+}

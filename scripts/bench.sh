@@ -1,0 +1,79 @@
+#!/bin/sh
+# bench.sh — the hot-path benchmark runner: runs the live runtime,
+# WAL, lock manager, transport, and wire-codec benchmarks with a fixed
+# -benchtime/-count and writes BENCH_live.json mapping each benchmark
+# (package-qualified) to its ns/op, B/op, allocs/op, and any custom
+# metrics (commits/sec, p50_us, ...). The live ParallelMultiSub
+# benchmarks run an optimized and a baseline (single shard, no
+# coalescing, per-packet codec) variant, so one run records the
+# before/after pair the acceptance criteria compare.
+#
+# Environment knobs:
+#   BENCHTIME   go test -benchtime (default 1s)
+#   COUNT       go test -count; runs > 1 are averaged (default 1)
+#   OUT         output path (default BENCH_live.json)
+#   PKGS        packages to bench (default: live wal lockmgr netsim protocol)
+#   CPUPROFILE  if set, write <CPUPROFILE>.<pkg> CPU profiles per package
+#   MEMPROFILE  if set, write <MEMPROFILE>.<pkg> heap profiles per package
+set -eu
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-1s}"
+COUNT="${COUNT:-1}"
+OUT="${OUT:-BENCH_live.json}"
+PKGS="${PKGS:-./internal/live ./internal/wal ./internal/lockmgr ./internal/netsim ./internal/protocol}"
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+for pkg in $PKGS; do
+    base=$(basename "$pkg")
+    flags=""
+    if [ -n "${CPUPROFILE:-}" ]; then flags="$flags -cpuprofile=${CPUPROFILE}.${base}"; fi
+    if [ -n "${MEMPROFILE:-}" ]; then flags="$flags -memprofile=${MEMPROFILE}.${base}"; fi
+    echo "== $pkg (benchtime=$BENCHTIME, count=$COUNT) =="
+    # shellcheck disable=SC2086  # flags is intentionally word-split
+    out=$(go test -run='^$' -bench=. -benchmem -benchtime="$BENCHTIME" -count="$COUNT" $flags "$pkg")
+    printf '%s\n' "$out"
+    printf '%s\n' "$out" >>"$raw"
+done
+
+{
+    echo "{"
+    printf '  "benchtime": "%s",\n' "$BENCHTIME"
+    printf '  "count": %s,\n' "$COUNT"
+    printf '  "go": "%s",\n' "$(go env GOVERSION)"
+    printf '  "benchmarks": {\n'
+    awk '
+        $1 == "pkg:" { pkg = $2; next }
+        /^Benchmark/ {
+            key = pkg "." $1
+            if (!(key in runs)) order[n++] = key
+            runs[key]++
+            iters[key] += $2
+            for (i = 3; i + 1 <= NF; i += 2) {
+                u = $(i + 1)
+                val[key, u] += $i
+                if (index("|" units[key], "|" u "|") == 0) units[key] = units[key] u "|"
+            }
+        }
+        END {
+            sep = ""
+            for (j = 0; j < n; j++) {
+                key = order[j]
+                printf "%s    \"%s\": {\"runs\": %d, \"iterations\": %d", sep, key, runs[key], iters[key] / runs[key]
+                m = split(units[key], us, "|")
+                for (k = 1; k <= m; k++)
+                    if (us[k] != "")
+                        printf ", \"%s\": %g", us[k], val[key, us[k]] / runs[key]
+                printf "}"
+                sep = ",\n"
+            }
+            printf "\n"
+        }
+    ' "$raw"
+    echo "  }"
+    echo "}"
+} >"$OUT"
+
+echo "wrote $OUT"

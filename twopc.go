@@ -270,6 +270,15 @@ var (
 	// LiveWithGroupCommit coalesces concurrent WAL forces (§4 Group
 	// Commits).
 	LiveWithGroupCommit = live.WithGroupCommit
+	// LiveWithShards overrides the per-transaction state table's shard
+	// count (default: GOMAXPROCS-derived).
+	LiveWithShards = live.WithShards
+	// LiveWithoutCoalescing disables the per-peer flow-coalescing
+	// writer (one wire packet per message, the pre-coalescing path).
+	LiveWithoutCoalescing = live.WithoutCoalescing
+	// LiveWithCoalesceWindow holds outbound batches open for the given
+	// window, trading latency for larger coalesced packets.
+	LiveWithCoalesceWindow = live.WithCoalesceWindow
 )
 
 // Metrics instrumentation, re-exported so external callers can use
@@ -285,6 +294,8 @@ type (
 	MetricsCounters = metrics.Counters
 	// ChanOption configures a ChanNetwork.
 	ChanOption = netsim.ChanOption
+	// TCPOption configures a TCP transport endpoint.
+	TCPOption = netsim.TCPOption
 )
 
 // NewMetrics returns an empty metrics registry.
@@ -303,6 +314,11 @@ var NewChanNetwork = netsim.NewChanNetwork
 
 // ListenTCP starts a TCP transport endpoint.
 var ListenTCP = netsim.ListenTCP
+
+// TCPWithPerPacketCodec frames every packet as a self-contained gob
+// blob instead of the persistent per-connection stream; both ends of
+// a link must agree.
+var TCPWithPerPacketCodec = netsim.WithPerPacketCodec
 
 // NewLiveParticipant wires a live participant to a transport
 // endpoint.
