@@ -1,0 +1,136 @@
+// Command benchdiff compares two scripts/bench.sh result files and
+// fails when the gated benchmark regressed beyond tolerance. CI's
+// nightly bench workflow runs it against the committed BENCH_live.json
+// baseline:
+//
+//	scripts/bench.sh                       # writes BENCH_live.json
+//	OUT=/tmp/fresh.json scripts/bench.sh   # fresh run
+//	benchdiff -old BENCH_live.json -new /tmp/fresh.json
+//
+// The default gate is committed throughput (commits/sec) of the
+// optimized live TCP multi-subordinate path — the headline number the
+// perf work in this repo optimises — with a 20% tolerance to absorb
+// shared-runner noise. Every benchmark common to both files is printed
+// for context; only the gated one decides the exit status.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+)
+
+// benchFile mirrors the JSON scripts/bench.sh writes.
+type benchFile struct {
+	Benchtime  string                        `json:"benchtime"`
+	Count      int                           `json:"count"`
+	Go         string                        `json:"go"`
+	Benchmarks map[string]map[string]float64 `json:"benchmarks"`
+}
+
+func load(path string) (benchFile, error) {
+	var f benchFile
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return f, fmt.Errorf("%s: %w", path, err)
+	}
+	return f, nil
+}
+
+// higherIsBetter reports the improvement direction of a metric unit.
+// Throughput-style units improve upward; times, sizes, and counts
+// improve downward.
+func higherIsBetter(metric string) bool {
+	return strings.Contains(metric, "/sec") || strings.Contains(metric, "/s")
+}
+
+// regression returns the fractional regression of new vs old for the
+// metric (positive = worse), honoring the metric's direction.
+func regression(metric string, oldV, newV float64) float64 {
+	if oldV == 0 {
+		return 0
+	}
+	if higherIsBetter(metric) {
+		return (oldV - newV) / oldV
+	}
+	return (newV - oldV) / oldV
+}
+
+// diff renders the comparison and evaluates the gate, returning the
+// report and whether the gate failed.
+func diff(oldF, newF benchFile, key, metric string, tolerance float64) (string, bool) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "baseline %s (%s) vs new %s (%s)\n", oldF.Go, oldF.Benchtime, newF.Go, newF.Benchtime)
+
+	keys := make([]string, 0, len(oldF.Benchmarks))
+	for k := range oldF.Benchmarks {
+		if _, ok := newF.Benchmarks[k]; ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		m := "ns/op"
+		oldV, okO := oldF.Benchmarks[k][m]
+		newV, okN := newF.Benchmarks[k][m]
+		if !okO || !okN {
+			continue
+		}
+		fmt.Fprintf(&b, "  %-70s %12.0f -> %12.0f %s (%+.1f%%)\n",
+			k, oldV, newV, m, 100*(newV-oldV)/oldV)
+	}
+
+	oldV, okO := oldF.Benchmarks[key][metric]
+	newV, okN := newF.Benchmarks[key][metric]
+	switch {
+	case !okO:
+		fmt.Fprintf(&b, "GATE FAIL: baseline has no %q for %q\n", metric, key)
+		return b.String(), true
+	case !okN:
+		fmt.Fprintf(&b, "GATE FAIL: new run has no %q for %q\n", metric, key)
+		return b.String(), true
+	}
+	reg := regression(metric, oldV, newV)
+	fmt.Fprintf(&b, "gate %s %s: %.0f -> %.0f (regression %+.1f%%, tolerance %.0f%%)\n",
+		key, metric, oldV, newV, 100*reg, 100*tolerance)
+	if reg > tolerance {
+		fmt.Fprintf(&b, "GATE FAIL: %q regressed %.1f%% > %.0f%%\n", key, 100*reg, 100*tolerance)
+		return b.String(), true
+	}
+	fmt.Fprintf(&b, "GATE OK\n")
+	return b.String(), false
+}
+
+func main() {
+	oldPath := flag.String("old", "BENCH_live.json", "baseline bench.sh result file")
+	newPath := flag.String("new", "", "fresh bench.sh result file to compare")
+	key := flag.String("key", "repro/internal/live.BenchmarkLiveParallelMultiSubTCP/optimized",
+		"benchmark key the gate evaluates")
+	metric := flag.String("metric", "commits/sec", "metric the gate evaluates")
+	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional regression before failing")
+	flag.Parse()
+	if *newPath == "" {
+		log.Fatal("benchdiff: -new is required")
+	}
+
+	oldF, err := load(*oldPath)
+	if err != nil {
+		log.Fatalf("benchdiff: %v", err)
+	}
+	newF, err := load(*newPath)
+	if err != nil {
+		log.Fatalf("benchdiff: %v", err)
+	}
+	report, failed := diff(oldF, newF, *key, *metric, *tolerance)
+	fmt.Print(report)
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const gateKey = "repro/internal/live.BenchmarkLiveParallelMultiSubTCP/optimized"
+
+func file(cps float64) benchFile {
+	return benchFile{
+		Benchtime: "1s",
+		Go:        "go1.24.0",
+		Benchmarks: map[string]map[string]float64{
+			gateKey:                             {"ns/op": 180000, "commits/sec": cps},
+			"repro/internal/wal.BenchmarkForce": {"ns/op": 900},
+		},
+	}
+}
+
+func TestDiffGate(t *testing.T) {
+	cases := []struct {
+		name     string
+		old, new float64
+		wantFail bool
+	}{
+		{"steady", 5593, 5600, false},
+		{"within tolerance", 5593, 4600, false}, // -17.8%
+		{"regressed", 5593, 4400, true},         // -21.3%
+		{"improved", 5593, 9000, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			report, failed := diff(file(tc.old), file(tc.new), gateKey, "commits/sec", 0.20)
+			if failed != tc.wantFail {
+				t.Fatalf("failed = %v, want %v\n%s", failed, tc.wantFail, report)
+			}
+			if !strings.Contains(report, "gate "+gateKey) {
+				t.Fatalf("report missing gate line:\n%s", report)
+			}
+		})
+	}
+}
+
+func TestDiffGateMissingKey(t *testing.T) {
+	newF := file(5593)
+	delete(newF.Benchmarks, gateKey)
+	report, failed := diff(file(5593), newF, gateKey, "commits/sec", 0.20)
+	if !failed || !strings.Contains(report, "GATE FAIL") {
+		t.Fatalf("missing gate key must fail:\n%s", report)
+	}
+}
+
+func TestRegressionDirection(t *testing.T) {
+	// Throughput: dropping is a regression.
+	if r := regression("commits/sec", 100, 80); r != 0.2 {
+		t.Fatalf("commits/sec 100->80 = %v, want 0.2", r)
+	}
+	// Latency-style: rising is a regression.
+	if r := regression("ns/op", 100, 130); r != 0.3 {
+		t.Fatalf("ns/op 100->130 = %v, want 0.3", r)
+	}
+	if r := regression("ns/op", 100, 70); r != -0.3 {
+		t.Fatalf("ns/op 100->70 = %v, want -0.3", r)
+	}
+}

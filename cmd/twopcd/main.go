@@ -1,0 +1,122 @@
+// Command twopcd is the 2PC serving daemon: a live participant on a
+// real TCP listener with an HTTP observability plane — /metrics
+// (Prometheus text), /healthz, /varz, /auditz, /tracez, and
+// net/http/pprof — plus an admission limit and graceful drain on
+// SIGTERM/SIGINT.
+//
+// One binary serves both roles. A coordinator names its subordinates
+// and accepts POST /commit; a subordinate just runs the protocol.
+// Peer addresses are static flags, so a three-node cluster is three
+// processes:
+//
+//	twopcd -name S1 -listen 127.0.0.1:7101 -http 127.0.0.1:8101
+//	twopcd -name S2 -listen 127.0.0.1:7102 -http 127.0.0.1:8102
+//	twopcd -name C  -listen 127.0.0.1:7100 -http 127.0.0.1:8100 \
+//	       -subs S1,S2 -peer S1=127.0.0.1:7101 -peer S2=127.0.0.1:7102 \
+//	       -variant pa
+//
+// then drive it with cmd/twopcload, watch /metrics, and SIGTERM to
+// drain. The daemon continuously audits its measured protocol costs
+// against the paper's closed forms; a violation latches /healthz red.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/live"
+	"repro/internal/server"
+	"repro/internal/wal"
+)
+
+// peerFlags collects repeated -peer name=addr flags.
+type peerFlags map[string]string
+
+func (p peerFlags) String() string { return fmt.Sprint(map[string]string(p)) }
+
+func (p peerFlags) Set(s string) error {
+	name, addr, ok := strings.Cut(s, "=")
+	if !ok || name == "" || addr == "" {
+		return fmt.Errorf("want name=addr, got %q", s)
+	}
+	p[name] = addr
+	return nil
+}
+
+func main() {
+	name := flag.String("name", "C", "participant name peers address this daemon by")
+	listen := flag.String("listen", "127.0.0.1:0", "protocol (TCP) listen address")
+	httpAddr := flag.String("http", "127.0.0.1:0", "observability/admin listen address")
+	subs := flag.String("subs", "", "comma-separated default subordinate names (coordinator role)")
+	variantName := flag.String("variant", "pa", "default protocol variant: basic, pa, pn, pc")
+	shards := flag.Int("shards", 0, "state-table shard count (0 = derive from GOMAXPROCS)")
+	maxInflight := flag.Int("max-inflight", 256, "admission limit; excess commits are shed with 503")
+	auditEvery := flag.Duration("audit-interval", time.Second, "conformance-audit period (negative disables)")
+	traceRing := flag.Int("trace-ring", 4096, "/tracez ring capacity (negative disables tracing)")
+	walPath := flag.String("wal", "", "durable WAL file path (empty = in-memory)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long a signal-triggered drain waits for inflight commits")
+	voteTimeout := flag.Duration("vote-timeout", 2*time.Second, "phase-one vote collection deadline")
+	ackTimeout := flag.Duration("ack-timeout", 2*time.Second, "phase-two ack collection deadline")
+	peers := peerFlags{}
+	flag.Var(peers, "peer", "peer address as name=addr (repeatable)")
+	flag.Parse()
+
+	variant, ok := server.ParseVariant(*variantName)
+	if !ok {
+		log.Fatalf("twopcd: unknown variant %q", *variantName)
+	}
+
+	cfg := server.Config{
+		Name:          *name,
+		ListenProto:   *listen,
+		ListenHTTP:    *httpAddr,
+		Peers:         peers,
+		Variant:       variant,
+		Shards:        *shards,
+		MaxInflight:   *maxInflight,
+		AuditInterval: *auditEvery,
+		TraceRing:     *traceRing,
+		LiveOptions:   []live.Option{live.WithTimeout(*voteTimeout, *ackTimeout)},
+	}
+	if *subs != "" {
+		cfg.Subs = strings.Split(*subs, ",")
+	}
+	if *walPath != "" {
+		store, err := wal.OpenFileStore(*walPath)
+		if err != nil {
+			log.Fatalf("twopcd: open wal: %v", err)
+		}
+		cfg.Log = wal.New(store)
+	}
+
+	s, err := server.New(cfg)
+	if err != nil {
+		log.Fatalf("twopcd: %v", err)
+	}
+	log.Printf("twopcd %s: protocol on %s, http on %s, variant %s, subs %v",
+		*name, s.ProtoAddr(), s.HTTPAddr(), variant, cfg.Subs)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	sig := <-sigc
+	log.Printf("twopcd %s: %s received, draining (up to %s)", *name, sig, *drainTimeout)
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		log.Printf("twopcd %s: drain: %v", *name, err)
+	}
+	rep, txs := s.AuditReport()
+	log.Printf("twopcd %s: drained; audited %d transactions: %s", *name, txs, rep)
+	_ = s.Close()
+	if !rep.OK() {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,85 @@
+// Command twopcload drives a twopcd coordinator with open-loop load:
+// transactions arrive at a fixed rate for a fixed duration, and the
+// run ends with a latency histogram and committed throughput.
+//
+//	twopcload -target http://127.0.0.1:8100 -rate 500 -duration 10s \
+//	          -variant pn -workers 128
+//
+// -json swaps the human report for a single JSON object (offered /
+// committed / shed counts, commits_per_sec, p50/p95/p99 in ms) so
+// scripts — scripts/bench.sh-style harnesses included — can ingest
+// the result without scraping text.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/loadgen"
+)
+
+func main() {
+	target := flag.String("target", "http://127.0.0.1:8100", "coordinator observability base URL")
+	rate := flag.Float64("rate", 200, "open-loop arrival rate, transactions/second")
+	duration := flag.Duration("duration", 10*time.Second, "how long to offer load")
+	variant := flag.String("variant", "", "protocol variant override: basic, pa, pn, pc (empty = daemon default)")
+	subs := flag.String("subs", "", "comma-separated subordinate override, i.e. the transaction tree size")
+	workers := flag.Int("workers", 64, "max concurrently outstanding transactions")
+	jsonOut := flag.Bool("json", false, "emit a single JSON result object instead of the text report")
+	txPrefix := flag.String("tx-prefix", "", "transaction id prefix (default: unique per invocation)")
+	flag.Parse()
+	if *txPrefix == "" {
+		// Transaction ids must not collide with an earlier run against
+		// the same cluster — a reused id is a duplicate and aborts.
+		*txPrefix = fmt.Sprintf("load-%d-%d", os.Getpid(), time.Now().UnixNano())
+	}
+
+	committer := &loadgen.HTTPCommitter{
+		BaseURL: strings.TrimRight(*target, "/"),
+		Variant: *variant,
+		Client: &http.Client{
+			Timeout: 30 * time.Second,
+			Transport: &http.Transport{
+				MaxIdleConns:        *workers * 2,
+				MaxIdleConnsPerHost: *workers * 2,
+			},
+		},
+	}
+	if *subs != "" {
+		committer.Subs = strings.Split(*subs, ",")
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer cancel()
+
+	if !*jsonOut {
+		log.Printf("twopcload: offering %.0f tx/s to %s for %s", *rate, *target, *duration)
+	}
+	res := loadgen.Run(ctx, committer, loadgen.Config{
+		Rate:     *rate,
+		Duration: *duration,
+		Workers:  *workers,
+		TxPrefix: *txPrefix,
+	})
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		if err := enc.Encode(res); err != nil {
+			log.Fatalf("twopcload: %v", err)
+		}
+	} else {
+		fmt.Print(res.Summary())
+	}
+	if res.Errors > 0 {
+		os.Exit(1)
+	}
+}

@@ -27,6 +27,11 @@ type Triplet struct {
 // String renders "f, w, fw" like the paper's table cells.
 func (t Triplet) String() string { return fmt.Sprintf("%d, %d, %d", t.Flows, t.Writes, t.Forced) }
 
+// Add returns the element-wise sum of two triplets.
+func (t Triplet) Add(o Triplet) Triplet {
+	return Triplet{t.Flows + o.Flows, t.Writes + o.Writes, t.Forced + o.Forced}
+}
+
 // Basic2PC is the baseline cost for a flat tree of n members (one
 // coordinator, n-1 leaf subordinates), commit case:
 //
@@ -177,6 +182,101 @@ func GroupCommitSyncs(n, m int) int {
 func GroupCommitSavings(n, m int) int {
 	return 3*n - GroupCommitSyncs(n, m)
 }
+
+// PNLive is Presumed Nothing as the live runtime implements it: the
+// coordinator forces its pending record before the first Prepare, but
+// each subordinate folds its "agent pending" state into the Prepared
+// record it forces anyway, so only the coordinator pays extra over
+// the baseline. This is a strict improvement on the paper's Table 3
+// accounting (see PN), which charges a separate forced pending record
+// at every member; the runtime conformance audit checks the live
+// runtime against this form exactly and against PN as an upper bound.
+func PNLive(n int) Triplet {
+	b := Basic2PC(n)
+	b.Writes++ // forced Pending at the coordinator only
+	b.Forced++
+	return b
+}
+
+// RoleCost splits a commit-case closed form between the coordinator
+// and one subordinate, for a flat tree with subs leaf subordinates
+// (n = subs + 1 members). The runtime conformance audit checks each
+// role's measured spend against these, because over real TCP each
+// process only observes its own side of the protocol.
+//
+// Per variant, commit case, per the same derivations as the totals:
+//
+//	coordinator            one subordinate
+//	baseline  2s flows, 2 writes, 1 forced   2 flows, 3 writes, 2 forced
+//	PA        2s flows, 2 writes, 1 forced   2 flows, 3 writes, 2 forced
+//	PN        2s flows, 3 writes, 2 forced   2 flows, 3 writes, 2 forced
+//	PC        2s flows, 3 writes, 2 forced   1 flow,  3 writes, 1 forced
+//
+// Coordinator totals always recombine with subs subordinate shares to
+// the corresponding whole-tree form (Basic2PC, PACommit, PNLive, PC).
+type RoleCost struct {
+	Coordinator Triplet // the coordinator's whole share
+	Subordinate Triplet // one subordinate's share
+}
+
+// CommitCostByRole returns the live runtime's per-role commit-case
+// costs for the named variant ("Basic2PC", "PA", "PN", "PC" — the
+// core.Variant String names) over subs subordinates. ok is false for
+// an unknown variant name.
+func CommitCostByRole(variant string, subs int) (RoleCost, bool) {
+	coord := Triplet{Flows: 2 * subs, Writes: 2, Forced: 1}
+	sub := Triplet{Flows: 2, Writes: 3, Forced: 2}
+	switch variant {
+	case "Basic2PC", "PA":
+	case "PN":
+		coord.Writes++ // forced Pending before the first Prepare
+		coord.Forced++
+	case "PC":
+		coord.Writes++ // forced Collecting before the first Prepare
+		coord.Forced++
+		sub.Flows--  // no commit ack
+		sub.Forced-- // subordinate commit record not forced
+	default:
+		return RoleCost{}, false
+	}
+	return RoleCost{Coordinator: coord, Subordinate: sub}, true
+}
+
+// AbortCostBoundByRole returns per-role upper bounds for the abort
+// case of the named variant. Abort costs vary with when the abort
+// struck (a no-voter never forces a Prepared record; a coordinator
+// abort may reach only some members), so the audit checks aborts
+// against a ceiling rather than an exact form: no abort may cost more
+// than the variant's prepared-then-aborted path.
+//
+//	coordinator: the init record (PN/PC) plus the abort record —
+//	  forced except under PA, where absence presumes abort — plus the
+//	  non-forced End; flows bounded by prepare+abort to every member.
+//	subordinate: Prepared plus the abort record (forced except PA)
+//	  plus End; flows bounded by vote+ack (PA skips the abort ack).
+func AbortCostBoundByRole(variant string, subs int) (RoleCost, bool) {
+	coord := Triplet{Flows: 2 * subs, Writes: 2, Forced: 1}
+	sub := Triplet{Flows: 2, Writes: 3, Forced: 2}
+	switch variant {
+	case "Basic2PC", "PN", "PC":
+		if variant != "Basic2PC" {
+			coord.Writes++ // forced Pending/Collecting
+			coord.Forced++
+		}
+	case "PA":
+		coord.Forced-- // abort record is presumed: non-forced
+		sub.Flows--    // no abort ack
+		sub.Forced--   // abort record non-forced
+	default:
+		return RoleCost{}, false
+	}
+	return RoleCost{Coordinator: coord, Subordinate: sub}, true
+}
+
+// ReadOnlySubCost is one read-only subordinate's share under any
+// variant: the vote is its only flow and nothing is logged (§4
+// Read-Only).
+func ReadOnlySubCost() Triplet { return Triplet{Flows: 1} }
 
 // PC is Presumed Commit (the R*-lineage dual of PA, implemented here
 // as the extension variant) for a flat tree of n members, commit

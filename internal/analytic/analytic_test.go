@@ -105,6 +105,75 @@ func TestGroupCommit(t *testing.T) {
 	}
 }
 
+// The per-role commit forms must recombine to the whole-tree forms
+// the tables use — the conformance audit depends on both views naming
+// the same spend.
+func TestRoleCostsRecombine(t *testing.T) {
+	whole := map[string]func(n int) Triplet{
+		"Basic2PC": Basic2PC,
+		"PA":       PACommit,
+		"PN":       PNLive,
+		"PC":       PC,
+	}
+	for variant, form := range whole {
+		for subs := 1; subs <= 8; subs++ {
+			rc, ok := CommitCostByRole(variant, subs)
+			if !ok {
+				t.Fatalf("CommitCostByRole(%q) not ok", variant)
+			}
+			total := rc.Coordinator
+			for i := 0; i < subs; i++ {
+				total = total.Add(rc.Subordinate)
+			}
+			if want := form(subs + 1); total != want {
+				t.Errorf("%s subs=%d: roles recombine to %v, want %v", variant, subs, total, want)
+			}
+		}
+	}
+	if _, ok := CommitCostByRole("nonsense", 1); ok {
+		t.Error("unknown variant accepted")
+	}
+}
+
+// The live runtime's PN must never exceed the paper's Table 3 PN
+// accounting — it undercuts it by folding each subordinate's pending
+// state into the Prepared record.
+func TestPNLiveWithinPaperBudget(t *testing.T) {
+	for n := 2; n <= 12; n++ {
+		live, paper := PNLive(n), PN(n)
+		if live.Flows > paper.Flows || live.Writes > paper.Writes || live.Forced > paper.Forced {
+			t.Fatalf("n=%d: PNLive %v exceeds paper PN %v", n, live, paper)
+		}
+		if live != (Triplet{paper.Flows, paper.Writes - (n - 1), paper.Forced - (n - 1)}) {
+			t.Fatalf("n=%d: PNLive %v should save exactly n-1 writes and forces over %v", n, live, paper)
+		}
+	}
+}
+
+// Abort bounds must dominate the commit-case forms nowhere cheaper
+// than the runtime can actually hit, and stay within the commit cost
+// per role (an abort never out-spends a commit under any variant).
+func TestAbortBoundsDominateNothingOdd(t *testing.T) {
+	for _, variant := range []string{"Basic2PC", "PA", "PN", "PC"} {
+		for subs := 1; subs <= 4; subs++ {
+			ab, ok := AbortCostBoundByRole(variant, subs)
+			if !ok {
+				t.Fatalf("AbortCostBoundByRole(%q) not ok", variant)
+			}
+			cm, _ := CommitCostByRole(variant, subs)
+			if ab.Coordinator.Flows > cm.Coordinator.Flows || ab.Coordinator.Forced > cm.Coordinator.Forced+1 {
+				t.Errorf("%s subs=%d: coordinator abort bound %v vs commit %v", variant, subs, ab.Coordinator, cm.Coordinator)
+			}
+			if ab.Subordinate.Writes > 3 {
+				t.Errorf("%s: subordinate abort bound %v exceeds 3 writes", variant, ab.Subordinate)
+			}
+		}
+	}
+	if got := ReadOnlySubCost(); got != (Triplet{Flows: 1}) {
+		t.Errorf("ReadOnlySubCost = %v", got)
+	}
+}
+
 func TestTripletString(t *testing.T) {
 	if got := (Triplet{40, 32, 21}).String(); got != "40, 32, 21" {
 		t.Errorf("String = %q", got)

@@ -1,0 +1,51 @@
+package check
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// ArtifactDirEnv names the environment variable that, when set, makes
+// failing chaos schedules drop a self-contained repro file into the
+// named directory. CI exports it and uploads the directory when the
+// sweep goes red, so a failing run ships its own replay command and
+// trace instead of making someone re-run the sweep to see them.
+const ArtifactDirEnv = "CHAOS_ARTIFACT_DIR"
+
+// WriteFailureArtifact renders one failing schedule as markdown —
+// replay invocation, oracle violations, and the interleaving as a
+// mermaid sequence diagram (GitHub renders it inline) — and writes it
+// under $CHAOS_ARTIFACT_DIR. It returns the written path, or "" when
+// the variable is unset or the write fails; artifact emission must
+// never mask the test failure it documents.
+func WriteFailureArtifact(s Schedule, violations []Violation, mermaid string) string {
+	dir := os.Getenv(ArtifactDirEnv)
+	if dir == "" {
+		return ""
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return ""
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Chaos failure: %s\n\n", s)
+	fmt.Fprintf(&b, "Replay locally:\n\n```sh\n%s\n```\n\n", s.ReplayCommand())
+	if len(violations) > 0 {
+		b.WriteString("## Safety violations\n\n")
+		for _, v := range violations {
+			fmt.Fprintf(&b, "- %s\n", v)
+		}
+		b.WriteString("\n")
+	}
+	if mermaid != "" {
+		fmt.Fprintf(&b, "## Trace\n\n```mermaid\n%s\n```\n", strings.TrimRight(mermaid, "\n"))
+	}
+
+	path := filepath.Join(dir, fmt.Sprintf("chaos-seed-%d.md", s.Seed))
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		return ""
+	}
+	return path
+}

@@ -1,0 +1,42 @@
+package check
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestWriteFailureArtifact(t *testing.T) {
+	s := FromSeed(42)
+	vs := []Violation{{Rule: "AC1", Msg: "split decision"}}
+
+	t.Run("disabled without env", func(t *testing.T) {
+		t.Setenv(ArtifactDirEnv, "")
+		if path := WriteFailureArtifact(s, vs, "sequenceDiagram"); path != "" {
+			t.Fatalf("wrote %s with the env var unset", path)
+		}
+	})
+
+	t.Run("writes repro markdown", func(t *testing.T) {
+		dir := t.TempDir()
+		t.Setenv(ArtifactDirEnv, dir)
+		path := WriteFailureArtifact(s, vs, "sequenceDiagram\n  C->>S1: PREPARE\n")
+		if path == "" {
+			t.Fatal("no artifact written")
+		}
+		body, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, want := range []string{
+			s.ReplayCommand(), // a red CI run must ship its own repro
+			"AC1",
+			"```mermaid",
+			"C->>S1: PREPARE",
+		} {
+			if !strings.Contains(string(body), want) {
+				t.Errorf("artifact missing %q:\n%s", want, body)
+			}
+		}
+	})
+}

@@ -22,12 +22,16 @@ func runSeed(t *testing.T, seed int64, withTrace bool) bool {
 	s := FromSeed(seed)
 	res, err := Execute(s)
 	if err != nil {
+		WriteFailureArtifact(s, nil, "")
 		t.Errorf("chaos %s: execute: %v\nreplay: %s", s, err, s.ReplayCommand())
 		return false
 	}
 	vs := Check(res.Run)
 	if len(vs) == 0 {
 		return true
+	}
+	if path := WriteFailureArtifact(s, vs, res.Mermaid()); path != "" {
+		t.Logf("failure artifact: %s", path)
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "chaos schedule violated safety: %s\n", s)

@@ -28,6 +28,9 @@ func checkSweepRun(t *testing.T, s Schedule, what string) {
 		return
 	}
 	if vs := Check(res.Run); len(vs) > 0 {
+		if path := WriteFailureArtifact(s, vs, res.Mermaid()); path != "" {
+			t.Logf("failure artifact: %s", path)
+		}
 		var b strings.Builder
 		fmt.Fprintf(&b, "%s violated safety:\n", what)
 		for _, v := range vs {

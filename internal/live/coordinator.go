@@ -21,19 +21,38 @@ import (
 // after a last-agent delegation) cannot undo it and returns InDoubt
 // with the context's error.
 func (p *Participant) Commit(ctx context.Context, txName string, subs []string) (Outcome, error) {
+	return p.CommitVariant(ctx, txName, subs, p.variant)
+}
+
+// CommitVariant is Commit under an explicit protocol variant,
+// overriding the participant's configured one for this transaction
+// only. Subordinates follow the presumption announced on the Prepare,
+// so a single coordinator can serve mixed-variant traffic — the
+// serving daemon uses this to run all four variants over one
+// endpoint.
+func (p *Participant) CommitVariant(ctx context.Context, txName string, subs []string, v core.Variant) (Outcome, error) {
 	start := p.sched.Now()
-	out, err := p.runCommit(ctx, txName, subs)
+	out, err := p.runCommit(ctx, txName, subs, v)
 	if p.met != nil {
 		p.met.Latency(p.sched.Now() - start)
 		p.met.Outcome(out.String())
+		if out != InDoubt {
+			// The coordinator's part is over; the cost ledger entry
+			// may close. In-doubt transactions stay open until
+			// recovery settles them.
+			p.met.CostNodeDone(txName, p.name)
+		}
 	}
 	return out, err
 }
 
-func (p *Participant) runCommit(ctx context.Context, txName string, subs []string) (Outcome, error) {
+func (p *Participant) runCommit(ctx context.Context, txName string, subs []string, v core.Variant) (Outcome, error) {
 	tx := core.ParseTxID(txName)
 	st := p.registerCoord(txName, len(subs))
 	defer p.unregisterCoord(txName)
+	if p.met != nil {
+		p.met.CostBegin(txName, p.name, v.String(), len(subs))
+	}
 
 	// Last Agent (§4): hold the final subordinate out of phase one and
 	// delegate the decision to it once everyone else has voted yes.
@@ -47,14 +66,14 @@ func (p *Participant) runCommit(ctx context.Context, txName string, subs []strin
 	// PN forces a pending record, PC a collecting record, before any
 	// Prepare leaves: the stable membership list is what lets their
 	// presumptions hold through a coordinator crash.
-	switch p.variant {
+	switch v {
 	case core.VariantPN:
 		if err := p.force(wal.Record{Tx: txName, Node: p.name, Kind: "Pending", Data: []byte(strings.Join(subs, ","))}); err != nil {
-			return p.abortTx(tx, txName, subs), fmt.Errorf("live: force pending record: %w", err)
+			return p.abortTx(tx, txName, subs, v), fmt.Errorf("live: force pending record: %w", err)
 		}
 	case core.VariantPC:
 		if err := p.force(wal.Record{Tx: txName, Node: p.name, Kind: "Collecting", Data: []byte(strings.Join(subs, ","))}); err != nil {
-			return p.abortTx(tx, txName, subs), fmt.Errorf("live: force collecting record: %w", err)
+			return p.abortTx(tx, txName, subs, v), fmt.Errorf("live: force collecting record: %w", err)
 		}
 	}
 
@@ -72,14 +91,14 @@ func (p *Participant) runCommit(ctx context.Context, txName string, subs []strin
 	voted := make(map[string]bool, len(others))
 	var yes []string
 	for _, s := range others {
-		v, ok := early[s]
+		ev, ok := early[s]
 		if !ok {
 			continue
 		}
 		voted[s] = true
-		switch v {
+		switch ev {
 		case protocol.VoteNo:
-			return p.abortTx(tx, txName, subs), nil
+			return p.abortTx(tx, txName, subs, v), nil
 		case protocol.VoteYes:
 			yes = append(yes, s)
 		}
@@ -87,19 +106,19 @@ func (p *Participant) runCommit(ctx context.Context, txName string, subs []strin
 
 	// Phase one: Prepares in parallel to everyone who has not already
 	// volunteered a vote, each announcing the variant's presumption.
-	prep := protocol.Message{Type: protocol.MsgPrepare, Tx: txName, Presume: presumptionOf(p.variant)}
+	prep := protocol.Message{Type: protocol.MsgPrepare, Tx: txName, Presume: presumptionOf(v)}
 	for _, s := range others {
 		if voted[s] {
 			continue
 		}
 		if err := p.send(s, prep); err != nil {
-			return p.abortTx(tx, txName, subs), fmt.Errorf("live: prepare %s: %w", s, err)
+			return p.abortTx(tx, txName, subs, v), fmt.Errorf("live: prepare %s: %w", s, err)
 		}
 	}
 
 	localVote := p.prepareLocal(tx)
 	if localVote == protocol.VoteNo {
-		return p.abortTx(tx, txName, subs), nil
+		return p.abortTx(tx, txName, subs, v), nil
 	}
 
 	// Collect the remaining votes, retransmitting Prepare to silent
@@ -119,48 +138,51 @@ func (p *Participant) runCommit(ctx context.Context, txName string, subs []strin
 				voted[env.from] = true
 				switch env.msg.Vote {
 				case protocol.VoteNo:
-					return p.abortTx(tx, txName, subs), nil
+					return p.abortTx(tx, txName, subs, v), nil
 				case protocol.VoteYes:
 					yes = append(yes, env.from)
 				}
 			case <-retryT.C():
 				for _, s := range others {
 					if !voted[s] {
-						_ = p.send(s, prep)
+						_ = p.sendExtra(s, prep)
 						p.countRetry()
 					}
 				}
 				retryT = p.nextRetryTimer(bo)
 			case <-deadline.C():
-				return p.abortTx(tx, txName, subs), fmt.Errorf("live: collecting votes for %s: %w", txName, ErrTimeout)
+				return p.abortTx(tx, txName, subs, v), fmt.Errorf("live: collecting votes for %s: %w", txName, ErrTimeout)
 			case <-p.crashc:
 				return InDoubt, ErrCrashed
 			case <-ctx.Done():
-				return p.abortTx(tx, txName, subs), ctx.Err()
+				return p.abortTx(tx, txName, subs, v), ctx.Err()
 			}
 		}
 	}
 
 	if agent != "" {
-		return p.delegate(ctx, st, tx, txName, agent, yes)
+		return p.delegate(ctx, st, tx, txName, agent, yes, v)
 	}
-	return p.decideCommit(ctx, st, tx, txName, yes, localVote)
+	return p.decideCommit(ctx, st, tx, txName, yes, localVote, v)
 }
 
 // decideCommit takes the commit decision after unanimous yes votes
 // and drives phase two.
-func (p *Participant) decideCommit(ctx context.Context, st *txState, tx core.TxID, txName string, yes []string, localVote protocol.VoteValue) (Outcome, error) {
+func (p *Participant) decideCommit(ctx context.Context, st *txState, tx core.TxID, txName string, yes []string, localVote protocol.VoteValue, v core.Variant) (Outcome, error) {
 	// A fully read-only transaction commits with nothing to log and
 	// nothing to propagate (§4 Read-Only).
 	if !(localVote == protocol.VoteReadOnly && len(yes) == 0) {
 		if err := p.force(wal.Record{Tx: txName, Node: p.name, Kind: "Committed"}); err != nil {
 			// The yes-voters sit prepared holding locks; tell them the
 			// abort now rather than leaving them to recovery.
-			return p.abortTx(tx, txName, yes), fmt.Errorf("live: force commit record: %w", err)
+			return p.abortTx(tx, txName, yes, v), fmt.Errorf("live: force commit record: %w", err)
 		}
 	}
 	p.recordDecision(txName, true)
 	p.completeResources(tx, true)
+	if p.met != nil {
+		p.met.CostOutcome(txName, "committed", len(yes))
+	}
 
 	out := protocol.Message{Type: protocol.MsgCommit, Tx: txName}
 	for _, s := range yes {
@@ -169,7 +191,7 @@ func (p *Participant) decideCommit(ctx context.Context, st *txState, tx core.TxI
 
 	var heur []protocol.HeuristicReport
 	var collectErr error
-	if expectsAckFor(p.variant, true) && len(yes) > 0 {
+	if expectsAckFor(v, true) && len(yes) > 0 {
 		heur, collectErr = p.collectAcks(ctx, st, txName, yes, out)
 	}
 	_ = p.lazy(wal.Record{Tx: txName, Node: p.name, Kind: "End"})
@@ -182,11 +204,11 @@ func (p *Participant) decideCommit(ctx context.Context, st *txState, tx core.TxI
 // delegate sends the last agent its combined "prepare, you decide"
 // message and awaits the decision, then finishes phase two with the
 // other (already yes-voting) subordinates.
-func (p *Participant) delegate(ctx context.Context, st *txState, tx core.TxID, txName, agent string, yes []string) (Outcome, error) {
-	dm := protocol.Message{Type: protocol.MsgPrepare, Tx: txName, Presume: presumptionOf(p.variant), Delegate: true}
+func (p *Participant) delegate(ctx context.Context, st *txState, tx core.TxID, txName, agent string, yes []string, v core.Variant) (Outcome, error) {
+	dm := protocol.Message{Type: protocol.MsgPrepare, Tx: txName, Presume: presumptionOf(v), Delegate: true}
 	if err := p.send(agent, dm); err != nil {
 		// Nothing was delegated; the decision is still ours.
-		return p.abortTx(tx, txName, append(append([]string{}, yes...), agent)), fmt.Errorf("live: delegate to %s: %w", agent, err)
+		return p.abortTx(tx, txName, append(append([]string{}, yes...), agent), v), fmt.Errorf("live: delegate to %s: %w", agent, err)
 	}
 
 	deadline := p.sched.NewTimer(p.voteTimeout)
@@ -202,9 +224,12 @@ func (p *Participant) delegate(ctx context.Context, st *txState, tx core.TxID, t
 			}
 			if env.msg.Type != protocol.MsgCommit {
 				// The agent decided abort; it has already logged it.
-				p.logAbort(txName)
+				p.logAbort(txName, v)
 				p.recordDecision(txName, false)
 				p.completeResources(tx, false)
+				if p.met != nil {
+					p.met.CostOutcome(txName, "aborted", -1)
+				}
 				ab := protocol.Message{Type: protocol.MsgAbort, Tx: txName}
 				for _, s := range yes {
 					_ = p.send(s, ab)
@@ -219,13 +244,16 @@ func (p *Participant) delegate(ctx context.Context, st *txState, tx core.TxID, t
 			}
 			p.recordDecision(txName, true)
 			p.completeResources(tx, true)
+			if p.met != nil {
+				p.met.CostOutcome(txName, "committed", len(yes))
+			}
 			out := protocol.Message{Type: protocol.MsgCommit, Tx: txName}
 			for _, s := range yes {
 				_ = p.send(s, out)
 			}
 			var heur []protocol.HeuristicReport
 			var collectErr error
-			if expectsAckFor(p.variant, true) && len(yes) > 0 {
+			if expectsAckFor(v, true) && len(yes) > 0 {
 				heur, collectErr = p.collectAcks(ctx, st, txName, yes, out)
 			}
 			_ = p.lazy(wal.Record{Tx: txName, Node: p.name, Kind: "End"})
@@ -234,7 +262,7 @@ func (p *Participant) delegate(ctx context.Context, st *txState, tx core.TxID, t
 			}
 			return Committed, collectErr
 		case <-retryT.C():
-			_ = p.send(agent, dm)
+			_ = p.sendExtra(agent, dm)
 			p.countRetry()
 			retryT = p.nextRetryTimer(bo)
 		case <-p.crashc:
@@ -283,7 +311,7 @@ func (p *Participant) collectAcks(ctx context.Context, st *txState, txName strin
 		case <-retryT.C():
 			for _, s := range targets {
 				if !acked[s] {
-					_ = p.send(s, outMsg)
+					_ = p.sendExtra(s, outMsg)
 					p.countRetry()
 				}
 			}
@@ -313,10 +341,13 @@ func (p *Participant) collectAcks(ctx context.Context, st *txState, txName strin
 // force), release local resources, and tell every subordinate
 // best-effort. Prepared subordinates that miss the message resolve
 // through inquiry and presumption.
-func (p *Participant) abortTx(tx core.TxID, txName string, subs []string) Outcome {
-	p.logAbort(txName)
+func (p *Participant) abortTx(tx core.TxID, txName string, subs []string, v core.Variant) Outcome {
+	p.logAbort(txName, v)
 	p.recordDecision(txName, false)
 	p.completeResources(tx, false)
+	if p.met != nil {
+		p.met.CostOutcome(txName, "aborted", -1)
+	}
 	ab := protocol.Message{Type: protocol.MsgAbort, Tx: txName}
 	for _, s := range subs {
 		_ = p.send(s, ab)
@@ -327,9 +358,9 @@ func (p *Participant) abortTx(tx core.TxID, txName string, subs []string) Outcom
 
 // logAbort writes the coordinator's abort record: non-forced under
 // Presumed Abort (absence already means abort), forced otherwise.
-func (p *Participant) logAbort(txName string) {
+func (p *Participant) logAbort(txName string, v core.Variant) {
 	rec := wal.Record{Tx: txName, Node: p.name, Kind: "Aborted"}
-	if p.variant == core.VariantPA {
+	if v == core.VariantPA {
 		_ = p.lazy(rec)
 	} else {
 		_ = p.force(rec)

@@ -229,7 +229,7 @@ func (p *Participant) Start() {
 		node, reg, trc := p.name, p.met, p.trc
 		p.log.SetObserver(func(rec wal.Record) {
 			if reg != nil {
-				reg.LogWrite(node, rec.Forced)
+				reg.TxLogWrite(node, rec.Tx, rec.Forced)
 			}
 			trc.Add(trace.Event{Node: node, Kind: trace.KindLogWrite, Tx: rec.Tx, Detail: rec.Kind, Forced: rec.Forced})
 		})
@@ -451,7 +451,7 @@ func (p *Participant) routeVote(from string, m protocol.Message) {
 			return // crashed again; the next restart retries
 		}
 		p.recordDecision(m.Tx, false)
-		_ = p.send(from, protocol.Message{Type: protocol.MsgAbort, Tx: m.Tx})
+		_ = p.sendExtra(from, protocol.Message{Type: protocol.MsgAbort, Tx: m.Tx})
 		return
 	}
 	if st == nil {
@@ -528,6 +528,19 @@ func (p *Participant) routeAck(from string, m protocol.Message) {
 // that joined a packet another message opened is counted as
 // piggybacked, the paper's flow-coalescing accounting.
 func (p *Participant) send(to string, m protocol.Message) error {
+	return p.sendFlow(to, m, false)
+}
+
+// sendExtra transmits a message that the paper's flow accounting does
+// not charge as a first-class flow: a retransmission, a duplicate
+// answer, or a recovery notification. The cost ledger keeps these in
+// a separate column so the conformance audit compares only clean
+// first-transmission flows against the closed forms.
+func (p *Participant) sendExtra(to string, m protocol.Message) error {
+	return p.sendFlow(to, m, true)
+}
+
+func (p *Participant) sendFlow(to string, m protocol.Message, extra bool) error {
 	if p.hitFailpoint("before-send:"+m.Type.String()) || p.Crashed() {
 		return ErrCrashed
 	}
@@ -540,8 +553,11 @@ func (p *Participant) send(to string, m protocol.Message) error {
 		err = p.ep.Send(to, protocol.Packet{From: p.name, To: to, Messages: []protocol.Message{m}})
 	}
 	if p.met != nil {
-		p.met.MessageSent(p.name, piggybacked)
-		p.met.PacketSent(p.name, m.Type != protocol.MsgData)
+		// Recovery traffic is never a Table 1-4 flow, whoever sent it.
+		if m.Type == protocol.MsgInquire || m.Type == protocol.MsgOutcome {
+			extra = true
+		}
+		p.met.FlowSent(p.name, m.Tx, piggybacked, extra, m.Type != protocol.MsgData)
 	}
 	if p.hitFailpoint("after-send:" + m.Type.String()) {
 		return ErrCrashed

@@ -65,7 +65,7 @@ func (p *Participant) replayLog() {
 			p.recordDecision(tx, false)
 			ab := protocol.Message{Type: protocol.MsgAbort, Tx: tx}
 			for _, s := range st.subs {
-				_ = p.send(s, ab)
+				_ = p.sendExtra(s, ab)
 			}
 		}
 	}

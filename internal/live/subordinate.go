@@ -29,14 +29,14 @@ func (p *Participant) handlePrepare(from string, m protocol.Message) {
 		// for an aborted transaction; a committed one can only see a
 		// duplicate Prepare, which needs no answer.
 		if !st.committed {
-			_ = p.send(from, protocol.Message{Type: protocol.MsgVote, Tx: st.id, Vote: protocol.VoteNo})
+			_ = p.sendExtra(from, protocol.Message{Type: protocol.MsgVote, Tx: st.id, Vote: protocol.VoteNo})
 		}
 		return
 	}
 	if st.prepared {
 		// Duplicate Prepare (the coordinator retransmitted): repeat the
 		// vote we already sent.
-		_ = p.send(from, st.voteMsg)
+		_ = p.sendExtra(from, st.voteMsg)
 		return
 	}
 
@@ -50,6 +50,9 @@ func (p *Participant) handlePrepare(from string, m protocol.Message) {
 		if err := p.force(wal.Record{Tx: m.Tx, Node: p.name, Kind: "Prepared", Data: presumeData(m.Presume)}); err != nil {
 			vote = protocol.VoteNo
 		}
+	}
+	if p.met != nil {
+		p.met.CostSub(m.Tx, p.name, variantOf(m.Presume).String(), vote == protocol.VoteReadOnly)
 	}
 	switch vote {
 	case protocol.VoteNo:
@@ -66,6 +69,11 @@ func (p *Participant) handlePrepare(from string, m protocol.Message) {
 	}
 	st.voteMsg = protocol.Message{Type: protocol.MsgVote, Tx: m.Tx, Vote: vote}
 	_ = p.send(from, st.voteMsg)
+	if p.met != nil && vote != protocol.VoteYes {
+		// No-voters and read-only voters are out of phase two: their
+		// accounting is final once the vote is away.
+		p.met.CostNodeDone(m.Tx, p.name)
+	}
 }
 
 // handleDelegateLocked runs the last-agent path (§4): the combined
@@ -80,7 +88,7 @@ func (p *Participant) handleDelegateLocked(st *txState, from string, m protocol.
 		if st.committed {
 			mt = protocol.MsgCommit
 		}
-		_ = p.send(from, protocol.Message{Type: mt, Tx: st.id})
+		_ = p.sendExtra(from, protocol.Message{Type: mt, Tx: st.id})
 		return
 	}
 	st.presume = m.Presume
@@ -139,7 +147,7 @@ func (p *Participant) applyOutcome(from string, m protocol.Message, commit bool)
 	if st.done {
 		if st.committed == commit && expectsAckFor(v, commit) {
 			// Duplicate outcome: the coordinator missed our ack.
-			_ = p.send(from, protocol.Message{Type: protocol.MsgAck, Tx: m.Tx})
+			_ = p.sendExtra(from, protocol.Message{Type: protocol.MsgAck, Tx: m.Tx})
 		}
 		return
 	}
@@ -164,6 +172,14 @@ func (p *Participant) applyOutcome(from string, m protocol.Message, commit bool)
 	_ = p.lazy(wal.Record{Tx: m.Tx, Node: p.name, Kind: "End"})
 	if expectsAckFor(v, commit) {
 		_ = p.send(from, protocol.Message{Type: protocol.MsgAck, Tx: m.Tx, Heuristics: heur})
+	}
+	if p.met != nil {
+		out := "committed"
+		if !commit {
+			out = "aborted"
+		}
+		p.met.CostOutcome(m.Tx, out, -1)
+		p.met.CostNodeDone(m.Tx, p.name)
 	}
 }
 
@@ -232,7 +248,7 @@ func (p *Participant) UnsolicitedVote(coordinator, txName string) error {
 		return fmt.Errorf("live: unsolicited vote for decided transaction %s", txName)
 	}
 	if st.prepared {
-		_ = p.send(coordinator, st.voteMsg)
+		_ = p.sendExtra(coordinator, st.voteMsg)
 		return nil
 	}
 	tx := core.ParseTxID(txName)

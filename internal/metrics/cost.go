@@ -1,0 +1,391 @@
+// Protocol cost accounting: the per-transaction ledger behind the
+// runtime conformance audit (internal/audit).
+//
+// The paper's evaluation is an accounting argument — message flows
+// and forced vs non-forced log writes per protocol variant (Tables
+// 1-4). Registry's plain counters aggregate those quantities per
+// node; the cost ledger here keeps them per *transaction*, split by
+// the role each node played (coordinator or subordinate) and tagged
+// with the variant and outcome, so live counts can be compared
+// transaction by transaction against the closed forms in
+// internal/analytic.
+//
+// Attribution happens on the hot path (every send and every log
+// write), so the recording methods fold the cost update into the same
+// critical section as the existing per-node counters (FlowSent,
+// TxLogWrite) instead of taking the registry lock twice.
+package metrics
+
+import "sort"
+
+// Role is the part a node played in one transaction.
+type Role int
+
+// Roles. RoleUnknown marks nodes whose costs were observed before any
+// role registration — the audit skips exact checks on them.
+const (
+	RoleUnknown Role = iota
+	RoleCoordinator
+	RoleSubordinate
+	// RoleReadOnly is a subordinate that voted read-only and dropped
+	// out of phase two (§4 Read-Only).
+	RoleReadOnly
+)
+
+// String returns a lowercase role name for metric labels.
+func (r Role) String() string {
+	switch r {
+	case RoleCoordinator:
+		return "coordinator"
+	case RoleSubordinate:
+		return "subordinate"
+	case RoleReadOnly:
+		return "readonly"
+	default:
+		return "unknown"
+	}
+}
+
+// CostCounters is one node's protocol spend on one transaction.
+type CostCounters struct {
+	// Flows counts first-transmission protocol messages — the paper's
+	// unit. Retransmissions, duplicate replies, and recovery traffic
+	// go to Extra instead, so Flows stays comparable to the closed
+	// forms even on runs with retries.
+	Flows int
+	// Extra counts the sends excluded from Flows: retransmissions,
+	// duplicate answers, and recovery inquiries/replies.
+	Extra int
+	// Piggybacked counts the subset of Flows+Extra that rode a wire
+	// packet another message opened (flow coalescing): they cost no
+	// packet of their own.
+	Piggybacked int
+	// Forced and NonForced split the node's log writes for the
+	// transaction.
+	Forced    int
+	NonForced int
+}
+
+// Add returns the element-wise sum.
+func (c CostCounters) Add(o CostCounters) CostCounters {
+	return CostCounters{
+		Flows:       c.Flows + o.Flows,
+		Extra:       c.Extra + o.Extra,
+		Piggybacked: c.Piggybacked + o.Piggybacked,
+		Forced:      c.Forced + o.Forced,
+		NonForced:   c.NonForced + o.NonForced,
+	}
+}
+
+// Writes is the node's total log writes (forced + non-forced).
+func (c CostCounters) Writes() int { return c.Forced + c.NonForced }
+
+// nodeCost is one node's ledger entry within a transaction.
+type nodeCost struct {
+	role Role
+	done bool // the node finished its part (exact checks apply)
+	c    CostCounters
+}
+
+// txCost is the ledger entry for one transaction.
+type txCost struct {
+	variant string // coordinator's variant ("PA", "PN", ...); first writer wins
+	subs    int    // coordinator-declared subordinate count (-1: unknown)
+	// delivered is how many subordinates the coordinator actually sent
+	// the outcome to (read-only voters drop out); -1 until reported.
+	delivered int
+	outcome   string // "committed", "aborted", ...; "" while undecided
+	nodes     map[string]*nodeCost
+	seq       int // insertion order, for bounded eviction
+}
+
+// TxCostView is the exported, immutable form of one transaction's
+// ledger entry.
+type TxCostView struct {
+	Tx        string
+	Variant   string
+	Subs      int // coordinator-declared subordinate count; -1 unknown
+	Delivered int // outcome deliveries from the coordinator; -1 unknown
+	Outcome   string
+	Nodes     map[string]NodeCostView
+}
+
+// NodeCostView is one node's share of a TxCostView.
+type NodeCostView struct {
+	Role Role
+	Done bool
+	CostCounters
+}
+
+// Closed reports whether the transaction's accounting is complete in
+// this registry: an outcome is recorded and every observed node has
+// finished its part.
+func (v TxCostView) Closed() bool {
+	if v.Outcome == "" {
+		return false
+	}
+	for _, n := range v.Nodes {
+		if !n.Done {
+			return false
+		}
+	}
+	return true
+}
+
+// Total sums all nodes' counters.
+func (v TxCostView) Total() CostCounters {
+	var t CostCounters
+	for _, n := range v.Nodes {
+		t = t.Add(n.CostCounters)
+	}
+	return t
+}
+
+// costCap bounds the ledger: beyond it, recording a new transaction
+// evicts the oldest closed entry (or the oldest entry outright if
+// nothing is closed — accounting is an observability plane, never a
+// correctness dependency).
+const costCap = 1 << 16
+
+func (r *Registry) txCostLocked(tx string) *txCost {
+	if r.costs == nil {
+		r.costs = make(map[string]*txCost)
+	}
+	tc, ok := r.costs[tx]
+	if !ok {
+		if len(r.costs) >= costCap {
+			r.evictCostLocked()
+		}
+		tc = &txCost{subs: -1, delivered: -1, nodes: make(map[string]*nodeCost), seq: r.costSeq}
+		r.costSeq++
+		r.costs[tx] = tc
+	}
+	return tc
+}
+
+// evictCostLocked drops the oldest closed entry, or the oldest entry
+// of all when none is closed.
+func (r *Registry) evictCostLocked() {
+	victim, victimSeq := "", -1
+	closedVictim, closedSeq := "", -1
+	for tx, tc := range r.costs {
+		if victimSeq == -1 || tc.seq < victimSeq {
+			victim, victimSeq = tx, tc.seq
+		}
+		if tc.outcome != "" && (closedSeq == -1 || tc.seq < closedSeq) {
+			closedVictim, closedSeq = tx, tc.seq
+		}
+	}
+	if closedVictim != "" {
+		delete(r.costs, closedVictim)
+	} else if victim != "" {
+		delete(r.costs, victim)
+	}
+}
+
+func (tc *txCost) node(name string) *nodeCost {
+	nc, ok := tc.nodes[name]
+	if !ok {
+		nc = &nodeCost{}
+		tc.nodes[name] = nc
+	}
+	return nc
+}
+
+// CostBegin registers node as tx's coordinator under the given
+// variant with subs subordinates. Costs observed before CostBegin
+// (e.g. an unsolicited vote) are kept and re-attributed.
+func (r *Registry) CostBegin(tx, node, variant string, subs int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	tc := r.txCostLocked(tx)
+	tc.variant = variant
+	tc.subs = subs
+	tc.node(node).role = RoleCoordinator
+}
+
+// CostSub registers node as a subordinate of tx. variant is the
+// coordinator's variant as announced on the Prepare (it wins over any
+// local configuration); readOnly marks a read-only voter.
+func (r *Registry) CostSub(tx, node, variant string, readOnly bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	tc := r.txCostLocked(tx)
+	if tc.variant == "" {
+		tc.variant = variant
+	}
+	nc := tc.node(node)
+	if readOnly {
+		nc.role = RoleReadOnly
+	} else if nc.role != RoleCoordinator {
+		nc.role = RoleSubordinate
+	}
+}
+
+// CostOutcome records tx's global outcome ("committed", "aborted")
+// and, from the coordinator, how many subordinates were sent the
+// outcome message (pass -1 from non-coordinators).
+func (r *Registry) CostOutcome(tx, outcome string, delivered int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	tc := r.txCostLocked(tx)
+	tc.outcome = outcome
+	if delivered >= 0 {
+		tc.delivered = delivered
+	}
+}
+
+// CostNodeDone marks node's part in tx finished: its counters are
+// final and the audit may apply exact conformance checks to them.
+func (r *Registry) CostNodeDone(tx, node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.txCostLocked(tx).node(node).done = true
+}
+
+// FlowSent records one protocol message leaving node for tx, folding
+// the per-node counters (MessageSent + PacketSent) and the per-tx
+// cost ledger into one critical section. piggybacked marks a message
+// that rode an existing packet; extra marks retransmissions,
+// duplicate answers, and recovery traffic; protocolPkt mirrors
+// PacketSent's protocol flag.
+func (r *Registry) FlowSent(node, tx string, piggybacked, extra, protocolPkt bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.node(node)
+	c.MessagesSent++
+	if !piggybacked {
+		c.PacketsSent++
+	}
+	if protocolPkt {
+		c.ProtocolPackets++
+	}
+	if tx == "" {
+		return
+	}
+	nc := r.txCostLocked(tx).node(node)
+	if extra {
+		nc.c.Extra++
+	} else {
+		nc.c.Flows++
+	}
+	if piggybacked {
+		nc.c.Piggybacked++
+	}
+}
+
+// TxLogWrite records a log write at node attributed to tx, folding
+// LogWrite and the cost ledger into one critical section.
+func (r *Registry) TxLogWrite(node, tx string, forced bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.node(node)
+	c.LogWrites++
+	if forced {
+		c.ForcedWrites++
+	}
+	if tx == "" {
+		return
+	}
+	nc := r.txCostLocked(tx).node(node)
+	if forced {
+		nc.c.Forced++
+	} else {
+		nc.c.NonForced++
+	}
+}
+
+func (tc *txCost) view(tx string) TxCostView {
+	v := TxCostView{
+		Tx:        tx,
+		Variant:   tc.variant,
+		Subs:      tc.subs,
+		Delivered: tc.delivered,
+		Outcome:   tc.outcome,
+		Nodes:     make(map[string]NodeCostView, len(tc.nodes)),
+	}
+	for n, nc := range tc.nodes {
+		v.Nodes[n] = NodeCostView{Role: nc.role, Done: nc.done, CostCounters: nc.c}
+	}
+	return v
+}
+
+// CostSnapshot returns a copy of every transaction in the cost
+// ledger, in recording order.
+func (r *Registry) CostSnapshot() []TxCostView {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]TxCostView, 0, len(r.costs))
+	seqs := make(map[string]int, len(r.costs))
+	for tx, tc := range r.costs {
+		out = append(out, tc.view(tx))
+		seqs[tx] = tc.seq
+	}
+	sort.Slice(out, func(i, j int) bool { return seqs[out[i].Tx] < seqs[out[j].Tx] })
+	return out
+}
+
+// CostDrainClosed removes and returns every closed transaction (see
+// TxCostView.Closed) from the ledger, in recording order. The
+// conformance audit consumes the ledger through this so a
+// long-running process holds only in-flight transactions.
+func (r *Registry) CostDrainClosed() []TxCostView {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []TxCostView
+	seqs := make(map[string]int)
+	for tx, tc := range r.costs {
+		v := tc.view(tx)
+		if !v.Closed() {
+			continue
+		}
+		out = append(out, v)
+		seqs[tx] = tc.seq
+		delete(r.costs, tx)
+	}
+	sort.Slice(out, func(i, j int) bool { return seqs[out[i].Tx] < seqs[out[j].Tx] })
+	return out
+}
+
+// CostLedgerSize reports how many transactions the ledger currently
+// holds.
+func (r *Registry) CostLedgerSize() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.costs)
+}
+
+// AggregateCostKey labels one bucket of AggregateCosts.
+type AggregateCostKey struct {
+	Variant string
+	Role    Role
+	Outcome string
+}
+
+// AggregateCosts folds the ledger into per-(variant, role, outcome)
+// totals plus a transaction count per bucket — the shape the
+// /metrics endpoint exports. Transactions with no outcome yet
+// aggregate under Outcome "open".
+func AggregateCosts(views []TxCostView) map[AggregateCostKey]struct {
+	Counters CostCounters
+	Nodes    int
+} {
+	out := make(map[AggregateCostKey]struct {
+		Counters CostCounters
+		Nodes    int
+	})
+	for _, v := range views {
+		outcome := v.Outcome
+		if outcome == "" {
+			outcome = "open"
+		}
+		for _, nc := range v.Nodes {
+			k := AggregateCostKey{Variant: v.Variant, Role: nc.Role, Outcome: outcome}
+			agg := out[k]
+			agg.Counters = agg.Counters.Add(nc.CostCounters)
+			agg.Nodes++
+			out[k] = agg
+		}
+	}
+	return out
+}

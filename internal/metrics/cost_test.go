@@ -1,0 +1,132 @@
+package metrics
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestCostLedgerAttribution(t *testing.T) {
+	r := New()
+	r.CostBegin("t1", "C", "PA", 2)
+	r.CostSub("t1", "S1", "PA", false)
+	r.CostSub("t1", "S2", "PA", false)
+
+	// Coordinator: 2 prepares + 2 commits, 1 forced + 1 lazy write.
+	for i := 0; i < 4; i++ {
+		r.FlowSent("C", "t1", false, false, true)
+	}
+	r.TxLogWrite("C", "t1", true)
+	r.TxLogWrite("C", "t1", false)
+	// Each sub: vote + ack (ack piggybacked), 2 forced + 1 lazy.
+	for _, s := range []string{"S1", "S2"} {
+		r.FlowSent(s, "t1", false, false, true)
+		r.FlowSent(s, "t1", true, false, true)
+		r.TxLogWrite(s, "t1", true)
+		r.TxLogWrite(s, "t1", true)
+		r.TxLogWrite(s, "t1", false)
+	}
+	// One retransmission: counted extra, not a flow.
+	r.FlowSent("C", "t1", false, true, true)
+
+	r.CostOutcome("t1", "committed", 2)
+	for _, n := range []string{"C", "S1", "S2"} {
+		r.CostNodeDone("t1", n)
+	}
+
+	views := r.CostSnapshot()
+	if len(views) != 1 {
+		t.Fatalf("CostSnapshot: %d entries, want 1", len(views))
+	}
+	v := views[0]
+	if v.Variant != "PA" || v.Subs != 2 || v.Delivered != 2 || v.Outcome != "committed" {
+		t.Fatalf("tx header: %+v", v)
+	}
+	if !v.Closed() {
+		t.Fatalf("tx not closed: %+v", v)
+	}
+	c := v.Nodes["C"]
+	if c.Role != RoleCoordinator || c.Flows != 4 || c.Extra != 1 || c.Forced != 1 || c.NonForced != 1 {
+		t.Fatalf("coordinator counters: %+v", c)
+	}
+	s1 := v.Nodes["S1"]
+	if s1.Role != RoleSubordinate || s1.Flows != 2 || s1.Piggybacked != 1 || s1.Forced != 2 || s1.NonForced != 1 {
+		t.Fatalf("subordinate counters: %+v", s1)
+	}
+	total := v.Total()
+	if total.Flows != 8 || total.Forced != 5 || total.NonForced != 3 {
+		t.Fatalf("total: %+v", total)
+	}
+
+	// The per-node aggregate counters were fed by the same calls.
+	if got := r.Node("C").MessagesSent; got != 5 {
+		t.Fatalf("C MessagesSent = %d, want 5", got)
+	}
+	if got := r.Node("S1").PacketsSent; got != 1 {
+		t.Fatalf("S1 PacketsSent = %d, want 1 (one piggybacked)", got)
+	}
+	if got := r.Total(); got.Writes != 8 || got.Forced != 5 {
+		t.Fatalf("registry total triplet: %+v", got)
+	}
+}
+
+func TestCostDrainClosed(t *testing.T) {
+	r := New()
+	r.CostBegin("done", "C", "PC", 1)
+	r.FlowSent("C", "done", false, false, true)
+	r.CostOutcome("done", "committed", 1)
+	r.CostNodeDone("done", "C")
+
+	r.CostBegin("open", "C", "PC", 1)
+	r.FlowSent("C", "open", false, false, true)
+
+	drained := r.CostDrainClosed()
+	if len(drained) != 1 || drained[0].Tx != "done" {
+		t.Fatalf("drained %+v, want just 'done'", drained)
+	}
+	if n := r.CostLedgerSize(); n != 1 {
+		t.Fatalf("ledger size after drain = %d, want 1", n)
+	}
+	if again := r.CostDrainClosed(); len(again) != 0 {
+		t.Fatalf("second drain returned %+v", again)
+	}
+}
+
+func TestCostLedgerCap(t *testing.T) {
+	r := New()
+	for i := 0; i < costCap+10; i++ {
+		tx := fmt.Sprintf("t%d", i)
+		r.CostBegin(tx, "C", "PA", 1)
+		r.CostOutcome(tx, "committed", 1)
+		r.CostNodeDone(tx, "C")
+	}
+	if n := r.CostLedgerSize(); n > costCap {
+		t.Fatalf("ledger grew past cap: %d > %d", n, costCap)
+	}
+	// The oldest entries were the ones evicted.
+	for _, v := range r.CostSnapshot() {
+		if v.Tx == "t0" {
+			t.Fatal("t0 survived eviction")
+		}
+	}
+}
+
+func TestAggregateCosts(t *testing.T) {
+	r := New()
+	r.CostBegin("a", "C", "PA", 1)
+	r.CostSub("a", "S", "PA", false)
+	r.FlowSent("C", "a", false, false, true)
+	r.FlowSent("S", "a", false, false, true)
+	r.CostOutcome("a", "committed", 1)
+	r.CostBegin("b", "C", "PA", 1)
+	r.FlowSent("C", "b", false, false, true)
+
+	agg := AggregateCosts(r.CostSnapshot())
+	ck := AggregateCostKey{Variant: "PA", Role: RoleCoordinator, Outcome: "committed"}
+	if got := agg[ck]; got.Counters.Flows != 1 || got.Nodes != 1 {
+		t.Fatalf("coordinator committed bucket: %+v", got)
+	}
+	ok := AggregateCostKey{Variant: "PA", Role: RoleCoordinator, Outcome: "open"}
+	if got := agg[ok]; got.Counters.Flows != 1 {
+		t.Fatalf("open bucket: %+v", got)
+	}
+}

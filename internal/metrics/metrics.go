@@ -61,6 +61,8 @@ type Registry struct {
 	lockHold  map[string]time.Duration // cumulative lock hold time per node
 	latency   []time.Duration          // per-transaction commit latency
 	txOutcome map[string]int           // outcome name -> count
+	costs     map[string]*txCost       // per-transaction cost ledger (cost.go)
+	costSeq   int
 }
 
 // New returns an empty registry.

@@ -1,0 +1,629 @@
+// Package server is the serving daemon behind cmd/twopcd: a live 2PC
+// participant on a real TCP listener, wrapped in an observability
+// plane — a Prometheus-style /metrics endpoint, /healthz, /varz,
+// /auditz, /tracez, and net/http/pprof — plus an admission limit and
+// graceful drain.
+//
+// The same binary serves both roles. A coordinator daemon accepts
+// commit requests over HTTP (POST /commit) and drives the protocol
+// over TCP against subordinate daemons, which run the participant's
+// receive loop and need no HTTP surface beyond observability.
+//
+// The daemon continuously audits itself: a background loop drains
+// closed transactions from the metrics cost ledger and checks them
+// against the analytic closed forms (internal/audit). A violation —
+// the runtime spending more flows or forced writes than the paper's
+// tables allow — is logged loudly and latches /healthz red, on the
+// view that an optimized commit path silently losing its optimization
+// is an outage in the making.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/core"
+	"repro/internal/live"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/trace"
+	"repro/internal/wal"
+)
+
+// Config assembles a daemon. Zero values take documented defaults.
+type Config struct {
+	// Name is the participant name other daemons address this one by.
+	Name string
+	// ListenProto is the protocol (TCP) listen address, e.g.
+	// "127.0.0.1:0". The OS-assigned address is available from
+	// ProtoAddr after New.
+	ListenProto string
+	// ListenHTTP is the observability/admin listen address.
+	ListenHTTP string
+	// Peers maps participant names to protocol addresses. More can be
+	// added after startup with RegisterPeer (ports are usually
+	// OS-assigned, so wiring happens once every daemon is listening).
+	Peers map[string]string
+	// Subs is the default subordinate set for /commit requests that
+	// don't name their own.
+	Subs []string
+	// Variant is the default protocol variant for /commit requests;
+	// requests may override it per transaction.
+	Variant core.Variant
+	// Shards overrides the participant's state-table shard count.
+	Shards int
+	// MaxInflight bounds concurrently admitted commits; excess
+	// requests are shed with 503. Default 256.
+	MaxInflight int
+	// AuditInterval is the conformance-audit period. Default 1s;
+	// negative disables the loop (tests drive AuditNow directly).
+	AuditInterval time.Duration
+	// TraceRing is the /tracez ring capacity. Default 4096; negative
+	// disables tracing.
+	TraceRing int
+	// Log is the participant's WAL; nil means in-memory.
+	Log *wal.Log
+	// LiveOptions are appended to the participant's construction
+	// options (timeouts, retry policy, group commit, ...).
+	LiveOptions []live.Option
+}
+
+// ErrOverloaded is returned by Commit when the admission limit is
+// reached or the daemon is draining.
+var ErrOverloaded = fmt.Errorf("server: admission limit reached")
+
+// ErrDraining is returned by Commit once Drain has begun.
+var ErrDraining = fmt.Errorf("server: draining")
+
+// Server is one running daemon.
+type Server struct {
+	cfg  Config
+	reg  *metrics.Registry
+	trc  *trace.Tracer
+	part *live.Participant
+	ep   *netsim.TCPEndpoint
+
+	httpLn  net.Listener
+	httpSrv *http.Server
+
+	sem   chan struct{}
+	start time.Time
+
+	mu        sync.Mutex
+	draining  bool
+	inflight  int
+	idle      chan struct{} // closed when draining and inflight hits 0
+	auditRep  audit.Report  // accumulated totals; violations truncated
+	auditTxs  int           // transactions audited
+	costAgg   map[metrics.AggregateCostKey]metrics.CostCounters
+	costNodes map[metrics.AggregateCostKey]int
+
+	stopc  chan struct{}
+	stopMu sync.Once
+	wg     sync.WaitGroup
+}
+
+// maxKeptViolations bounds the violations retained for /auditz; the
+// total count keeps climbing regardless.
+const maxKeptViolations = 64
+
+// New builds and starts a daemon: both listeners bound, participant
+// receive loop running, audit loop ticking. Callers wire peers with
+// RegisterPeer once every daemon in the topology is up.
+func New(cfg Config) (*Server, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("server: config needs a Name")
+	}
+	if cfg.ListenProto == "" {
+		cfg.ListenProto = "127.0.0.1:0"
+	}
+	if cfg.ListenHTTP == "" {
+		cfg.ListenHTTP = "127.0.0.1:0"
+	}
+	if cfg.MaxInflight < 1 {
+		cfg.MaxInflight = 256
+	}
+	if cfg.AuditInterval == 0 {
+		cfg.AuditInterval = time.Second
+	}
+	if cfg.TraceRing == 0 {
+		cfg.TraceRing = 4096
+	}
+	if cfg.Log == nil {
+		cfg.Log = wal.New(wal.NewMemStore())
+	}
+
+	ep, err := netsim.ListenTCP(cfg.Name, cfg.ListenProto)
+	if err != nil {
+		return nil, err
+	}
+	httpLn, err := net.Listen("tcp", cfg.ListenHTTP)
+	if err != nil {
+		ep.Close()
+		return nil, fmt.Errorf("server: http listen %s: %w", cfg.ListenHTTP, err)
+	}
+	for name, addr := range cfg.Peers {
+		ep.Register(name, addr)
+	}
+
+	reg := metrics.New()
+	var trc *trace.Tracer
+	if cfg.TraceRing > 0 {
+		trc = trace.NewRing(cfg.TraceRing)
+	}
+	opts := []live.Option{
+		live.WithVariant(cfg.Variant),
+		live.WithMetrics(reg),
+	}
+	if trc != nil {
+		opts = append(opts, live.WithTrace(trc))
+	}
+	if cfg.Shards > 0 {
+		opts = append(opts, live.WithShards(cfg.Shards))
+	}
+	opts = append(opts, cfg.LiveOptions...)
+	part := live.NewParticipant(cfg.Name, ep, cfg.Log,
+		[]core.Resource{core.NewStaticResource("r@" + cfg.Name)}, opts...)
+
+	s := &Server{
+		cfg:       cfg,
+		reg:       reg,
+		trc:       trc,
+		part:      part,
+		ep:        ep,
+		httpLn:    httpLn,
+		sem:       make(chan struct{}, cfg.MaxInflight),
+		start:     time.Now(),
+		idle:      make(chan struct{}),
+		costAgg:   make(map[metrics.AggregateCostKey]metrics.CostCounters),
+		costNodes: make(map[metrics.AggregateCostKey]int),
+		stopc:     make(chan struct{}),
+	}
+	s.httpSrv = &http.Server{Handler: s.mux()}
+
+	part.Start()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		_ = s.httpSrv.Serve(httpLn)
+	}()
+	if cfg.AuditInterval > 0 {
+		s.wg.Add(1)
+		go s.auditLoop()
+	}
+	return s, nil
+}
+
+// ProtoAddr is the protocol listener's bound address.
+func (s *Server) ProtoAddr() string { return s.ep.Addr() }
+
+// HTTPAddr is the observability listener's bound address.
+func (s *Server) HTTPAddr() string { return s.httpLn.Addr().String() }
+
+// RegisterPeer tells the protocol endpoint where to dial for a peer.
+func (s *Server) RegisterPeer(name, addr string) { s.ep.Register(name, addr) }
+
+// Registry exposes the daemon's metrics registry (tests and embedding
+// harnesses read it directly; external observers scrape /metrics).
+func (s *Server) Registry() *metrics.Registry { return s.reg }
+
+// Participant exposes the underlying live participant.
+func (s *Server) Participant() *live.Participant { return s.part }
+
+// Commit admits and runs one transaction as coordinator, under v,
+// against subs (nil means the configured default set). Admission
+// fails with ErrOverloaded at the inflight limit and ErrDraining
+// during drain.
+func (s *Server) Commit(ctx context.Context, tx string, subs []string, v core.Variant) (live.Outcome, error) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return live.Aborted, ErrDraining
+	}
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		s.mu.Unlock()
+		return live.Aborted, ErrOverloaded
+	}
+	s.inflight++
+	s.mu.Unlock()
+	defer func() {
+		<-s.sem
+		s.mu.Lock()
+		s.inflight--
+		if s.draining && s.inflight == 0 {
+			select {
+			case <-s.idle:
+			default:
+				close(s.idle)
+			}
+		}
+		s.mu.Unlock()
+	}()
+	if subs == nil {
+		subs = s.cfg.Subs
+	}
+	return s.part.CommitVariant(ctx, tx, subs, v)
+}
+
+// Drain stops admitting new commits and waits for inflight ones to
+// finish (bounded by ctx), then runs a final conformance audit over
+// whatever closed. The HTTP plane stays up throughout so drains are
+// observable; Close tears everything down.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		if s.inflight == 0 {
+			close(s.idle)
+		}
+	}
+	idle := s.idle
+	s.mu.Unlock()
+	select {
+	case <-idle:
+	case <-ctx.Done():
+		return fmt.Errorf("server: drain interrupted with commits inflight: %w", ctx.Err())
+	}
+	s.AuditNow()
+	return nil
+}
+
+// Close shuts the daemon down: audit loop, HTTP server, participant,
+// and protocol endpoint.
+func (s *Server) Close() error {
+	s.stopMu.Do(func() { close(s.stopc) })
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	_ = s.httpSrv.Shutdown(ctx)
+	s.part.Stop()
+	_ = s.ep.Close()
+	s.wg.Wait()
+	return nil
+}
+
+// auditLoop periodically drains the cost ledger and conformance-checks
+// what closed.
+func (s *Server) auditLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.AuditInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.AuditNow()
+		case <-s.stopc:
+			return
+		}
+	}
+}
+
+// AuditNow drains closed transactions from the cost ledger, audits
+// them against the analytic closed forms, and folds the result into
+// the daemon's accumulated report. Violations are logged and latch
+// /healthz red.
+func (s *Server) AuditNow() audit.Report {
+	views := s.reg.CostDrainClosed()
+	rep := audit.Conformance(views)
+	agg := metrics.AggregateCosts(views)
+
+	s.mu.Lock()
+	s.auditTxs += len(views)
+	s.auditRep.Checked += rep.Checked
+	s.auditRep.Exact += rep.Exact
+	s.auditRep.Skipped += rep.Skipped
+	room := maxKeptViolations - len(s.auditRep.Violations)
+	for i, v := range rep.Violations {
+		if i >= room {
+			break
+		}
+		s.auditRep.Violations = append(s.auditRep.Violations, v)
+	}
+	for k, b := range agg {
+		s.costAgg[k] = s.costAgg[k].Add(b.Counters)
+		s.costNodes[k] += b.Nodes
+	}
+	total := len(s.auditRep.Violations)
+	s.mu.Unlock()
+
+	if !rep.OK() {
+		log.Printf("server %s: CONFORMANCE AUDIT FAILED (%d new, %d total): %s",
+			s.cfg.Name, len(rep.Violations), total, rep)
+	}
+	return rep
+}
+
+// AuditReport returns the accumulated audit totals and the audited
+// transaction count.
+func (s *Server) AuditReport() (audit.Report, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rep := s.auditRep
+	rep.Violations = append([]audit.Violation(nil), s.auditRep.Violations...)
+	return rep, s.auditTxs
+}
+
+// Healthy reports whether the daemon serves traffic with a clean
+// audit record.
+func (s *Server) Healthy() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.draining && len(s.auditRep.Violations) == 0
+}
+
+// mux assembles the observability plane.
+func (s *Server) mux() *http.ServeMux {
+	m := http.NewServeMux()
+	m.HandleFunc("/healthz", s.handleHealthz)
+	m.HandleFunc("/varz", s.handleVarz)
+	m.HandleFunc("/metrics", s.handleMetrics)
+	m.HandleFunc("/auditz", s.handleAuditz)
+	m.HandleFunc("/tracez", s.handleTracez)
+	m.HandleFunc("/commit", s.handleCommit)
+	m.HandleFunc("/debug/pprof/", pprof.Index)
+	m.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	m.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	m.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	m.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return m
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	draining, violations := s.draining, len(s.auditRep.Violations)
+	s.mu.Unlock()
+	switch {
+	case violations > 0:
+		http.Error(w, fmt.Sprintf("audit: %d conformance violations", violations), http.StatusInternalServerError)
+	case draining:
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+	default:
+		fmt.Fprintln(w, "ok")
+	}
+}
+
+func (s *Server) handleVarz(w http.ResponseWriter, _ *http.Request) {
+	snap := s.reg.Snapshot()
+	inDoubt := 0
+	for _, c := range snap.Nodes {
+		inDoubt += c.InDoubt
+	}
+	s.mu.Lock()
+	v := map[string]any{
+		"name":             s.cfg.Name,
+		"variant":          s.cfg.Variant.String(),
+		"shards":           s.cfg.Shards,
+		"subs":             s.cfg.Subs,
+		"uptime_seconds":   time.Since(s.start).Seconds(),
+		"inflight":         s.inflight,
+		"max_inflight":     s.cfg.MaxInflight,
+		"draining":         s.draining,
+		"in_doubt":         inDoubt,
+		"ledger_open":      s.reg.CostLedgerSize(),
+		"audit_txs":        s.auditTxs,
+		"audit_checked":    s.auditRep.Checked,
+		"audit_exact":      s.auditRep.Exact,
+		"audit_violations": len(s.auditRep.Violations),
+		"outcomes":         snap.Outcomes,
+	}
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (s *Server) handleAuditz(w http.ResponseWriter, _ *http.Request) {
+	rep, txs := s.AuditReport()
+	fmt.Fprintf(w, "audited %d transactions\n%s\n", txs, rep)
+}
+
+func (s *Server) handleTracez(w http.ResponseWriter, r *http.Request) {
+	if s.trc == nil {
+		http.Error(w, "tracing disabled", http.StatusNotFound)
+		return
+	}
+	events := s.trc.Events()
+	if tx := r.URL.Query().Get("tx"); tx != "" {
+		kept := events[:0]
+		for _, e := range events {
+			if e.Tx == tx {
+				kept = append(kept, e)
+			}
+		}
+		events = kept
+	}
+	fmt.Fprintf(w, "%d events (ring)\n", len(events))
+	for _, e := range events {
+		fmt.Fprintln(w, e.String())
+	}
+}
+
+// handleCommit runs one transaction: POST /commit?tx=NAME&variant=PA
+// &subs=S1,S2. Missing tx gets a generated name; missing subs/variant
+// fall back to the daemon's configuration.
+func (s *Server) handleCommit(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	q := r.URL.Query()
+	tx := q.Get("tx")
+	if tx == "" {
+		tx = fmt.Sprintf("%s:%d", s.cfg.Name, time.Now().UnixNano())
+	}
+	v := s.cfg.Variant
+	if name := q.Get("variant"); name != "" {
+		parsed, ok := ParseVariant(name)
+		if !ok {
+			http.Error(w, "unknown variant "+name, http.StatusBadRequest)
+			return
+		}
+		v = parsed
+	}
+	var subs []string
+	if raw := q.Get("subs"); raw != "" {
+		subs = strings.Split(raw, ",")
+	}
+	out, err := s.Commit(r.Context(), tx, subs, v)
+	switch {
+	case err == ErrOverloaded, err == ErrDraining:
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	case err != nil:
+		http.Error(w, fmt.Sprintf("%s: %v", out, err), http.StatusInternalServerError)
+	default:
+		fmt.Fprintf(w, "%s %s\n", tx, out)
+	}
+}
+
+// ParseVariant maps a variant name (the core.Variant String forms,
+// case-insensitive, plus "baseline"/"2pc") to its value.
+func ParseVariant(name string) (core.Variant, bool) {
+	switch strings.ToLower(name) {
+	case "basic", "basic2pc", "baseline", "2pc":
+		return core.VariantBaseline, true
+	case "pa":
+		return core.VariantPA, true
+	case "pn":
+		return core.VariantPN, true
+	case "pc":
+		return core.VariantPC, true
+	}
+	return core.VariantBaseline, false
+}
+
+// handleMetrics renders the registry in the Prometheus text exposition
+// format, hand-rolled — the repo takes no dependencies.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	snap := s.reg.Snapshot()
+	var b strings.Builder
+
+	nodes := make([]string, 0, len(snap.Nodes))
+	for n := range snap.Nodes {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+
+	counter := func(name, help string, render func(*strings.Builder)) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		render(&b)
+	}
+	counter("twopc_messages_sent_total", "Protocol messages handed to the transport.", func(b *strings.Builder) {
+		for _, n := range nodes {
+			fmt.Fprintf(b, "twopc_messages_sent_total{node=%q} %d\n", n, snap.Nodes[n].MessagesSent)
+		}
+	})
+	counter("twopc_packets_sent_total", "Wire packets (piggybacked messages ride for free).", func(b *strings.Builder) {
+		for _, n := range nodes {
+			fmt.Fprintf(b, "twopc_packets_sent_total{node=%q} %d\n", n, snap.Nodes[n].PacketsSent)
+		}
+	})
+	counter("twopc_log_writes_total", "Log records written.", func(b *strings.Builder) {
+		for _, n := range nodes {
+			fmt.Fprintf(b, "twopc_log_writes_total{node=%q,forced=\"false\"} %d\n", n, snap.Nodes[n].LogWrites-snap.Nodes[n].ForcedWrites)
+			fmt.Fprintf(b, "twopc_log_writes_total{node=%q,forced=\"true\"} %d\n", n, snap.Nodes[n].ForcedWrites)
+		}
+	})
+	counter("twopc_retries_total", "Protocol retransmissions.", func(b *strings.Builder) {
+		for _, n := range nodes {
+			fmt.Fprintf(b, "twopc_retries_total{node=%q} %d\n", n, snap.Nodes[n].Retries)
+		}
+	})
+	counter("twopc_in_doubt_total", "Transactions that entered the in-doubt window.", func(b *strings.Builder) {
+		for _, n := range nodes {
+			fmt.Fprintf(b, "twopc_in_doubt_total{node=%q} %d\n", n, snap.Nodes[n].InDoubt)
+		}
+	})
+	counter("twopc_outcomes_total", "Transaction outcomes at this coordinator.", func(b *strings.Builder) {
+		outs := make([]string, 0, len(snap.Outcomes))
+		for o := range snap.Outcomes {
+			outs = append(outs, o)
+		}
+		sort.Strings(outs)
+		for _, o := range outs {
+			fmt.Fprintf(b, "twopc_outcomes_total{outcome=%q} %d\n", o, snap.Outcomes[o])
+		}
+	})
+
+	// Per-variant cost accounting: accumulated closed transactions
+	// plus whatever is still open in the ledger.
+	s.mu.Lock()
+	agg := make(map[metrics.AggregateCostKey]metrics.CostCounters, len(s.costAgg))
+	nodesPer := make(map[metrics.AggregateCostKey]int, len(s.costNodes))
+	for k, c := range s.costAgg {
+		agg[k] = c
+		nodesPer[k] = s.costNodes[k]
+	}
+	auditChecked, auditExact := s.auditRep.Checked, s.auditRep.Exact
+	auditViolations := len(s.auditRep.Violations)
+	auditTxs := s.auditTxs
+	inflight := s.inflight
+	s.mu.Unlock()
+	for k, bkt := range metrics.AggregateCosts(s.reg.CostSnapshot()) {
+		agg[k] = agg[k].Add(bkt.Counters)
+		nodesPer[k] += bkt.Nodes
+	}
+	keys := make([]metrics.AggregateCostKey, 0, len(agg))
+	for k := range agg {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, c := keys[i], keys[j]
+		if a.Variant != c.Variant {
+			return a.Variant < c.Variant
+		}
+		if a.Role != c.Role {
+			return a.Role < c.Role
+		}
+		return a.Outcome < c.Outcome
+	})
+	counter("twopc_cost_total", "Per-variant protocol spend by role and outcome (paper Tables 2-4 units).", func(b *strings.Builder) {
+		for _, k := range keys {
+			c := agg[k]
+			base := fmt.Sprintf("variant=%q,role=%q,outcome=%q", k.Variant, k.Role, k.Outcome)
+			fmt.Fprintf(b, "twopc_cost_total{%s,kind=\"flows\"} %d\n", base, c.Flows)
+			fmt.Fprintf(b, "twopc_cost_total{%s,kind=\"extra_flows\"} %d\n", base, c.Extra)
+			fmt.Fprintf(b, "twopc_cost_total{%s,kind=\"piggybacked\"} %d\n", base, c.Piggybacked)
+			fmt.Fprintf(b, "twopc_cost_total{%s,kind=\"forced_writes\"} %d\n", base, c.Forced)
+			fmt.Fprintf(b, "twopc_cost_total{%s,kind=\"nonforced_writes\"} %d\n", base, c.NonForced)
+			fmt.Fprintf(b, "twopc_cost_total{%s,kind=\"node_entries\"} %d\n", base, nodesPer[k])
+		}
+	})
+	counter("twopc_audit_checked_total", "Node-entries conformance-checked against the analytic model.", func(b *strings.Builder) {
+		fmt.Fprintf(b, "twopc_audit_checked_total %d\n", auditChecked)
+	})
+	counter("twopc_audit_exact_total", "Node-entries that matched a closed form exactly.", func(b *strings.Builder) {
+		fmt.Fprintf(b, "twopc_audit_exact_total %d\n", auditExact)
+	})
+	counter("twopc_audit_violations_total", "Conformance violations (runtime spent more than the model).", func(b *strings.Builder) {
+		fmt.Fprintf(b, "twopc_audit_violations_total %d\n", auditViolations)
+	})
+	counter("twopc_audit_transactions_total", "Closed transactions consumed by the audit.", func(b *strings.Builder) {
+		fmt.Fprintf(b, "twopc_audit_transactions_total %d\n", auditTxs)
+	})
+
+	fmt.Fprintf(&b, "# HELP twopc_inflight Commits currently admitted.\n# TYPE twopc_inflight gauge\ntwopc_inflight %d\n", inflight)
+	fmt.Fprintf(&b, "# HELP twopc_ledger_open Cost-ledger entries not yet closed.\n# TYPE twopc_ledger_open gauge\ntwopc_ledger_open %d\n", s.reg.CostLedgerSize())
+
+	lat := snap.Latency
+	fmt.Fprintf(&b, "# HELP twopc_commit_latency_seconds Commit latency distribution.\n# TYPE twopc_commit_latency_seconds summary\n")
+	fmt.Fprintf(&b, "twopc_commit_latency_seconds{quantile=\"0.5\"} %g\n", lat.P50.Seconds())
+	fmt.Fprintf(&b, "twopc_commit_latency_seconds{quantile=\"0.95\"} %g\n", lat.P95.Seconds())
+	fmt.Fprintf(&b, "twopc_commit_latency_seconds{quantile=\"0.99\"} %g\n", lat.P99.Seconds())
+	fmt.Fprintf(&b, "twopc_commit_latency_seconds_count %d\n", lat.Count)
+	fmt.Fprintf(&b, "twopc_commit_latency_seconds_sum %g\n", (time.Duration(lat.Count) * lat.Mean).Seconds())
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_, _ = w.Write([]byte(b.String()))
+}

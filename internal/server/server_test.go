@@ -1,0 +1,279 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/live"
+	"repro/internal/wal"
+)
+
+// newTrio starts a coordinator daemon and two subordinate daemons on
+// real TCP listeners and wires them together.
+func newTrio(t *testing.T, coordCfg Config) (coord, s1, s2 *Server) {
+	t.Helper()
+	mk := func(cfg Config) *Server {
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { s.Close() })
+		return s
+	}
+	coordCfg.Name = "C"
+	if coordCfg.Subs == nil {
+		coordCfg.Subs = []string{"S1", "S2"}
+	}
+	coord = mk(coordCfg)
+	s1 = mk(Config{Name: "S1", AuditInterval: -1})
+	s2 = mk(Config{Name: "S2", AuditInterval: -1})
+	coord.RegisterPeer("S1", s1.ProtoAddr())
+	coord.RegisterPeer("S2", s2.ProtoAddr())
+	s1.RegisterPeer("C", coord.ProtoAddr())
+	s2.RegisterPeer("C", coord.ProtoAddr())
+	return coord, s1, s2
+}
+
+func httpGet(t *testing.T, addr, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(body)
+}
+
+func TestServerCommitAllVariantsOverTCP(t *testing.T) {
+	coord, s1, s2 := newTrio(t, Config{AuditInterval: -1})
+	ctx := context.Background()
+	seq := 0
+	for _, v := range []core.Variant{core.VariantBaseline, core.VariantPA, core.VariantPN, core.VariantPC} {
+		seq++
+		tx := fmt.Sprintf("C:%d", seq)
+		out, err := coord.Commit(ctx, tx, nil, v)
+		if err != nil || out != live.Committed {
+			t.Fatalf("%s commit = %v, %v", v, out, err)
+		}
+	}
+
+	// Each daemon audits its own side of the protocol; every side must
+	// conform exactly.
+	for _, s := range []*Server{coord, s1, s2} {
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			rep := s.AuditNow()
+			s.mu.Lock()
+			checked := s.auditRep.Checked
+			s.mu.Unlock()
+			if !rep.OK() {
+				t.Fatalf("%s: %s", s.cfg.Name, rep)
+			}
+			if checked >= 4 {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("%s: only %d entries closed", s.cfg.Name, checked)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		rep, _ := s.AuditReport()
+		if rep.Exact != rep.Checked || rep.Checked < 4 {
+			t.Fatalf("%s: checked=%d exact=%d", s.cfg.Name, rep.Checked, rep.Exact)
+		}
+	}
+}
+
+func TestServerHTTPPlane(t *testing.T) {
+	coord, _, _ := newTrio(t, Config{AuditInterval: -1, Variant: core.VariantPA})
+	resp, err := http.Post("http://"+coord.HTTPAddr()+"/commit?tx=C:1&variant=PC", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "committed") {
+		t.Fatalf("POST /commit = %d %q", resp.StatusCode, body)
+	}
+
+	if code, body := httpGet(t, coord.HTTPAddr(), "/healthz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+	if code, body := httpGet(t, coord.HTTPAddr(), "/varz"); code != 200 || !strings.Contains(body, `"name": "C"`) {
+		t.Fatalf("/varz = %d %q", code, body)
+	}
+	code, metricsBody := httpGet(t, coord.HTTPAddr(), "/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics = %d", code)
+	}
+	for _, want := range []string{
+		"twopc_messages_sent_total{node=\"C\"}",
+		"twopc_outcomes_total{outcome=\"committed\"} 1",
+		"twopc_cost_total{variant=\"PC\",role=\"coordinator\",outcome=\"committed\",kind=\"flows\"} 4",
+		"twopc_cost_total{variant=\"PC\",role=\"coordinator\",outcome=\"committed\",kind=\"forced_writes\"} 2",
+		"twopc_commit_latency_seconds_count 1",
+	} {
+		if !strings.Contains(metricsBody, want) {
+			t.Errorf("/metrics missing %q\n%s", want, metricsBody)
+		}
+	}
+	if code, body := httpGet(t, coord.HTTPAddr(), "/auditz"); code != 200 || !strings.Contains(body, "audited") {
+		t.Fatalf("/auditz = %d %q", code, body)
+	}
+	if code, body := httpGet(t, coord.HTTPAddr(), "/tracez"); code != 200 || !strings.Contains(body, "events") {
+		t.Fatalf("/tracez = %d %q", code, body)
+	}
+	if code, _ := httpGet(t, coord.HTTPAddr(), "/debug/pprof/"); code != 200 {
+		t.Fatalf("/debug/pprof/ = %d", code)
+	}
+
+	// Method and argument validation.
+	if code, _ := httpGet(t, coord.HTTPAddr(), "/commit"); code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /commit = %d, want 405", code)
+	}
+	resp, err = http.Post("http://"+coord.HTTPAddr()+"/commit?variant=XX", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad variant = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestServerAdmissionShedsLoad(t *testing.T) {
+	coord, _, _ := newTrio(t, Config{AuditInterval: -1, MaxInflight: 1})
+	// Occupy the only admission slot, then watch the next request shed.
+	coord.sem <- struct{}{}
+	_, err := coord.Commit(context.Background(), "C:9", nil, core.VariantPA)
+	if err != ErrOverloaded {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+	resp, herr := http.Post("http://"+coord.HTTPAddr()+"/commit", "", nil)
+	if herr != nil {
+		t.Fatal(herr)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("overloaded /commit = %d, want 503", resp.StatusCode)
+	}
+	<-coord.sem
+	if out, err := coord.Commit(context.Background(), "C:10", nil, core.VariantPA); err != nil || out != live.Committed {
+		t.Fatalf("after release: %v, %v", out, err)
+	}
+}
+
+func TestServerDrain(t *testing.T) {
+	coord, _, _ := newTrio(t, Config{AuditInterval: -1})
+	if out, err := coord.Commit(context.Background(), "C:1", nil, core.VariantPA); err != nil || out != live.Committed {
+		t.Fatalf("commit = %v, %v", out, err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := coord.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := coord.Commit(context.Background(), "C:2", nil, core.VariantPA); err != ErrDraining {
+		t.Fatalf("post-drain commit err = %v, want ErrDraining", err)
+	}
+	if code, body := httpGet(t, coord.HTTPAddr(), "/healthz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "draining") {
+		t.Fatalf("/healthz during drain = %d %q", code, body)
+	}
+	// The drain consumed the closed ledger via its final audit.
+	rep, txs := coord.AuditReport()
+	if !rep.OK() || txs != 1 {
+		t.Fatalf("final audit: %s (txs=%d)", rep, txs)
+	}
+}
+
+func TestServerDrainWaitsForInflight(t *testing.T) {
+	coord, _, _ := newTrio(t, Config{AuditInterval: -1})
+	release := make(chan struct{})
+	done := make(chan error, 1)
+	// Occupy one admission slot before the drain starts, mimicking a
+	// commit mid-flight.
+	coord.mu.Lock()
+	coord.sem <- struct{}{}
+	coord.inflight++
+	coord.mu.Unlock()
+	go func() {
+		<-release
+		coord.mu.Lock()
+		<-coord.sem
+		coord.inflight--
+		if coord.draining && coord.inflight == 0 {
+			close(coord.idle)
+		}
+		coord.mu.Unlock()
+	}()
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		done <- coord.Drain(ctx)
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("drain returned before inflight finished: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("drain never finished")
+	}
+}
+
+func TestServerAuditLatchesHealthRed(t *testing.T) {
+	log := wal.New(wal.NewMemStore())
+	coord, _, _ := newTrio(t, Config{AuditInterval: -1, Log: log})
+	if out, err := coord.Commit(context.Background(), "C:1", nil, core.VariantPA); err != nil || out != live.Committed {
+		t.Fatalf("commit = %v, %v", out, err)
+	}
+	// A mis-costed path: force a record the model has no budget for.
+	if _, err := log.Force(wal.Record{Tx: "C:1", Node: "C", Kind: "Spurious"}); err != nil {
+		t.Fatal(err)
+	}
+	rep := coord.AuditNow()
+	if rep.OK() {
+		t.Fatal("spurious forced write not flagged")
+	}
+	if coord.Healthy() {
+		t.Fatal("health stayed green through an audit violation")
+	}
+	if code, body := httpGet(t, coord.HTTPAddr(), "/healthz"); code != http.StatusInternalServerError || !strings.Contains(body, "violation") {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+	if _, body := httpGet(t, coord.HTTPAddr(), "/metrics"); !strings.Contains(body, "twopc_audit_violations_total 1") {
+		t.Fatal("/metrics missing the violation counter")
+	}
+}
+
+func TestServerTraceRing(t *testing.T) {
+	coord, _, _ := newTrio(t, Config{AuditInterval: -1, TraceRing: 8})
+	for i := 0; i < 5; i++ {
+		tx := fmt.Sprintf("C:%d", i+1)
+		if out, err := coord.Commit(context.Background(), tx, nil, core.VariantPA); err != nil || out != live.Committed {
+			t.Fatalf("commit = %v, %v", out, err)
+		}
+	}
+	events := coord.trc.Events()
+	if len(events) != 8 {
+		t.Fatalf("ring kept %d events, want 8", len(events))
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].Seq <= events[i-1].Seq {
+			t.Fatalf("ring out of order at %d: %+v", i, events)
+		}
+	}
+}

@@ -94,10 +94,26 @@ type Tracer struct {
 	events []Event
 	seq    int
 	on     bool
+	// ring, when non-zero, bounds events to the most recent ring
+	// entries (a circular buffer; start is the read position).
+	// Long-running daemons trace into a ring so /tracez shows recent
+	// history at O(1) memory.
+	ring  int
+	start int
 }
 
 // New returns an enabled tracer.
 func New() *Tracer { return &Tracer{on: true} }
+
+// NewRing returns an enabled tracer that retains only the most recent
+// capacity events, evicting the oldest on overflow. capacity < 1 is
+// treated as 1.
+func NewRing(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{on: true, ring: capacity}
+}
 
 // Disabled returns a tracer that drops every event. Benchmarks that
 // only want counters use it to avoid building megabytes of events.
@@ -126,18 +142,25 @@ func (t *Tracer) Add(e Event) {
 	}
 	e.Seq = t.seq
 	t.seq++
+	if t.ring > 0 && len(t.events) == t.ring {
+		t.events[t.start] = e
+		t.start = (t.start + 1) % t.ring
+		return
+	}
 	t.events = append(t.events, e)
 }
 
-// Events returns a copy of the recorded events in insertion order.
+// Events returns a copy of the recorded events in insertion order
+// (for a ring tracer, the retained window of it).
 func (t *Tracer) Events() []Event {
 	if t == nil {
 		return nil
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	out := make([]Event, len(t.events))
-	copy(out, t.events)
+	out := make([]Event, 0, len(t.events))
+	out = append(out, t.events[t.start:]...)
+	out = append(out, t.events[:t.start]...)
 	return out
 }
 
@@ -150,6 +173,7 @@ func (t *Tracer) Reset() {
 	defer t.mu.Unlock()
 	t.events = nil
 	t.seq = 0
+	t.start = 0
 }
 
 // Filter returns the recorded events for which keep returns true,

@@ -16,6 +16,13 @@ fi
 echo "== go vet =="
 go vet ./...
 
+echo "== staticcheck =="
+if command -v staticcheck >/dev/null 2>&1; then
+    staticcheck ./...
+else
+    echo "staticcheck not installed; skipping (CI runs it)" >&2
+fi
+
 echo "== go test -race ./... =="
 go test -race ./...
 
