@@ -1,5 +1,5 @@
 // Command benchdiff compares two scripts/bench.sh result files and
-// fails when the gated benchmark regressed beyond tolerance. CI's
+// fails when any gated benchmark regressed beyond tolerance. CI's
 // nightly bench workflow runs it against the committed BENCH_live.json
 // baseline:
 //
@@ -7,11 +7,15 @@
 //	OUT=/tmp/fresh.json scripts/bench.sh   # fresh run
 //	benchdiff -old BENCH_live.json -new /tmp/fresh.json
 //
-// The default gate is committed throughput (commits/sec) of the
+// The default gates are committed throughput (commits/sec) of the
 // optimized live TCP multi-subordinate path — the headline number the
-// perf work in this repo optimises — with a 20% tolerance to absorb
-// shared-runner noise. Every benchmark common to both files is printed
-// for context; only the gated one decides the exit status.
+// perf work in this repo optimises — and allocations per commit
+// (allocs/op) of the optimized in-process path, so the allocation
+// scrub can't silently regress either. Gates are direction-aware
+// (throughput improves upward, times and counts downward) with a 20%
+// tolerance to absorb shared-runner noise. Every benchmark common to
+// both files is printed for context; only the gates decide the exit
+// status. -gate key:metric (repeatable) overrides the default set.
 package main
 
 import (
@@ -44,6 +48,38 @@ func load(path string) (benchFile, error) {
 	return f, nil
 }
 
+// gate is one benchmark metric the comparison must not regress.
+type gate struct {
+	key    string // package-qualified benchmark name
+	metric string // e.g. "commits/sec", "allocs/op"
+}
+
+// defaultGates are what CI evaluates when no -gate flags are given.
+var defaultGates = []gate{
+	{"repro/internal/live.BenchmarkLiveParallelMultiSubTCP/optimized", "commits/sec"},
+	{"repro/internal/live.BenchmarkLiveParallelMultiSub/optimized", "allocs/op"},
+}
+
+// gateFlags collects repeated -gate key:metric flags.
+type gateFlags []gate
+
+func (g *gateFlags) String() string {
+	parts := make([]string, len(*g))
+	for i, x := range *g {
+		parts[i] = x.key + ":" + x.metric
+	}
+	return strings.Join(parts, ",")
+}
+
+func (g *gateFlags) Set(s string) error {
+	key, metric, ok := strings.Cut(s, ":")
+	if !ok || key == "" || metric == "" {
+		return fmt.Errorf("want key:metric, got %q", s)
+	}
+	*g = append(*g, gate{key: key, metric: metric})
+	return nil
+}
+
 // higherIsBetter reports the improvement direction of a metric unit.
 // Throughput-style units improve upward; times, sizes, and counts
 // improve downward.
@@ -63,9 +99,9 @@ func regression(metric string, oldV, newV float64) float64 {
 	return (newV - oldV) / oldV
 }
 
-// diff renders the comparison and evaluates the gate, returning the
-// report and whether the gate failed.
-func diff(oldF, newF benchFile, key, metric string, tolerance float64) (string, bool) {
+// diff renders the comparison and evaluates every gate, returning the
+// report and whether any gate failed.
+func diff(oldF, newF benchFile, gates []gate, tolerance float64) (string, bool) {
 	var b strings.Builder
 	fmt.Fprintf(&b, "baseline %s (%s) vs new %s (%s)\n", oldF.Go, oldF.Benchtime, newF.Go, newF.Benchtime)
 
@@ -87,37 +123,46 @@ func diff(oldF, newF benchFile, key, metric string, tolerance float64) (string, 
 			k, oldV, newV, m, 100*(newV-oldV)/oldV)
 	}
 
-	oldV, okO := oldF.Benchmarks[key][metric]
-	newV, okN := newF.Benchmarks[key][metric]
-	switch {
-	case !okO:
-		fmt.Fprintf(&b, "GATE FAIL: baseline has no %q for %q\n", metric, key)
-		return b.String(), true
-	case !okN:
-		fmt.Fprintf(&b, "GATE FAIL: new run has no %q for %q\n", metric, key)
-		return b.String(), true
+	failed := false
+	for _, g := range gates {
+		oldV, okO := oldF.Benchmarks[g.key][g.metric]
+		newV, okN := newF.Benchmarks[g.key][g.metric]
+		switch {
+		case !okO:
+			fmt.Fprintf(&b, "GATE FAIL: baseline has no %q for %q\n", g.metric, g.key)
+			failed = true
+			continue
+		case !okN:
+			fmt.Fprintf(&b, "GATE FAIL: new run has no %q for %q\n", g.metric, g.key)
+			failed = true
+			continue
+		}
+		reg := regression(g.metric, oldV, newV)
+		fmt.Fprintf(&b, "gate %s %s: %.0f -> %.0f (regression %+.1f%%, tolerance %.0f%%)\n",
+			g.key, g.metric, oldV, newV, 100*reg, 100*tolerance)
+		if reg > tolerance {
+			fmt.Fprintf(&b, "GATE FAIL: %q %s regressed %.1f%% > %.0f%%\n", g.key, g.metric, 100*reg, 100*tolerance)
+			failed = true
+		}
 	}
-	reg := regression(metric, oldV, newV)
-	fmt.Fprintf(&b, "gate %s %s: %.0f -> %.0f (regression %+.1f%%, tolerance %.0f%%)\n",
-		key, metric, oldV, newV, 100*reg, 100*tolerance)
-	if reg > tolerance {
-		fmt.Fprintf(&b, "GATE FAIL: %q regressed %.1f%% > %.0f%%\n", key, 100*reg, 100*tolerance)
-		return b.String(), true
+	if !failed {
+		fmt.Fprintf(&b, "GATE OK (%d gates)\n", len(gates))
 	}
-	fmt.Fprintf(&b, "GATE OK\n")
-	return b.String(), false
+	return b.String(), failed
 }
 
 func main() {
 	oldPath := flag.String("old", "BENCH_live.json", "baseline bench.sh result file")
 	newPath := flag.String("new", "", "fresh bench.sh result file to compare")
-	key := flag.String("key", "repro/internal/live.BenchmarkLiveParallelMultiSubTCP/optimized",
-		"benchmark key the gate evaluates")
-	metric := flag.String("metric", "commits/sec", "metric the gate evaluates")
 	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional regression before failing")
+	var gates gateFlags
+	flag.Var(&gates, "gate", "benchmark gate as key:metric (repeatable; default: TCP commits/sec + in-process allocs/op)")
 	flag.Parse()
 	if *newPath == "" {
 		log.Fatal("benchdiff: -new is required")
+	}
+	if len(gates) == 0 {
+		gates = defaultGates
 	}
 
 	oldF, err := load(*oldPath)
@@ -128,7 +173,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("benchdiff: %v", err)
 	}
-	report, failed := diff(oldF, newF, *key, *metric, *tolerance)
+	report, failed := diff(oldF, newF, gates, *tolerance)
 	fmt.Print(report)
 	if failed {
 		os.Exit(1)

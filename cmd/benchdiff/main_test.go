@@ -5,14 +5,18 @@ import (
 	"testing"
 )
 
-const gateKey = "repro/internal/live.BenchmarkLiveParallelMultiSubTCP/optimized"
+const (
+	tcpKey  = "repro/internal/live.BenchmarkLiveParallelMultiSubTCP/optimized"
+	chanKey = "repro/internal/live.BenchmarkLiveParallelMultiSub/optimized"
+)
 
-func file(cps float64) benchFile {
+func file(cps, allocs float64) benchFile {
 	return benchFile{
 		Benchtime: "1s",
 		Go:        "go1.24.0",
 		Benchmarks: map[string]map[string]float64{
-			gateKey:                             {"ns/op": 180000, "commits/sec": cps},
+			tcpKey:                              {"ns/op": 180000, "commits/sec": cps},
+			chanKey:                             {"ns/op": 110000, "allocs/op": allocs},
 			"repro/internal/wal.BenchmarkForce": {"ns/op": 900},
 		},
 	}
@@ -20,34 +24,63 @@ func file(cps float64) benchFile {
 
 func TestDiffGate(t *testing.T) {
 	cases := []struct {
-		name     string
-		old, new float64
-		wantFail bool
+		name               string
+		oldCPS, newCPS     float64
+		oldAlloc, newAlloc float64
+		wantFail           bool
 	}{
-		{"steady", 5593, 5600, false},
-		{"within tolerance", 5593, 4600, false}, // -17.8%
-		{"regressed", 5593, 4400, true},         // -21.3%
-		{"improved", 5593, 9000, false},
+		{"steady", 5593, 5600, 110, 111, false},
+		{"throughput within tolerance", 5593, 4600, 110, 110, false}, // -17.8%
+		{"throughput regressed", 5593, 4400, 110, 110, true},         // -21.3%
+		{"throughput improved", 5593, 9000, 110, 110, false},
+		{"allocs within tolerance", 5593, 5593, 110, 130, false}, // +18.2%
+		{"allocs regressed", 5593, 5593, 110, 140, true},         // +27.3%
+		{"allocs improved", 5593, 5593, 110, 70, false},
+		{"both regressed", 5593, 4000, 110, 200, true},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			report, failed := diff(file(tc.old), file(tc.new), gateKey, "commits/sec", 0.20)
+			report, failed := diff(
+				file(tc.oldCPS, tc.oldAlloc), file(tc.newCPS, tc.newAlloc),
+				defaultGates, 0.20)
 			if failed != tc.wantFail {
 				t.Fatalf("failed = %v, want %v\n%s", failed, tc.wantFail, report)
 			}
-			if !strings.Contains(report, "gate "+gateKey) {
-				t.Fatalf("report missing gate line:\n%s", report)
+			for _, g := range defaultGates {
+				if !strings.Contains(report, "gate "+g.key+" "+g.metric) && !strings.Contains(report, "GATE FAIL") {
+					t.Fatalf("report missing gate line for %s %s:\n%s", g.key, g.metric, report)
+				}
 			}
 		})
 	}
 }
 
 func TestDiffGateMissingKey(t *testing.T) {
-	newF := file(5593)
-	delete(newF.Benchmarks, gateKey)
-	report, failed := diff(file(5593), newF, gateKey, "commits/sec", 0.20)
+	newF := file(5593, 110)
+	delete(newF.Benchmarks, tcpKey)
+	report, failed := diff(file(5593, 110), newF, defaultGates, 0.20)
 	if !failed || !strings.Contains(report, "GATE FAIL") {
 		t.Fatalf("missing gate key must fail:\n%s", report)
+	}
+	// The remaining gate is still reported even when another fails.
+	if !strings.Contains(report, "gate "+chanKey) {
+		t.Fatalf("surviving gate not evaluated:\n%s", report)
+	}
+}
+
+func TestGateFlagParsing(t *testing.T) {
+	var g gateFlags
+	if err := g.Set("pkg.BenchmarkX:allocs/op"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Set("pkg.BenchmarkY/sub:commits/sec"); err != nil {
+		t.Fatal(err)
+	}
+	if len(g) != 2 || g[0].metric != "allocs/op" || g[1].key != "pkg.BenchmarkY/sub" {
+		t.Fatalf("parsed gates = %+v", g)
+	}
+	if err := g.Set("no-metric"); err == nil {
+		t.Fatal("want error for gate without metric")
 	}
 }
 
@@ -62,5 +95,9 @@ func TestRegressionDirection(t *testing.T) {
 	}
 	if r := regression("ns/op", 100, 70); r != -0.3 {
 		t.Fatalf("ns/op 100->70 = %v, want -0.3", r)
+	}
+	// Allocation counts improve downward too.
+	if r := regression("allocs/op", 200, 260); r != 0.3 {
+		t.Fatalf("allocs/op 200->260 = %v, want 0.3", r)
 	}
 }

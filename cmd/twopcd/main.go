@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/live"
+	"repro/internal/protocol"
 	"repro/internal/server"
 	"repro/internal/wal"
 )
@@ -56,6 +57,7 @@ func main() {
 	httpAddr := flag.String("http", "127.0.0.1:0", "observability/admin listen address")
 	subs := flag.String("subs", "", "comma-separated default subordinate names (coordinator role)")
 	variantName := flag.String("variant", "pa", "default protocol variant: basic, pa, pn, pc")
+	codecName := flag.String("codec", "binary", "outbound wire codec: binary, gob-stream, gob-packet")
 	shards := flag.Int("shards", 0, "state-table shard count (0 = derive from GOMAXPROCS)")
 	maxInflight := flag.Int("max-inflight", 256, "admission limit; excess commits are shed with 503")
 	auditEvery := flag.Duration("audit-interval", time.Second, "conformance-audit period (negative disables)")
@@ -72,12 +74,17 @@ func main() {
 	if !ok {
 		log.Fatalf("twopcd: unknown variant %q", *variantName)
 	}
+	codec, err := protocol.ParseCodecKind(*codecName)
+	if err != nil {
+		log.Fatalf("twopcd: %v", err)
+	}
 
 	cfg := server.Config{
 		Name:          *name,
 		ListenProto:   *listen,
 		ListenHTTP:    *httpAddr,
 		Peers:         peers,
+		Codec:         codec,
 		Variant:       variant,
 		Shards:        *shards,
 		MaxInflight:   *maxInflight,
@@ -100,8 +107,8 @@ func main() {
 	if err != nil {
 		log.Fatalf("twopcd: %v", err)
 	}
-	log.Printf("twopcd %s: protocol on %s, http on %s, variant %s, subs %v",
-		*name, s.ProtoAddr(), s.HTTPAddr(), variant, cfg.Subs)
+	log.Printf("twopcd %s: protocol on %s, http on %s, variant %s, codec %s, subs %v",
+		*name, s.ProtoAddr(), s.HTTPAddr(), variant, codec, cfg.Subs)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)

@@ -1,0 +1,41 @@
+package check
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestChaosLiveCodecPinned replays live-engine chaos schedules with
+// every packet round-tripped through each wire codec. The oracle's
+// verdict must not depend on the codec — marshaling is below the
+// protocol — and a decode divergence would surface as lost or mutated
+// traffic the safety checks catch.
+func TestChaosLiveCodecPinned(t *testing.T) {
+	for _, codec := range []string{"binary", "gob-stream", "gob-packet"} {
+		codec := codec
+		t.Run(codec, func(t *testing.T) {
+			t.Parallel()
+			// Live-engine seeds have bit 2 set; sweep the four variants
+			// (low two bits) with a crash/loss mix decided by the seed.
+			for i := int64(0); i < 8; i++ {
+				seed := i*8 + 4 + (i & 3)
+				s := FromSeed(seed)
+				if s.Engine != "live" {
+					t.Fatalf("seed %d: expected live engine, got %s", seed, s.Engine)
+				}
+				s.Codec = codec
+				res, err := Execute(s)
+				if err != nil {
+					t.Fatalf("chaos %s: execute: %v", s, err)
+				}
+				if vs := Check(res.Run); len(vs) != 0 {
+					msg := fmt.Sprintf("chaos %s violated safety:", s)
+					for _, v := range vs {
+						msg += "\n  " + v.String()
+					}
+					t.Fatal(msg)
+				}
+			}
+		})
+	}
+}

@@ -87,7 +87,15 @@ func RunLive(s Schedule) (*RunResult, error) {
 		}
 		return m, true
 	}
-	net := netsim.NewChanNetwork(netsim.WithTransform(transform))
+	netOpts := []netsim.ChanOption{netsim.WithTransform(transform)}
+	if s.Codec != "" {
+		kind, err := protocol.ParseCodecKind(s.Codec)
+		if err != nil {
+			return nil, err
+		}
+		netOpts = append(netOpts, netsim.WithChanCodec(kind))
+	}
+	net := netsim.NewChanNetwork(netOpts...)
 
 	parts := make(map[string]*live.Participant)
 	counters := make(map[string]*failCounter)

@@ -10,6 +10,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"time"
 )
 
@@ -34,12 +35,14 @@ type TxID struct {
 func (t TxID) String() string { return fmt.Sprintf("%s:%d", t.Origin, t.Seq) }
 
 // ParseTxID is the inverse of String; it returns the zero TxID on
-// malformed input.
+// malformed input. It is on the commit hot path (every handler maps a
+// wire transaction name back to its id), so it parses without
+// reflection or allocation.
 func ParseTxID(s string) TxID {
 	for i := len(s) - 1; i >= 0; i-- {
 		if s[i] == ':' {
-			var seq uint64
-			if _, err := fmt.Sscanf(s[i+1:], "%d", &seq); err != nil {
+			seq, err := strconv.ParseUint(s[i+1:], 10, 64)
+			if err != nil {
 				return TxID{}
 			}
 			return TxID{Origin: NodeID(s[:i]), Seq: seq}

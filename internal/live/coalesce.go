@@ -62,6 +62,12 @@ func (c *coalescer) enqueue(to string, m protocol.Message) (piggybacked bool, er
 		c.peers[to] = q
 	}
 	piggybacked = len(q.pending) > 0
+	if q.pending == nil {
+		// Batch slices come from the codec's shared pool: the transport
+		// (or the receiving participant, over the channel network)
+		// recycles each one after the packet is done with it.
+		q.pending = protocol.GetMsgSlice(4)
+	}
 	q.pending = append(q.pending, m)
 	if !q.active {
 		q.active = true

@@ -84,18 +84,19 @@ func (p *Participant) runCommit(ctx context.Context, txName string, subs []strin
 	st.early = nil
 	sh.mu.Unlock()
 
-	expected := make(map[string]bool, len(others))
-	for _, s := range others {
-		expected[s] = true
-	}
-	voted := make(map[string]bool, len(others))
-	var yes []string
-	for _, s := range others {
+	// Vote bookkeeping is tree-sized slices, not maps: transaction
+	// trees are a handful of subordinates, so membership is a linear
+	// scan and the whole structure is two right-sized allocations.
+	voted := make([]bool, len(others))
+	votedN := 0
+	yes := make([]string, 0, len(others))
+	for i, s := range others {
 		ev, ok := early[s]
 		if !ok {
 			continue
 		}
-		voted[s] = true
+		voted[i] = true
+		votedN++
 		switch ev {
 		case protocol.VoteNo:
 			return p.abortTx(tx, txName, subs, v), nil
@@ -107,8 +108,8 @@ func (p *Participant) runCommit(ctx context.Context, txName string, subs []strin
 	// Phase one: Prepares in parallel to everyone who has not already
 	// volunteered a vote, each announcing the variant's presumption.
 	prep := protocol.Message{Type: protocol.MsgPrepare, Tx: txName, Presume: presumptionOf(v)}
-	for _, s := range others {
-		if voted[s] {
+	for i, s := range others {
+		if voted[i] {
 			continue
 		}
 		if err := p.send(s, prep); err != nil {
@@ -123,19 +124,21 @@ func (p *Participant) runCommit(ctx context.Context, txName string, subs []strin
 
 	// Collect the remaining votes, retransmitting Prepare to silent
 	// subordinates on the retry policy's backoff schedule.
-	if len(voted) < len(others) {
+	if votedN < len(others) {
 		deadline := p.sched.NewTimer(p.voteTimeout)
 		defer deadline.Stop()
 		bo := p.retry.backoff(p.rng(txName))
 		retryT := p.nextRetryTimer(bo)
 		defer func() { retryT.Stop() }()
-		for len(voted) < len(others) {
+		for votedN < len(others) {
 			select {
 			case env := <-st.votes:
-				if !expected[env.from] || voted[env.from] {
+				i := indexOf(others, env.from)
+				if i < 0 || voted[i] {
 					continue
 				}
-				voted[env.from] = true
+				voted[i] = true
+				votedN++
 				switch env.msg.Vote {
 				case protocol.VoteNo:
 					return p.abortTx(tx, txName, subs, v), nil
@@ -143,8 +146,8 @@ func (p *Participant) runCommit(ctx context.Context, txName string, subs []strin
 					yes = append(yes, env.from)
 				}
 			case <-retryT.C():
-				for _, s := range others {
-					if !voted[s] {
+				for i, s := range others {
+					if !voted[i] {
 						_ = p.sendExtra(s, prep)
 						p.countRetry()
 					}
@@ -288,11 +291,10 @@ func (p *Participant) delegate(ctx context.Context, st *txState, tx core.TxID, t
 // folds up any heuristic reports they carry. Subordinates that never
 // ack are counted in doubt; resolving them falls to recovery.
 func (p *Participant) collectAcks(ctx context.Context, st *txState, txName string, targets []string, outMsg protocol.Message) ([]protocol.HeuristicReport, error) {
-	expected := make(map[string]bool, len(targets))
-	for _, s := range targets {
-		expected[s] = true
-	}
-	acked := make(map[string]bool, len(targets))
+	// Ack bookkeeping mirrors vote collection: one tree-sized bool
+	// slice instead of two maps.
+	acked := make([]bool, len(targets))
+	ackedN := 0
 	var heur []protocol.HeuristicReport
 
 	deadline := p.sched.NewTimer(p.ackTimeout)
@@ -300,17 +302,19 @@ func (p *Participant) collectAcks(ctx context.Context, st *txState, txName strin
 	bo := p.retry.backoff(p.rng(txName + "/acks"))
 	retryT := p.nextRetryTimer(bo)
 	defer func() { retryT.Stop() }()
-	for len(acked) < len(targets) {
+	for ackedN < len(targets) {
 		select {
 		case env := <-st.acks:
-			if !expected[env.from] || acked[env.from] {
+			i := indexOf(targets, env.from)
+			if i < 0 || acked[i] {
 				continue
 			}
-			acked[env.from] = true
+			acked[i] = true
+			ackedN++
 			heur = append(heur, env.msg.Heuristics...)
 		case <-retryT.C():
-			for _, s := range targets {
-				if !acked[s] {
+			for i, s := range targets {
+				if !acked[i] {
 					_ = p.sendExtra(s, outMsg)
 					p.countRetry()
 				}
@@ -318,8 +322,8 @@ func (p *Participant) collectAcks(ctx context.Context, st *txState, txName strin
 			retryT = p.nextRetryTimer(bo)
 		case <-deadline.C():
 			missing := 0
-			for _, s := range targets {
-				if !acked[s] {
+			for i, s := range targets {
+				if !acked[i] {
 					missing++
 					if p.met != nil {
 						p.met.InDoubtEntry(s)
@@ -378,8 +382,21 @@ func damageError(txName string, heur []protocol.HeuristicReport) error {
 	return nil
 }
 
+// indexOf finds name in peers (tree-sized, so a linear scan beats a
+// map and allocates nothing).
+func indexOf(peers []string, name string) int {
+	for i, s := range peers {
+		if s == name {
+			return i
+		}
+	}
+	return -1
+}
+
 // registerCoord installs the coordinator-side collection channels for
-// one transaction.
+// one transaction. The delegation-answer channel exists only on
+// last-agent coordinators; everyone else drops stray outcome messages
+// exactly as a full channel would have.
 func (p *Participant) registerCoord(txName string, n int) *txState {
 	sh := p.shardFor(txName)
 	sh.mu.Lock()
@@ -388,7 +405,9 @@ func (p *Participant) registerCoord(txName string, n int) *txState {
 	st.isCoord = true
 	st.votes = make(chan envelope, 2*n+4)
 	st.acks = make(chan envelope, 2*n+4)
-	st.decision = make(chan envelope, 2)
+	if p.lastAgent {
+		st.decision = make(chan envelope, 2)
+	}
 	return st
 }
 

@@ -107,6 +107,7 @@ type Participant struct {
 	sched       clock.Scheduler
 	met         *metrics.Registry
 	trc         *trace.Tracer
+	traceOn     bool // cached trc.Enabled(): gates trace-label formatting on the hot path
 	fp          func(point string) bool
 	lastAgent   bool
 	retrySeed   int64
@@ -185,6 +186,11 @@ func NewParticipant(name string, ep netsim.Endpoint, log *wal.Log, resources []c
 	for _, o := range opts {
 		o(p)
 	}
+	// A tracer's enabled-ness is fixed at construction, so the check is
+	// hoisted out of the hot path: the per-message trace labels
+	// (Label() + string concatenation) are only materialized when
+	// someone is recording them.
+	p.traceOn = p.trc.Enabled()
 	p.shards = newTxShards(p.shardHint)
 	p.shardMask = uint32(len(p.shards) - 1)
 	if !p.noCoalesce {
@@ -305,11 +311,14 @@ func (p *Participant) hitFailpoint(point string) bool {
 // a chaos schedule may kill the participant immediately before or
 // after the record reaches stable storage.
 func (p *Participant) force(rec wal.Record) error {
-	if p.hitFailpoint("before-force:"+rec.Kind) || p.Crashed() {
+	if p.fp != nil && p.hitFailpoint("before-force:"+rec.Kind) {
+		return ErrCrashed
+	}
+	if p.Crashed() {
 		return ErrCrashed
 	}
 	_, err := p.log.Force(rec)
-	if p.hitFailpoint("after-force:" + rec.Kind) {
+	if p.fp != nil && p.hitFailpoint("after-force:"+rec.Kind) {
 		return ErrCrashed
 	}
 	return err
@@ -344,6 +353,7 @@ func (p *Participant) Restarted(ep netsim.Endpoint, opts ...Option) *Participant
 	for _, o := range opts {
 		o(np)
 	}
+	np.traceOn = np.trc.Enabled()
 	np.trc.Add(trace.Event{Node: np.name, Kind: trace.KindError, Detail: "restart"})
 	return np
 }
@@ -368,11 +378,14 @@ func (p *Participant) handle(pkt protocol.Packet) {
 	if p.Crashed() {
 		return
 	}
-	for _, m := range pkt.Messages {
+	for i := range pkt.Messages {
+		m := pkt.Messages[i]
 		if p.met != nil {
 			p.met.MessageReceived(p.name)
 		}
-		p.trc.Add(trace.Event{Node: p.name, Peer: pkt.From, Kind: trace.KindReceive, Tx: m.Tx, Detail: m.Label() + "(" + m.Tx + ")"})
+		if p.traceOn {
+			p.trc.Add(trace.Event{Node: p.name, Peer: pkt.From, Kind: trace.KindReceive, Tx: m.Tx, Detail: m.Label() + "(" + m.Tx + ")"})
+		}
 		switch m.Type {
 		case protocol.MsgPrepare:
 			p.spawn(pkt.From, m, p.handlePrepare)
@@ -390,6 +403,10 @@ func (p *Participant) handle(pkt protocol.Packet) {
 			p.spawn(pkt.From, m, p.handleOutcomeReply)
 		}
 	}
+	// Every dispatch path above copied its message value, so the
+	// packet's backing array can go back to the codec pool (transports
+	// hand over ownership on delivery).
+	protocol.PutMsgSlice(pkt.Messages)
 }
 
 func (p *Participant) spawn(from string, m protocol.Message, fn func(string, protocol.Message)) {
@@ -416,11 +433,13 @@ func (p *Participant) recordDecision(tx string, committed bool) {
 	if known && prev == committed {
 		return // duplicate (e.g. retransmitted outcome)
 	}
-	d := "abort"
-	if committed {
-		d = "commit"
+	if p.traceOn {
+		d := "abort"
+		if committed {
+			d = "commit"
+		}
+		p.trc.Add(trace.Event{Node: p.name, Kind: trace.KindDecision, Tx: tx, Detail: d + "(" + tx + ")"})
 	}
-	p.trc.Add(trace.Event{Node: p.name, Kind: trace.KindDecision, Tx: tx, Detail: d + "(" + tx + ")"})
 }
 
 // routeVote delivers a vote to the coordinator collecting it, or
@@ -480,15 +499,21 @@ func (p *Participant) routeOutcome(from string, m protocol.Message, commit bool)
 	sh := p.shardFor(m.Tx)
 	sh.mu.Lock()
 	st, ok := sh.txs[m.Tx]
+	isCoord := ok && st.isCoord
 	var ch chan envelope
-	if ok && st.isCoord {
+	if isCoord {
 		ch = st.decision
 	}
 	sh.mu.Unlock()
-	if ch != nil {
-		select {
-		case ch <- envelope{from: from, msg: m}:
-		default:
+	if isCoord {
+		// Non-delegating coordinators have no decision channel; a stray
+		// outcome for a transaction we coordinate is dropped, never run
+		// through the subordinate path.
+		if ch != nil {
+			select {
+			case ch <- envelope{from: from, msg: m}:
+			default:
+			}
 		}
 		return
 	}
@@ -541,16 +566,24 @@ func (p *Participant) sendExtra(to string, m protocol.Message) error {
 }
 
 func (p *Participant) sendFlow(to string, m protocol.Message, extra bool) error {
-	if p.hitFailpoint("before-send:"+m.Type.String()) || p.Crashed() {
+	// The failpoint labels are only materialized when a hook is
+	// installed — chaos runs pay for them, production sends don't.
+	if p.fp != nil && p.hitFailpoint("before-send:"+m.Type.String()) {
 		return ErrCrashed
 	}
-	p.trc.Add(trace.Event{Node: p.name, Peer: to, Kind: trace.KindSend, Tx: m.Tx, Detail: m.Label() + "(" + m.Tx + ")"})
+	if p.Crashed() {
+		return ErrCrashed
+	}
+	if p.traceOn {
+		p.trc.Add(trace.Event{Node: p.name, Peer: to, Kind: trace.KindSend, Tx: m.Tx, Detail: m.Label() + "(" + m.Tx + ")"})
+	}
 	var err error
 	piggybacked := false
 	if p.out != nil {
 		piggybacked, err = p.out.enqueue(to, m)
 	} else {
-		err = p.ep.Send(to, protocol.Packet{From: p.name, To: to, Messages: []protocol.Message{m}})
+		msgs := append(protocol.GetMsgSlice(1), m)
+		err = p.ep.Send(to, protocol.Packet{From: p.name, To: to, Messages: msgs})
 	}
 	if p.met != nil {
 		// Recovery traffic is never a Table 1-4 flow, whoever sent it.
@@ -559,7 +592,7 @@ func (p *Participant) sendFlow(to string, m protocol.Message, extra bool) error 
 		}
 		p.met.FlowSent(p.name, m.Tx, piggybacked, extra, m.Type != protocol.MsgData)
 	}
-	if p.hitFailpoint("after-send:" + m.Type.String()) {
+	if p.fp != nil && p.hitFailpoint("after-send:"+m.Type.String()) {
 		return ErrCrashed
 	}
 	return err

@@ -325,7 +325,10 @@ func (p *Participant) completeResources(tx core.TxID, commit bool) []protocol.He
 			}
 		}
 	}
-	p.trc.Add(trace.Event{Node: p.name, Kind: trace.KindUnlock, Tx: tx.String(), Detail: "released(" + tx.String() + ")"})
+	if p.traceOn {
+		txName := tx.String()
+		p.trc.Add(trace.Event{Node: p.name, Kind: trace.KindUnlock, Tx: txName, Detail: "released(" + txName + ")"})
+	}
 	return heur
 }
 

@@ -39,6 +39,11 @@ type HTTPCommitter struct {
 	Variant string
 	// Subs optionally overrides the daemon's default subordinate set.
 	Subs []string
+	// Codec, when set, pins the wire codec the daemon must be
+	// speaking ("binary", "gob-stream", "gob-packet"); the daemon
+	// rejects the run with 409 on a mismatch, so A/B load numbers
+	// can't be attributed to the wrong codec.
+	Codec string
 	// Client defaults to a keep-alive client with a generous pool.
 	Client *http.Client
 }
@@ -58,6 +63,9 @@ func (h *HTTPCommitter) Commit(ctx context.Context, tx string) (bool, bool, erro
 	}
 	if len(h.Subs) > 0 {
 		u += "&subs=" + strings.Join(h.Subs, ",")
+	}
+	if h.Codec != "" {
+		u += "&codec=" + h.Codec
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, nil)
 	if err != nil {

@@ -30,8 +30,11 @@ func benchTCPPair(b *testing.B, opts ...TCPOption) (*TCPEndpoint, *atomic.Int64)
 	a.Register("B", bb.Addr())
 	var got atomic.Int64
 	go func() {
-		for range bb.Recv() {
+		for p := range bb.Recv() {
 			got.Add(1)
+			// Model a consumer that has finished dispatching the packet:
+			// recycle the decoded message slice.
+			protocol.PutMsgSlice(p.Messages)
 		}
 	}()
 	b.Cleanup(func() {
@@ -63,7 +66,8 @@ func BenchmarkTCPConcurrentSendsOnePeer(b *testing.B) {
 			}
 		})
 	}
-	b.Run("streaming", func(b *testing.B) { run(b) })
+	b.Run("binary", func(b *testing.B) { run(b) })
+	b.Run("streaming", func(b *testing.B) { run(b, WithCodec(protocol.CodecStreamGob)) })
 	b.Run("perPacket", func(b *testing.B) { run(b, WithPerPacketCodec()) })
 }
 
@@ -83,6 +87,7 @@ func BenchmarkTCPSendRoundTrip(b *testing.B) {
 		for got.Load() < int64(b.N) {
 		}
 	}
-	b.Run("streaming", func(b *testing.B) { run(b) })
+	b.Run("binary", func(b *testing.B) { run(b) })
+	b.Run("streaming", func(b *testing.B) { run(b, WithCodec(protocol.CodecStreamGob)) })
 	b.Run("perPacket", func(b *testing.B) { run(b, WithPerPacketCodec()) })
 }

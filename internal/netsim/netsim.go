@@ -9,6 +9,7 @@ package netsim
 
 import (
 	"errors"
+	"fmt"
 	"hash/fnv"
 	"math/rand"
 	"sync"
@@ -57,7 +58,35 @@ type ChanNetwork struct {
 	seed       int64
 	linkRng    map[[2]string]*rand.Rand
 	transform  Transform
+	wire       *wireCodec
 	closed     bool
+}
+
+// wireCodec round-trips every delivered packet through a real wire
+// codec (see WithChanCodec). One encoder/decoder pair serves the whole
+// network under a mutex: frames decode in exactly the order they were
+// encoded, which is the same ordering contract a TCP connection gives
+// the stateful stream codec.
+type wireCodec struct {
+	mu  sync.Mutex
+	enc protocol.Codec
+	dec protocol.Codec
+	buf []byte
+}
+
+// roundTrip encodes pkt and decodes it back, returning what a real
+// peer would have received.
+func (w *wireCodec) roundTrip(pkt protocol.Packet) (protocol.Packet, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	buf, err := w.enc.AppendFrame(w.buf[:0], pkt)
+	if err != nil {
+		return protocol.Packet{}, err
+	}
+	w.buf = buf
+	// AppendFrame emits a 4-byte length prefix; DecodeFrame wants the
+	// bare frame, as on the TCP read path.
+	return w.dec.DecodeFrame(buf[4:])
 }
 
 // ChanOption configures a ChanNetwork.
@@ -85,6 +114,17 @@ func WithLoss(p float64, seed int64) ChanOption {
 // before delivery (after partition and loss checks).
 func WithTransform(t Transform) ChanOption {
 	return func(n *ChanNetwork) { n.transform = t }
+}
+
+// WithChanCodec makes the network encode and decode every delivered
+// packet through the given wire codec, so an in-process run (chaos
+// replay, profiling) exercises the same byte-level marshaling a TCP
+// deployment would. A packet the codec cannot round-trip is dropped
+// and the error surfaces from Send.
+func WithChanCodec(kind protocol.CodecKind) ChanOption {
+	return func(n *ChanNetwork) {
+		n.wire = &wireCodec{enc: kind.New(), dec: kind.New()}
+	}
 }
 
 // NewChanNetwork returns an empty channel-backed network.
@@ -208,7 +248,16 @@ func (e *chanEndpoint) Send(to string, pkt protocol.Packet) error {
 	}
 	latency := n.latency
 	transform := n.transform
+	wire := n.wire
 	n.mu.Unlock()
+
+	if wire != nil {
+		rt, err := wire.roundTrip(pkt)
+		if err != nil {
+			return fmt.Errorf("netsim: wire codec round-trip %s->%s: %w", e.name, to, err)
+		}
+		pkt = rt
+	}
 
 	if transform != nil {
 		kept := pkt.Messages[:0:0]

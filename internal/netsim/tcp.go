@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -12,18 +13,21 @@ import (
 )
 
 // TCPEndpoint is an Endpoint backed by a real TCP listener. Packets
-// are length-prefixed frames from a persistent per-connection gob
-// stream (protocol.StreamCodec): the type dictionary crosses the wire
-// once per connection, not once per packet. Connections are dialed
+// are length-prefixed frames encoded by a per-connection codec —
+// the hand-rolled binary format (protocol.BinaryCodec) by default,
+// with the gob codecs selectable for A/B comparison. Each dialer
+// announces its codec with a one-byte negotiation prefix before its
+// first frame, and the accepting side adapts per connection, so peers
+// running different codecs interoperate. Connections are dialed
 // lazily per destination and reused; each has a dedicated writer
 // goroutine, so senders only enqueue — encoding happens outside any
 // caller-visible critical section, and frames queued while a write
 // syscall was in flight are flushed together in one syscall.
 type TCPEndpoint struct {
-	name      string
-	ln        net.Listener
-	in        chan protocol.Packet
-	perPacket bool // use the stateless per-packet codec (see WithPerPacketCodec)
+	name  string
+	ln    net.Listener
+	in    chan protocol.Packet
+	codec protocol.CodecKind // outbound wire format (see WithCodec)
 
 	mu       sync.Mutex
 	peers    map[string]string // name -> address
@@ -37,13 +41,26 @@ type TCPEndpoint struct {
 // TCPOption configures a TCPEndpoint.
 type TCPOption func(*TCPEndpoint)
 
-// WithPerPacketCodec makes the endpoint frame every packet as a
-// self-contained gob blob (protocol.PacketCodec) instead of a
-// persistent per-connection stream, and write one frame per syscall.
-// This is the pre-streaming wire format; benchmarks use it as the
-// baseline, and both ends of a link must agree on the codec.
+// WithCodec selects the endpoint's outbound wire format. The inbound
+// side always follows the peer's negotiation byte, so endpoints with
+// different codecs interoperate; the option only pins what this
+// endpoint speaks.
+func WithCodec(kind protocol.CodecKind) TCPOption {
+	return func(e *TCPEndpoint) { e.codec = kind }
+}
+
+// WithBinaryCodec selects the hand-rolled binary wire format. It is
+// the default; the option exists so call sites can say so explicitly.
+func WithBinaryCodec() TCPOption {
+	return WithCodec(protocol.CodecBinary)
+}
+
+// WithPerPacketCodec makes the endpoint frame every outbound packet as
+// a self-contained gob blob (protocol.PacketCodec) and write one frame
+// per syscall. This is the oldest wire format; benchmarks use it as
+// the baseline.
 func WithPerPacketCodec() TCPOption {
-	return func(e *TCPEndpoint) { e.perPacket = true }
+	return WithCodec(protocol.CodecPacketGob)
 }
 
 // tcpConn is one cached outbound connection. Senders enqueue packets
@@ -133,6 +150,10 @@ func (e *TCPEndpoint) acceptLoop() {
 	}
 }
 
+// readBufSize sizes the per-connection read buffer: large enough that
+// a coalesced write batch needs few syscalls to drain.
+const readBufSize = 64 << 10
+
 func (e *TCPEndpoint) readLoop(conn net.Conn) {
 	defer e.wg.Done()
 	defer func() {
@@ -141,16 +162,27 @@ func (e *TCPEndpoint) readLoop(conn net.Conn) {
 		delete(e.accepted, conn)
 		e.mu.Unlock()
 	}()
-	var codec protocol.Codec = protocol.PacketCodec{}
-	if !e.perPacket {
-		codec = protocol.NewStreamCodec()
+	// The dialer's first byte announces its codec for this direction;
+	// an unknown announcement condemns the connection before any frame
+	// is interpreted.
+	br := bufio.NewReaderSize(conn, readBufSize)
+	nb, err := br.ReadByte()
+	if err != nil {
+		return
 	}
+	kind, err := protocol.KindFromNegotiation(nb)
+	if err != nil {
+		return
+	}
+	codec := kind.New()
+	skippable := kind.Skippable()
+	var hdr [4]byte
 	var buf []byte
 	for {
-		var length uint32
-		if err := binary.Read(conn, binary.BigEndian, &length); err != nil {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
 			return
 		}
+		length := binary.BigEndian.Uint32(hdr[:])
 		if length > maxFrame {
 			return
 		}
@@ -158,13 +190,13 @@ func (e *TCPEndpoint) readLoop(conn net.Conn) {
 			buf = make([]byte, length)
 		}
 		buf = buf[:length]
-		if _, err := io.ReadFull(conn, buf); err != nil {
+		if _, err := io.ReadFull(br, buf); err != nil {
 			return
 		}
 		pkt, err := codec.DecodeFrame(buf)
 		if err != nil {
-			if !e.perPacket {
-				return // stream state is unrecoverable; drop the connection
+			if !skippable {
+				return // codec state is unrecoverable; drop the connection
 			}
 			continue // self-contained frame: drop it, keep the connection
 		}
@@ -184,6 +216,10 @@ func (e *TCPEndpoint) readLoop(conn net.Conn) {
 // queued packets are lost exactly like packets on the wire — the
 // commit protocol's retries and recovery take over. A second enqueue
 // failure is surfaced to the caller.
+//
+// Send takes ownership of pkt.Messages: once enqueued, the backing
+// array may be recycled through the codec's message pool, so callers
+// must not reuse it.
 func (e *TCPEndpoint) Send(to string, pkt protocol.Packet) error {
 	select {
 	case <-e.done:
@@ -217,12 +253,11 @@ func (e *TCPEndpoint) writeLoop(c *tcpConn) {
 	defer e.wg.Done()
 	defer close(c.dead)
 	defer c.conn.Close()
-	var codec protocol.Codec = protocol.PacketCodec{}
-	if !e.perPacket {
-		codec = protocol.NewStreamCodec()
-	}
+	codec := e.codec.New()
+	perPacket := e.codec == protocol.CodecPacketGob
 	bufp := protocol.FrameBufPool.Get().(*[]byte)
-	defer protocol.FrameBufPool.Put(bufp)
+	defer protocol.PutFrameBuf(bufp)
+	first := true
 	for {
 		var pkt protocol.Packet
 		select {
@@ -231,11 +266,19 @@ func (e *TCPEndpoint) writeLoop(c *tcpConn) {
 			return
 		}
 		buf := (*bufp)[:0]
+		if first {
+			// Announce this direction's codec before the first frame.
+			buf = append(buf, e.codec.NegotiationByte())
+			first = false
+		}
 		var err error
 		if buf, err = codec.AppendFrame(buf, pkt); err != nil {
 			return
 		}
-		if !e.perPacket {
+		// Send hands over ownership of pkt.Messages, so once a packet
+		// is on the wire its backing array goes back to the codec pool.
+		protocol.PutMsgSlice(pkt.Messages)
+		if !perPacket {
 			// Batch whatever queued while we were encoding or writing.
 		drain:
 			for len(buf) < maxWriteBatch {
@@ -244,6 +287,7 @@ func (e *TCPEndpoint) writeLoop(c *tcpConn) {
 					if buf, err = codec.AppendFrame(buf, pkt); err != nil {
 						return
 					}
+					protocol.PutMsgSlice(pkt.Messages)
 				default:
 					break drain
 				}

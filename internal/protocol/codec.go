@@ -111,9 +111,159 @@ func (c *StreamCodec) DecodeFrame(frame []byte) (Packet, error) {
 }
 
 // FrameBufPool pools frame assembly buffers for transports: Get a
-// buffer, AppendFrame into it, write it, Put it back. Buffers keep
-// their grown capacity across uses, so steady-state framing does not
-// allocate.
+// buffer, AppendFrame into it, write it, return it via PutFrameBuf.
+// Buffers keep their grown capacity across uses, so steady-state
+// framing does not allocate.
 var FrameBufPool = sync.Pool{
 	New: func() any { b := make([]byte, 0, 4096); return &b },
 }
+
+// MaxPooledFrameBuf is the largest buffer capacity FrameBufPool will
+// retain. One jumbo frame would otherwise grow a pooled buffer and pin
+// that memory for as long as the pool keeps recycling it.
+const MaxPooledFrameBuf = 1 << 20
+
+// PutFrameBuf returns a frame buffer to FrameBufPool, dropping buffers
+// that grew beyond MaxPooledFrameBuf so outliers are garbage collected
+// instead of retained.
+func PutFrameBuf(buf *[]byte) {
+	if cap(*buf) > MaxPooledFrameBuf {
+		return
+	}
+	*buf = (*buf)[:0]
+	FrameBufPool.Put(buf)
+}
+
+// msgSlicePool recycles []Message backing arrays between decode (which
+// produces them) and the consumer that has finished dispatching a
+// packet. Ownership is explicit: whoever calls PutMsgSlice asserts no
+// live reference into the slice remains.
+var msgSlicePool = sync.Pool{
+	New: func() any { s := make([]Message, 0, 8); return &s },
+}
+
+// maxPooledMsgs bounds the capacity the message pool retains, mirroring
+// MaxPooledFrameBuf: packets are a handful of messages at steady state.
+const maxPooledMsgs = 256
+
+// GetMsgSlice returns a zero-length message slice with capacity for at
+// least n messages, drawn from the shared pool when possible.
+func GetMsgSlice(n int) []Message {
+	sp := msgSlicePool.Get().(*[]Message)
+	s := *sp
+	if cap(s) < n {
+		// Hand the too-small backing straight back and allocate right-
+		// sized; grow-in-place would churn the pool with dead arrays.
+		msgSlicePool.Put(sp)
+		return make([]Message, 0, n)
+	}
+	// Keep the pointer box out of the hot path: rewrap on Put.
+	return s
+}
+
+// PutMsgSlice recycles a message slice obtained from GetMsgSlice (or
+// any slice the caller owns outright). Elements are cleared first so
+// pooled arrays don't pin Heuristics or Payload allocations.
+func PutMsgSlice(s []Message) {
+	if cap(s) == 0 || cap(s) > maxPooledMsgs {
+		return
+	}
+	s = s[:cap(s)]
+	clear(s)
+	s = s[:0]
+	msgSlicePool.Put(&s)
+}
+
+// CodecKind names a wire codec for negotiation, flags, and A/B
+// benchmarking. The zero value is the default (binary) codec.
+type CodecKind int
+
+// Wire codecs, newest first. CodecBinary is the default.
+const (
+	CodecBinary CodecKind = iota
+	CodecStreamGob
+	CodecPacketGob
+)
+
+// Negotiation bytes: the single byte a dialer sends before its first
+// frame to announce the codec for its direction of the connection.
+const (
+	NegotiateBinary    byte = 'B'
+	NegotiateStreamGob byte = 'S'
+	NegotiatePacketGob byte = 'P'
+)
+
+// String returns the flag-friendly name of the codec.
+func (k CodecKind) String() string {
+	switch k {
+	case CodecBinary:
+		return "binary"
+	case CodecStreamGob:
+		return "gob-stream"
+	case CodecPacketGob:
+		return "gob-packet"
+	default:
+		return fmt.Sprintf("CodecKind(%d)", int(k))
+	}
+}
+
+// ParseCodecKind maps a flag value to a codec kind. The empty string
+// selects the default.
+func ParseCodecKind(s string) (CodecKind, error) {
+	switch s {
+	case "", "binary":
+		return CodecBinary, nil
+	case "gob-stream", "stream", "gob":
+		return CodecStreamGob, nil
+	case "gob-packet", "packet":
+		return CodecPacketGob, nil
+	default:
+		return 0, fmt.Errorf("protocol: unknown codec %q (want binary, gob-stream, or gob-packet)", s)
+	}
+}
+
+// NegotiationByte returns the on-wire announcement for the codec.
+func (k CodecKind) NegotiationByte() byte {
+	switch k {
+	case CodecStreamGob:
+		return NegotiateStreamGob
+	case CodecPacketGob:
+		return NegotiatePacketGob
+	default:
+		return NegotiateBinary
+	}
+}
+
+// KindFromNegotiation maps a received announcement byte back to a
+// codec kind.
+func KindFromNegotiation(b byte) (CodecKind, error) {
+	switch b {
+	case NegotiateBinary:
+		return CodecBinary, nil
+	case NegotiateStreamGob:
+		return CodecStreamGob, nil
+	case NegotiatePacketGob:
+		return CodecPacketGob, nil
+	default:
+		return 0, fmt.Errorf("protocol: unknown codec negotiation byte %#x", b)
+	}
+}
+
+// New returns a fresh codec instance of this kind for one connection
+// direction.
+func (k CodecKind) New() Codec {
+	switch k {
+	case CodecStreamGob:
+		return NewStreamCodec()
+	case CodecPacketGob:
+		return PacketCodec{}
+	default:
+		return NewBinaryCodec()
+	}
+}
+
+// Skippable reports whether a decode error on this codec is local to
+// the frame (true: the frame can be dropped and the stream continues)
+// or poisons connection state (false: the connection must be
+// condemned). Only the stateless per-packet gob codec is skippable.
+func (k CodecKind) Skippable() bool { return k == CodecPacketGob }

@@ -36,6 +36,7 @@ import (
 	"repro/internal/live"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
+	"repro/internal/protocol"
 	"repro/internal/trace"
 	"repro/internal/wal"
 )
@@ -50,6 +51,11 @@ type Config struct {
 	ListenProto string
 	// ListenHTTP is the observability/admin listen address.
 	ListenHTTP string
+	// Codec is the outbound wire format the daemon speaks to peers
+	// (the inbound side always follows each peer's negotiation byte).
+	// The zero value is the hand-rolled binary codec; the gob codecs
+	// are selectable for A/B comparison.
+	Codec protocol.CodecKind
 	// Peers maps participant names to protocol addresses. More can be
 	// added after startup with RegisterPeer (ports are usually
 	// OS-assigned, so wiring happens once every daemon is listening).
@@ -143,7 +149,7 @@ func New(cfg Config) (*Server, error) {
 		cfg.Log = wal.New(wal.NewMemStore())
 	}
 
-	ep, err := netsim.ListenTCP(cfg.Name, cfg.ListenProto)
+	ep, err := netsim.ListenTCP(cfg.Name, cfg.ListenProto, netsim.WithCodec(cfg.Codec))
 	if err != nil {
 		return nil, err
 	}
@@ -403,6 +409,7 @@ func (s *Server) handleVarz(w http.ResponseWriter, _ *http.Request) {
 	v := map[string]any{
 		"name":             s.cfg.Name,
 		"variant":          s.cfg.Variant.String(),
+		"codec":            s.cfg.Codec.String(),
 		"shards":           s.cfg.Shards,
 		"subs":             s.cfg.Subs,
 		"uptime_seconds":   time.Since(s.start).Seconds(),
@@ -451,14 +458,29 @@ func (s *Server) handleTracez(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleCommit runs one transaction: POST /commit?tx=NAME&variant=PA
-// &subs=S1,S2. Missing tx gets a generated name; missing subs/variant
-// fall back to the daemon's configuration.
+// &subs=S1,S2&codec=binary. Missing tx gets a generated name; missing
+// subs/variant fall back to the daemon's configuration. A codec
+// parameter pins the wire format the caller expects this daemon to
+// speak — an A/B driver naming the wrong codec gets 409 instead of a
+// mislabeled measurement.
 func (s *Server) handleCommit(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
 	q := r.URL.Query()
+	if want := q.Get("codec"); want != "" {
+		kind, err := protocol.ParseCodecKind(want)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if kind != s.cfg.Codec {
+			http.Error(w, fmt.Sprintf("codec mismatch: daemon speaks %s, request pinned %s",
+				s.cfg.Codec, kind), http.StatusConflict)
+			return
+		}
+	}
 	tx := q.Get("tx")
 	if tx == "" {
 		tx = fmt.Sprintf("%s:%d", s.cfg.Name, time.Now().UnixNano())

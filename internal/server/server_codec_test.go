@@ -1,0 +1,121 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/live"
+	"repro/internal/protocol"
+)
+
+// newMixedTrio starts a three-daemon cluster where every daemon speaks
+// a different outbound wire codec; the negotiation byte is what makes
+// them interoperate.
+func newMixedTrio(t *testing.T, coordKind, s1Kind, s2Kind protocol.CodecKind) (coord, s1, s2 *Server) {
+	t.Helper()
+	mk := func(cfg Config) *Server {
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { s.Close() })
+		return s
+	}
+	coord = mk(Config{Name: "C", Subs: []string{"S1", "S2"}, Codec: coordKind, AuditInterval: -1})
+	s1 = mk(Config{Name: "S1", Codec: s1Kind, AuditInterval: -1})
+	s2 = mk(Config{Name: "S2", Codec: s2Kind, AuditInterval: -1})
+	coord.RegisterPeer("S1", s1.ProtoAddr())
+	coord.RegisterPeer("S2", s2.ProtoAddr())
+	s1.RegisterPeer("C", coord.ProtoAddr())
+	s2.RegisterPeer("C", coord.ProtoAddr())
+	return coord, s1, s2
+}
+
+// TestServerMixedCodecCluster commits across daemons that each speak a
+// different codec — a binary daemon serving gob-only peers and vice
+// versa — and requires every side's cost audit to stay exact: the
+// byte-level rewiring must change no protocol-visible behavior.
+func TestServerMixedCodecCluster(t *testing.T) {
+	cases := []struct {
+		name              string
+		coord, sub1, sub2 protocol.CodecKind
+	}{
+		{"binary-coord-gob-subs", protocol.CodecBinary, protocol.CodecStreamGob, protocol.CodecPacketGob},
+		{"gob-coord-binary-subs", protocol.CodecStreamGob, protocol.CodecBinary, protocol.CodecBinary},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			coord, s1, s2 := newMixedTrio(t, tc.coord, tc.sub1, tc.sub2)
+			ctx := context.Background()
+			for i, v := range []core.Variant{core.VariantBaseline, core.VariantPA, core.VariantPN, core.VariantPC} {
+				tx := fmt.Sprintf("C:%d", i+1)
+				out, err := coord.Commit(ctx, tx, nil, v)
+				if err != nil || out != live.Committed {
+					t.Fatalf("%s commit = %v, %v", v, out, err)
+				}
+			}
+			for _, s := range []*Server{coord, s1, s2} {
+				deadline := time.Now().Add(5 * time.Second)
+				for {
+					rep := s.AuditNow()
+					if !rep.OK() {
+						t.Fatalf("%s: %s", s.cfg.Name, rep)
+					}
+					s.mu.Lock()
+					checked, exact := s.auditRep.Checked, s.auditRep.Exact
+					s.mu.Unlock()
+					if checked >= 4 {
+						if exact != checked {
+							t.Fatalf("%s: %d/%d node-entries exact", s.cfg.Name, exact, checked)
+						}
+						break
+					}
+					if time.Now().After(deadline) {
+						t.Fatalf("%s: audited %d node-entries, want >= 4", s.cfg.Name, checked)
+					}
+					time.Sleep(10 * time.Millisecond)
+				}
+			}
+		})
+	}
+}
+
+// TestServerCommitCodecPin exercises the /commit codec parameter: the
+// daemon accepts its own codec, rejects a mismatch with 409, and
+// rejects an unknown name with 400.
+func TestServerCommitCodecPin(t *testing.T) {
+	coord, _, _ := newMixedTrio(t, protocol.CodecBinary, protocol.CodecBinary, protocol.CodecBinary)
+	post := func(query string) (int, string) {
+		t.Helper()
+		resp, err := http.Post("http://"+coord.HTTPAddr()+"/commit?"+query, "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var b strings.Builder
+		buf := make([]byte, 512)
+		for {
+			n, err := resp.Body.Read(buf)
+			b.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return resp.StatusCode, b.String()
+	}
+
+	if code, body := post("tx=C:pin1&codec=binary"); code != http.StatusOK || !strings.Contains(body, "committed") {
+		t.Fatalf("pinned matching codec: %d %q", code, body)
+	}
+	if code, body := post("tx=C:pin2&codec=gob-stream"); code != http.StatusConflict {
+		t.Fatalf("pinned mismatched codec: %d %q, want 409", code, body)
+	}
+	if code, body := post("tx=C:pin3&codec=morse"); code != http.StatusBadRequest {
+		t.Fatalf("pinned unknown codec: %d %q, want 400", code, body)
+	}
+}

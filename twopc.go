@@ -44,6 +44,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/mqueue"
 	"repro/internal/netsim"
+	"repro/internal/protocol"
 	"repro/internal/txerr"
 	"repro/internal/wal"
 )
@@ -315,9 +316,31 @@ var NewChanNetwork = netsim.NewChanNetwork
 // ListenTCP starts a TCP transport endpoint.
 var ListenTCP = netsim.ListenTCP
 
-// TCPWithPerPacketCodec frames every packet as a self-contained gob
-// blob instead of the persistent per-connection stream; both ends of
-// a link must agree.
+// CodecKind names a wire codec for TCPWithCodec and A/B comparisons.
+type CodecKind = protocol.CodecKind
+
+// Wire codecs. CodecBinary is the default.
+const (
+	CodecBinary    = protocol.CodecBinary
+	CodecStreamGob = protocol.CodecStreamGob
+	CodecPacketGob = protocol.CodecPacketGob
+)
+
+// ParseCodecKind maps a flag-friendly name ("binary", "gob-stream",
+// "gob-packet") to its codec kind.
+var ParseCodecKind = protocol.ParseCodecKind
+
+// TCPWithCodec pins the endpoint's outbound wire format; inbound
+// connections always follow the peer's negotiation byte, so
+// mixed-codec peers interoperate.
+var TCPWithCodec = netsim.WithCodec
+
+// TCPWithBinaryCodec selects the hand-rolled binary wire format
+// (the default).
+var TCPWithBinaryCodec = netsim.WithBinaryCodec
+
+// TCPWithPerPacketCodec frames every outbound packet as a
+// self-contained gob blob instead of a persistent stream.
 var TCPWithPerPacketCodec = netsim.WithPerPacketCodec
 
 // NewLiveParticipant wires a live participant to a transport
