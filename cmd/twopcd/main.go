@@ -66,8 +66,13 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long a signal-triggered drain waits for inflight commits")
 	voteTimeout := flag.Duration("vote-timeout", 2*time.Second, "phase-one vote collection deadline")
 	ackTimeout := flag.Duration("ack-timeout", 2*time.Second, "phase-two ack collection deadline")
+	shardMap := flag.String("shardmap", "", "fleet key-ownership map: hash:S1,S2,S3 or range:S1=g,S2=t,S3= (empty = this daemon owns every key)")
+	stageTimeout := flag.Duration("stage-timeout", 2*time.Second, "lock-acquisition deadline while staging a transaction's ops")
+	advertiseHTTP := flag.String("advertise-http", "", "HTTP base URL reported for this daemon in /v1/shards (default: bound listener)")
 	peers := peerFlags{}
-	flag.Var(peers, "peer", "peer address as name=addr (repeatable)")
+	flag.Var(peers, "peer", "peer protocol address as name=addr (repeatable)")
+	peerHTTP := peerFlags{}
+	flag.Var(peerHTTP, "peer-http", "peer HTTP base URL as name=http://host:port (repeatable; the /v1/stage data plane)")
 	flag.Parse()
 
 	variant, ok := server.ParseVariant(*variantName)
@@ -91,6 +96,10 @@ func main() {
 		AuditInterval: *auditEvery,
 		TraceRing:     *traceRing,
 		LiveOptions:   []live.Option{live.WithTimeout(*voteTimeout, *ackTimeout)},
+		ShardMap:      *shardMap,
+		PeerHTTP:      peerHTTP,
+		StageTimeout:  *stageTimeout,
+		AdvertiseHTTP: *advertiseHTTP,
 	}
 	if *subs != "" {
 		cfg.Subs = strings.Split(*subs, ",")

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/loadgen"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -37,6 +38,10 @@ func main() {
 	workers := flag.Int("workers", 64, "max concurrently outstanding transactions")
 	jsonOut := flag.Bool("json", false, "emit a single JSON result object instead of the text report")
 	txPrefix := flag.String("tx-prefix", "", "transaction id prefix (default: unique per invocation)")
+	profileSpec := flag.String("profile", "", "typed-ops access profile: uniform, hotkey, read-mostly, with k=v options — e.g. hotkey:s=1.5,keys=500,fanout=3 (empty = protocol-only transactions)")
+	keys := flag.Int("keys", 0, "profile keyspace size override")
+	fanOut := flag.Int("fanout", 0, "profile ops-per-transaction override (the multi-shard width knob)")
+	zipfS := flag.Float64("zipf-s", 0, "profile zipf skew exponent override (hotkey)")
 	flag.Parse()
 	if *txPrefix == "" {
 		// Transaction ids must not collide with an earlier run against
@@ -60,18 +65,39 @@ func main() {
 		committer.Subs = strings.Split(*subs, ",")
 	}
 
+	cfg := loadgen.Config{
+		Rate:     *rate,
+		Duration: *duration,
+		Workers:  *workers,
+		TxPrefix: *txPrefix,
+	}
+	if *profileSpec != "" {
+		profile, err := workload.ParseProfile(*profileSpec)
+		if err != nil {
+			log.Fatalf("twopcload: %v", err)
+		}
+		if *keys > 0 {
+			profile.Keys = *keys
+		}
+		if *fanOut > 0 {
+			profile.FanOut = *fanOut
+		}
+		if *zipfS > 0 {
+			profile.ZipfS = *zipfS
+		}
+		cfg.Ops = profile.Generator()
+		if !*jsonOut {
+			log.Printf("twopcload: profile %s", profile)
+		}
+	}
+
 	ctx, cancel := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer cancel()
 
 	if !*jsonOut {
 		log.Printf("twopcload: offering %.0f tx/s to %s for %s", *rate, *target, *duration)
 	}
-	res := loadgen.Run(ctx, committer, loadgen.Config{
-		Rate:     *rate,
-		Duration: *duration,
-		Workers:  *workers,
-		TxPrefix: *txPrefix,
-	})
+	res := loadgen.Run(ctx, committer, cfg)
 
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)

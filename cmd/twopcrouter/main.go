@@ -1,0 +1,91 @@
+// Command twopcrouter is the shard-routing tier in front of a twopcd
+// fleet. It bootstraps the fleet view (shard map + member HTTP table)
+// from any member's /v1/shards, then serves POST /v1/commit: each
+// request's keys are resolved to their owning shards, a coordinator is
+// picked (first-shard or least-loaded), and the request is forwarded to
+// that daemon, which stages the ops and drives two-phase commit with
+// exactly the owning shards as subordinates.
+//
+// The router is stateless — killing it loses nothing, and several can
+// front one fleet. A three-node fleet behind a router:
+//
+//	twopcd -name S1 ... -shardmap hash:S1,S2,S3 -peer-http S2=... -peer-http S3=...
+//	twopcd -name S2 ... (same map, its own -peer-http set)
+//	twopcd -name S3 ...
+//	twopcrouter -listen 127.0.0.1:8200 -seed http://127.0.0.1:8101
+//
+// then point cmd/twopcload (or any v1 client) at the router.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/router"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:0", "router HTTP listen address")
+	seeds := flag.String("seed", "", "comma-separated fleet member base URLs to bootstrap the shard map from (e.g. http://127.0.0.1:8101)")
+	pickName := flag.String("pick", "first-shard", "coordinator choice: first-shard or least-loaded")
+	refreshEvery := flag.Duration("refresh", 0, "re-fetch the fleet view this often (0 disables)")
+	flag.Parse()
+
+	pick, err := router.ParsePick(*pickName)
+	if err != nil {
+		log.Fatalf("twopcrouter: %v", err)
+	}
+	if *seeds == "" {
+		log.Fatalf("twopcrouter: -seed is required (any fleet member's HTTP base URL)")
+	}
+	var seedList []string
+	for _, s := range strings.Split(*seeds, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			seedList = append(seedList, s)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	r, err := router.New(ctx, router.Config{Seeds: seedList, Pick: pick})
+	cancel()
+	if err != nil {
+		log.Fatalf("twopcrouter: bootstrap: %v", err)
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("twopcrouter: listen %s: %v", *listen, err)
+	}
+	srv := &http.Server{Handler: r.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	log.Printf("twopcrouter: serving on %s, pick %s, map %s", ln.Addr(), *pickName, r.Map())
+
+	if *refreshEvery > 0 {
+		go func() {
+			t := time.NewTicker(*refreshEvery)
+			defer t.Stop()
+			for range t.C {
+				for _, seed := range seedList {
+					if err := r.Refresh(context.Background(), seed); err == nil {
+						break
+					}
+				}
+			}
+		}()
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	<-sigc
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = srv.Shutdown(shutdownCtx)
+}

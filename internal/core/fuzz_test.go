@@ -2,24 +2,56 @@ package core
 
 import "testing"
 
-// FuzzParseTxID checks that ParseTxID never panics and that
-// String/Parse round-trips for well-formed ids.
+// FuzzParseTxID checks that ParseTxID never panics and that whatever
+// id it returns is stable under its own String/Parse round trip. The
+// zero id is reachable only from "" and from its own canonical ":0"
+// renderings — realistic-name distinctness is asserted in
+// TestParseTxIDClientNamesStayDistinct.
 func FuzzParseTxID(f *testing.F) {
 	f.Add("A:1")
 	f.Add("node-with-dashes:18446744073709551615")
 	f.Add("a:b:c:3")
 	f.Add("")
 	f.Add(":")
+	f.Add(":0")
 	f.Add("no-colon")
 	f.Add("trailing:")
 	f.Fuzz(func(t *testing.T, s string) {
 		id := ParseTxID(s) // must not panic
-		if id.Origin == "" && id.Seq == 0 {
-			return // malformed input maps to the zero id
+		if s == "" && id != (TxID{}) {
+			t.Fatalf("empty name must map to the zero id, got %v", id)
 		}
 		back := ParseTxID(id.String())
 		if back != id {
 			t.Fatalf("round trip: %q -> %v -> %v", s, id, back)
 		}
 	})
+}
+
+// TestParseTxIDClientNamesStayDistinct is the regression for the v1
+// data plane: client-chosen transaction names need not look like
+// "origin:seq", and two different names must never map to the same
+// id — resources key staged writes and lock ownership by TxID, so a
+// shared fallback would fuse unrelated transactions (observed as a
+// PC-variant reader aborting on its predecessor's prepared state).
+func TestParseTxIDClientNamesStayDistinct(t *testing.T) {
+	names := []string{
+		"w1", "r1", "transfer-1", "check-1", "sample-bad",
+		"load-77-123", "a:b", "trailing:", ":",
+		"C.1754611200000000000.7", // the daemon's generated shape
+	}
+	seen := map[TxID]string{}
+	for _, name := range names {
+		id := ParseTxID(name)
+		if id == (TxID{}) {
+			t.Errorf("ParseTxID(%q) collapsed to the zero id", name)
+		}
+		if prev, dup := seen[id]; dup {
+			t.Errorf("ParseTxID(%q) and ParseTxID(%q) share id %v", name, prev, id)
+		}
+		seen[id] = name
+	}
+	if got := ParseTxID("S1:42"); got != (TxID{Origin: "S1", Seq: 42}) {
+		t.Errorf("well-formed id parsed as %v", got)
+	}
 }

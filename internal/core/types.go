@@ -34,21 +34,33 @@ type TxID struct {
 // String renders the id as "origin:seq".
 func (t TxID) String() string { return fmt.Sprintf("%s:%d", t.Origin, t.Seq) }
 
-// ParseTxID is the inverse of String; it returns the zero TxID on
-// malformed input. It is on the commit hot path (every handler maps a
-// wire transaction name back to its id), so it parses without
-// reflection or allocation.
+// ParseTxID is the inverse of String for well-formed "origin:seq"
+// ids. Names that don't parse — the v1 API lets a client pick any
+// string — map to a distinct id with the whole name as origin and a
+// hash as sequence: resources key staged writes and lock ownership by
+// TxID, so a shared fallback id would fuse unrelated transactions
+// into one. Only the empty name maps to the zero id. It is on the
+// commit hot path (every handler maps a wire transaction name back to
+// its id), so it parses without reflection or allocation.
 func ParseTxID(s string) TxID {
 	for i := len(s) - 1; i >= 0; i-- {
 		if s[i] == ':' {
-			seq, err := strconv.ParseUint(s[i+1:], 10, 64)
-			if err != nil {
-				return TxID{}
+			if seq, err := strconv.ParseUint(s[i+1:], 10, 64); err == nil {
+				return TxID{Origin: NodeID(s[:i]), Seq: seq}
 			}
-			return TxID{Origin: NodeID(s[:i]), Seq: seq}
+			break
 		}
 	}
-	return TxID{}
+	if s == "" {
+		return TxID{}
+	}
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return TxID{Origin: NodeID(s), Seq: h}
 }
 
 // Vote is a participant's reply to Prepare.

@@ -127,7 +127,7 @@ func (p *Participant) runCommit(ctx context.Context, txName string, subs []strin
 	if votedN < len(others) {
 		deadline := p.sched.NewTimer(p.voteTimeout)
 		defer deadline.Stop()
-		bo := p.retry.backoff(p.rng(txName))
+		bo := p.retry.Backoff(p.rng(txName))
 		retryT := p.nextRetryTimer(bo)
 		defer func() { retryT.Stop() }()
 		for votedN < len(others) {
@@ -216,7 +216,7 @@ func (p *Participant) delegate(ctx context.Context, st *txState, tx core.TxID, t
 
 	deadline := p.sched.NewTimer(p.voteTimeout)
 	defer deadline.Stop()
-	bo := p.retry.backoff(p.rng(txName))
+	bo := p.retry.Backoff(p.rng(txName))
 	retryT := p.nextRetryTimer(bo)
 	defer func() { retryT.Stop() }()
 	for {
@@ -299,7 +299,7 @@ func (p *Participant) collectAcks(ctx context.Context, st *txState, txName strin
 
 	deadline := p.sched.NewTimer(p.ackTimeout)
 	defer deadline.Stop()
-	bo := p.retry.backoff(p.rng(txName + "/acks"))
+	bo := p.retry.Backoff(p.rng(txName + "/acks"))
 	retryT := p.nextRetryTimer(bo)
 	defer func() { retryT.Stop() }()
 	for ackedN < len(targets) {
@@ -427,7 +427,7 @@ func (p *Participant) unregisterCoord(txName string) {
 // nextRetryTimer arms a timer for the backoff schedule's next delay,
 // or a never-firing timer once the schedule is exhausted (the overall
 // deadline then has the last word).
-func (p *Participant) nextRetryTimer(bo *backoff) clock.Timer {
+func (p *Participant) nextRetryTimer(bo *Backoff) clock.Timer {
 	if d, ok := bo.Next(); ok {
 		return p.sched.NewTimer(d)
 	}

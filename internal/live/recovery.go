@@ -181,7 +181,7 @@ func (p *Participant) resolveInDoubt(ctx context.Context, coordinator, txName st
 	}
 	deadline := p.sched.NewTimer(p.ackTimeout)
 	defer deadline.Stop()
-	bo := p.retry.backoff(p.rng(txName + "/inquire"))
+	bo := p.retry.Backoff(p.rng(txName + "/inquire"))
 	retryT := p.nextRetryTimer(bo)
 	defer func() { retryT.Stop() }()
 	for {

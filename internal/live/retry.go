@@ -58,15 +58,15 @@ func (rp RetryPolicy) withDefaults() RetryPolicy {
 	return rp
 }
 
-// backoff returns an iterator over the policy's retransmission
+// Backoff returns an iterator over the policy's retransmission
 // delays, jittered by rng (which must not be shared across
 // goroutines).
-func (rp RetryPolicy) backoff(rng *rand.Rand) *backoff {
-	return &backoff{policy: rp.withDefaults(), rng: rng}
+func (rp RetryPolicy) Backoff(rng *rand.Rand) *Backoff {
+	return &Backoff{policy: rp.withDefaults(), rng: rng}
 }
 
-// backoff walks a RetryPolicy's delay schedule.
-type backoff struct {
+// Backoff walks a RetryPolicy's delay schedule.
+type Backoff struct {
 	policy  RetryPolicy
 	rng     *rand.Rand
 	attempt int // transmissions already made beyond the first
@@ -76,7 +76,7 @@ type backoff struct {
 // whether another transmission is allowed. The first call returns the
 // delay before the first retransmission (the initial send is attempt
 // one and is not scheduled here).
-func (b *backoff) Next() (time.Duration, bool) {
+func (b *Backoff) Next() (time.Duration, bool) {
 	if b.attempt >= b.policy.MaxAttempts-1 {
 		return 0, false
 	}
@@ -99,7 +99,7 @@ func (b *backoff) Next() (time.Duration, bool) {
 }
 
 // Attempts reports the transmissions made beyond the first.
-func (b *backoff) Attempts() int { return b.attempt }
+func (b *Backoff) Attempts() int { return b.attempt }
 
 // rng returns a fresh jitter source for one collection loop, seeded
 // from the participant seed and the transaction id so schedules are

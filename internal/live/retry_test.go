@@ -18,7 +18,7 @@ import (
 
 func TestBackoffScheduleGrowsAndCaps(t *testing.T) {
 	rp := RetryPolicy{MaxAttempts: 5, BaseDelay: 10 * time.Millisecond, MaxDelay: 40 * time.Millisecond, Multiplier: 2, Jitter: -1}
-	bo := rp.backoff(nil)
+	bo := rp.Backoff(nil)
 	var got []time.Duration
 	for {
 		d, ok := bo.Next()
@@ -43,7 +43,7 @@ func TestBackoffScheduleGrowsAndCaps(t *testing.T) {
 
 func TestBackoffJitterOnlyShrinks(t *testing.T) {
 	rp := RetryPolicy{MaxAttempts: 8, BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second, Multiplier: 2, Jitter: 0.5}
-	bo := rp.backoff(rand.New(rand.NewSource(42)))
+	bo := rp.Backoff(rand.New(rand.NewSource(42)))
 	nominal := []time.Duration{100, 200, 400, 800, 1000, 1000, 1000}
 	for i := 0; ; i++ {
 		d, ok := bo.Next()
@@ -63,7 +63,7 @@ func TestBackoffJitterOnlyShrinks(t *testing.T) {
 func TestBackoffDeterministicPerSeed(t *testing.T) {
 	rp := DefaultRetryPolicy()
 	seq := func() []time.Duration {
-		bo := rp.backoff(rand.New(rand.NewSource(7)))
+		bo := rp.Backoff(rand.New(rand.NewSource(7)))
 		var out []time.Duration
 		for {
 			d, ok := bo.Next()

@@ -11,14 +11,18 @@ package loadgen
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
-	"io"
 	"math"
 	"net/http"
 	"sort"
 	"strings"
 	"sync"
 	"time"
+
+	"repro/client"
+	"repro/internal/api"
+	"repro/internal/live"
 )
 
 // Committer submits one transaction and classifies the result.
@@ -29,15 +33,25 @@ type Committer interface {
 	Commit(ctx context.Context, tx string) (committed, shed bool, err error)
 }
 
-// HTTPCommitter drives a twopcd coordinator over its HTTP plane.
+// OpsCommitter additionally accepts a typed operation list per
+// transaction; Run uses it when Config.Ops generates one.
+type OpsCommitter interface {
+	Committer
+	CommitOps(ctx context.Context, tx string, ops []api.Op) (committed, shed bool, err error)
+}
+
+// HTTPCommitter drives a twopcd coordinator (or a twopcrouter) over
+// the v1 transaction API, via the public client package.
 type HTTPCommitter struct {
-	// BaseURL is the daemon's observability address, e.g.
+	// BaseURL is the daemon's or router's HTTP address, e.g.
 	// "http://127.0.0.1:8100".
 	BaseURL string
 	// Variant optionally overrides the daemon's default variant
 	// ("pa", "pn", "pc", "basic").
 	Variant string
-	// Subs optionally overrides the daemon's default subordinate set.
+	// Subs optionally overrides the daemon's default subordinate set
+	// for protocol-only transactions (ignored when ops are supplied —
+	// participants then come from the shard map).
 	Subs []string
 	// Codec, when set, pins the wire codec the daemon must be
 	// speaking ("binary", "gob-stream", "gob-packet"); the daemon
@@ -46,44 +60,51 @@ type HTTPCommitter struct {
 	Codec string
 	// Client defaults to a keep-alive client with a generous pool.
 	Client *http.Client
+	// Retry, when set, retries sheds and transport failures on the
+	// live runtime's backoff schedule. Off by default so the shed
+	// column stays honest.
+	Retry *live.RetryPolicy
+
+	once sync.Once
+	c    *client.Client
 }
 
-func (h *HTTPCommitter) client() *http.Client {
-	if h.Client != nil {
-		return h.Client
-	}
-	return http.DefaultClient
+func (h *HTTPCommitter) cli() *client.Client {
+	h.once.Do(func() {
+		opts := []client.Option{client.WithVariant(h.Variant), client.WithCodec(h.Codec)}
+		if h.Client != nil {
+			opts = append(opts, client.WithHTTPClient(h.Client))
+		}
+		if h.Retry != nil {
+			opts = append(opts, client.WithRetry(*h.Retry))
+		}
+		h.c = client.New(h.BaseURL, opts...)
+	})
+	return h.c
 }
 
-// Commit implements Committer via POST /commit.
+// Commit implements Committer: a protocol-only transaction (no ops)
+// via POST /v1/commit.
 func (h *HTTPCommitter) Commit(ctx context.Context, tx string) (bool, bool, error) {
-	u := h.BaseURL + "/commit?tx=" + tx
-	if h.Variant != "" {
-		u += "&variant=" + h.Variant
-	}
-	if len(h.Subs) > 0 {
-		u += "&subs=" + strings.Join(h.Subs, ",")
-	}
-	if h.Codec != "" {
-		u += "&codec=" + h.Codec
-	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, nil)
+	return h.commit(ctx, api.CommitRequest{Tx: tx, Participants: h.Subs})
+}
+
+// CommitOps implements OpsCommitter: a typed multi-key transaction
+// whose participants resolve from the fleet's shard map.
+func (h *HTTPCommitter) CommitOps(ctx context.Context, tx string, ops []api.Op) (bool, bool, error) {
+	return h.commit(ctx, api.CommitRequest{Tx: tx, Ops: ops})
+}
+
+func (h *HTTPCommitter) commit(ctx context.Context, req api.CommitRequest) (bool, bool, error) {
+	resp, err := h.cli().Do(ctx, req)
 	if err != nil {
+		var apiErr *client.APIError
+		if errors.As(err, &apiErr) && apiErr.Status == http.StatusServiceUnavailable {
+			return false, true, nil
+		}
 		return false, false, err
 	}
-	resp, err := h.client().Do(req)
-	if err != nil {
-		return false, false, err
-	}
-	defer resp.Body.Close()
-	body, _ := io.ReadAll(resp.Body)
-	switch {
-	case resp.StatusCode == http.StatusServiceUnavailable:
-		return false, true, nil
-	case resp.StatusCode != http.StatusOK:
-		return false, false, fmt.Errorf("loadgen: %s: %s", resp.Status, strings.TrimSpace(string(body)))
-	}
-	return strings.Contains(string(body), "committed"), false, nil
+	return resp.Outcome == "committed", false, nil
 }
 
 // Config shapes one load run.
@@ -100,6 +121,10 @@ type Config struct {
 	Workers int
 	// TxPrefix namespaces generated transaction ids (default "load").
 	TxPrefix string
+	// Ops, when set, generates each arrival's typed operation list
+	// from its sequence number (see internal/workload for skewed
+	// profiles). Requires the Committer to implement OpsCommitter.
+	Ops func(seq int) []api.Op
 }
 
 // Result is one run's tally.
@@ -220,6 +245,7 @@ func Run(ctx context.Context, c Committer, cfg Config) Result {
 		interval = time.Microsecond
 	}
 
+	oc, _ := c.(OpsCommitter)
 	var (
 		mu  sync.Mutex
 		res Result
@@ -251,13 +277,22 @@ loop:
 			mu.Unlock()
 			continue
 		}
+		seq := seq // capture: the loop keeps incrementing
 		tx := fmt.Sprintf("%s:%d", cfg.TxPrefix, seq)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			defer func() { <-slots }()
 			t0 := time.Now()
-			committed, shed, err := c.Commit(ctx, tx)
+			var (
+				committed, shed bool
+				err             error
+			)
+			if cfg.Ops != nil && oc != nil {
+				committed, shed, err = oc.CommitOps(ctx, tx, cfg.Ops(seq))
+			} else {
+				committed, shed, err = c.Commit(ctx, tx)
+			}
 			lat := time.Since(t0)
 			mu.Lock()
 			defer mu.Unlock()

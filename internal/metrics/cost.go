@@ -263,12 +263,26 @@ func (r *Registry) FlowSent(node, tx string, piggybacked, extra, protocolPkt boo
 	if tx == "" {
 		return
 	}
-	nc := r.txCostLocked(tx).node(node)
 	if extra {
+		// Extras are excluded from conformance, and an extra can name a
+		// transaction this node never otherwise tracks — an inquiry
+		// answered by presumption, a duplicate for a forgotten tx. A
+		// lazily created entry for one would never record an outcome
+		// and leak in the ledger, so attribute extras only to
+		// transactions already present.
+		tc, ok := r.costs[tx]
+		if !ok {
+			return
+		}
+		nc := tc.node(node)
 		nc.c.Extra++
-	} else {
-		nc.c.Flows++
+		if piggybacked {
+			nc.c.Piggybacked++
+		}
+		return
 	}
+	nc := r.txCostLocked(tx).node(node)
+	nc.c.Flows++
 	if piggybacked {
 		nc.c.Piggybacked++
 	}

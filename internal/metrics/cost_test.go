@@ -130,3 +130,25 @@ func TestAggregateCosts(t *testing.T) {
 		t.Fatalf("open bucket: %+v", got)
 	}
 }
+
+func TestExtraFlowForUntrackedTxDoesNotLeak(t *testing.T) {
+	r := New()
+	// An inquiry answered by presumption sends an extra flow for a
+	// transaction this node never began, voted on, or logged for. No
+	// ledger entry may appear: nothing would ever close it.
+	r.FlowSent("S1", "ghost", false, true, true)
+	if n := r.CostLedgerSize(); n != 0 {
+		t.Fatalf("extra flow for untracked tx created %d ledger entries", n)
+	}
+	// Node-level message accounting still counts it.
+	if snap := r.Snapshot(); snap.Nodes["S1"].MessagesSent != 1 {
+		t.Fatalf("node counters lost the extra flow: %+v", snap.Nodes["S1"])
+	}
+	// Extras against a tracked transaction still attribute.
+	r.CostSub("t1", "S1", "PA", false)
+	r.FlowSent("S1", "t1", false, true, true)
+	views := r.CostSnapshot()
+	if len(views) != 1 || views[0].Nodes["S1"].Extra != 1 {
+		t.Fatalf("tracked-tx extra not attributed: %+v", views)
+	}
+}

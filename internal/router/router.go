@@ -1,0 +1,199 @@
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/api"
+)
+
+// Pick selects how the router chooses the coordinating shard for a
+// transaction.
+type Pick int
+
+// Coordinator-choice policies.
+const (
+	// PickFirstShard coordinates at the owner of the first op's key:
+	// deterministic, keeps a transaction's "home" stable, and gives
+	// the coordinator local work (its own shard is usually a
+	// participant, so one subordinate's flows are saved as local
+	// calls).
+	PickFirstShard Pick = iota
+	// PickLeastLoaded coordinates at the participating shard with the
+	// fewest router-observed outstanding transactions, falling back to
+	// first-shard on ties.
+	PickLeastLoaded
+)
+
+// ParsePick maps a flag name to a policy.
+func ParsePick(name string) (Pick, error) {
+	switch strings.ToLower(name) {
+	case "", "first-shard", "first":
+		return PickFirstShard, nil
+	case "least-loaded", "least":
+		return PickLeastLoaded, nil
+	}
+	return PickFirstShard, fmt.Errorf("router: unknown coordinator pick %q (want first-shard or least-loaded)", name)
+}
+
+// Config assembles a Router.
+type Config struct {
+	// Map is the fleet's shard map. Required unless Seeds is set.
+	Map *ShardMap
+	// HTTP maps member names to their base URLs ("http://host:port").
+	// Required unless Seeds is set.
+	HTTP map[string]string
+	// Seeds are fleet member base URLs to bootstrap from: the router
+	// fetches /v1/shards from the first reachable seed and adopts its
+	// map and member table.
+	Seeds []string
+	// Pick is the coordinator-choice policy.
+	Pick Pick
+	// Client is the forwarding HTTP client; nil means
+	// http.DefaultClient.
+	Client *http.Client
+}
+
+// Router is the stateless routing tier: it holds no transaction
+// state, only the fleet view (shard map + member URLs) and per-member
+// outstanding counters for least-loaded picking.
+type Router struct {
+	pick   Pick
+	client *http.Client
+
+	mu    sync.RWMutex
+	smap  *ShardMap
+	http  map[string]string
+	loads map[string]*atomic.Int64
+}
+
+// New builds a router from cfg, bootstrapping from Seeds when no
+// static map is given.
+func New(ctx context.Context, cfg Config) (*Router, error) {
+	r := &Router{pick: cfg.Pick, client: cfg.Client}
+	if r.client == nil {
+		r.client = http.DefaultClient
+	}
+	if cfg.Map != nil {
+		r.adopt(cfg.Map, cfg.HTTP)
+		return r, nil
+	}
+	var lastErr error
+	for _, seed := range cfg.Seeds {
+		if err := r.Refresh(ctx, seed); err != nil {
+			lastErr = err
+			continue
+		}
+		return r, nil
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("router: no shard map and no seeds")
+	}
+	return nil, lastErr
+}
+
+func (r *Router) adopt(m *ShardMap, httpTable map[string]string) {
+	loads := make(map[string]*atomic.Int64)
+	for _, n := range m.Nodes() {
+		loads[n] = &atomic.Int64{}
+	}
+	r.mu.Lock()
+	r.smap = m
+	r.http = httpTable
+	r.loads = loads
+	r.mu.Unlock()
+}
+
+// Refresh re-fetches the fleet view from one member's /v1/shards.
+func (r *Router) Refresh(ctx context.Context, baseURL string) error {
+	info, err := FetchShards(ctx, r.client, baseURL)
+	if err != nil {
+		return err
+	}
+	m, err := FromAPI(info.Map)
+	if err != nil {
+		return err
+	}
+	if len(info.HTTP) == 0 {
+		return fmt.Errorf("router: %s/v1/shards reports no member URLs (daemon missing -peer-http wiring?)", baseURL)
+	}
+	r.adopt(m, info.HTTP)
+	return nil
+}
+
+// FetchShards retrieves one node's /v1/shards document.
+func FetchShards(ctx context.Context, client *http.Client, baseURL string) (*api.ShardsResponse, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, strings.TrimRight(baseURL, "/")+"/v1/shards", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("router: GET %s/v1/shards: %s: %s", baseURL, resp.Status, strings.TrimSpace(string(body)))
+	}
+	var info api.ShardsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return nil, fmt.Errorf("router: decode /v1/shards: %w", err)
+	}
+	return &info, nil
+}
+
+// Map returns the router's current shard map.
+func (r *Router) Map() *ShardMap {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.smap
+}
+
+// MemberURL returns a member's base URL.
+func (r *Router) MemberURL(node string) (string, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	u, ok := r.http[node]
+	return u, ok
+}
+
+// Coordinator picks the coordinating shard for a transaction whose
+// ops resolve to participants (sorted). The load table only moves
+// under PickLeastLoaded.
+func (r *Router) Coordinator(firstOwner string, participants []string) string {
+	if r.pick == PickFirstShard || len(participants) <= 1 {
+		return firstOwner
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	best, bestLoad := firstOwner, int64(1<<62)
+	if c := r.loads[firstOwner]; c != nil {
+		bestLoad = c.Load()
+	}
+	for _, p := range participants {
+		c := r.loads[p]
+		if c == nil {
+			continue
+		}
+		if l := c.Load(); l < bestLoad {
+			best, bestLoad = p, l
+		}
+	}
+	return best
+}
+
+func (r *Router) loadOf(node string) *atomic.Int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.loads[node]
+}

@@ -29,14 +29,18 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/audit"
+	"repro/internal/clock"
 	"repro/internal/core"
+	"repro/internal/kvstore"
 	"repro/internal/live"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/protocol"
+	"repro/internal/router"
 	"repro/internal/trace"
 	"repro/internal/wal"
 )
@@ -82,6 +86,20 @@ type Config struct {
 	// LiveOptions are appended to the participant's construction
 	// options (timeouts, retry policy, group commit, ...).
 	LiveOptions []live.Option
+	// ShardMap is the fleet key-ownership spec ("hash:S1,S2,S3" or
+	// "range:S1=g,S2=t,S3="). Empty means this daemon owns the whole
+	// keyspace: /v1/commit ops all stage locally.
+	ShardMap string
+	// PeerHTTP maps fleet member names to their HTTP base URLs, the
+	// data plane /v1/stage rides on. More can be added after startup
+	// with RegisterPeerHTTP.
+	PeerHTTP map[string]string
+	// StageTimeout bounds lock acquisition while staging one shard's
+	// slice of a transaction's operations. Default 2s.
+	StageTimeout time.Duration
+	// AdvertiseHTTP overrides the HTTP base URL this daemon reports
+	// for itself in /v1/shards (defaults to its bound listener).
+	AdvertiseHTTP string
 }
 
 // ErrOverloaded is returned by Commit when the admission limit is
@@ -93,11 +111,14 @@ var ErrDraining = fmt.Errorf("server: draining")
 
 // Server is one running daemon.
 type Server struct {
-	cfg  Config
-	reg  *metrics.Registry
-	trc  *trace.Tracer
-	part *live.Participant
-	ep   *netsim.TCPEndpoint
+	cfg   Config
+	reg   *metrics.Registry
+	trc   *trace.Tracer
+	part  *live.Participant
+	ep    *netsim.TCPEndpoint
+	store *kvstore.Store   // this shard's slice of the keyspace
+	smap  *router.ShardMap // nil: this daemon owns every key
+	httpc *http.Client     // fleet data-plane client (/v1/stage)
 
 	httpLn  net.Listener
 	httpSrv *http.Server
@@ -105,14 +126,19 @@ type Server struct {
 	sem   chan struct{}
 	start time.Time
 
-	mu        sync.Mutex
-	draining  bool
-	inflight  int
-	idle      chan struct{} // closed when draining and inflight hits 0
-	auditRep  audit.Report  // accumulated totals; violations truncated
-	auditTxs  int           // transactions audited
-	costAgg   map[metrics.AggregateCostKey]metrics.CostCounters
-	costNodes map[metrics.AggregateCostKey]int
+	txSeq     atomic.Uint64 // generated-tx-id counter
+	stagedOps atomic.Int64  // operations staged on this shard
+
+	mu         sync.Mutex
+	draining   bool
+	inflight   int
+	idle       chan struct{} // closed when draining and inflight hits 0
+	auditRep   audit.Report  // accumulated totals; violations truncated
+	auditTxs   int           // transactions audited
+	costAgg    map[metrics.AggregateCostKey]metrics.CostCounters
+	costNodes  map[metrics.AggregateCostKey]int
+	peerHTTP   map[string]string // fleet member name -> HTTP base URL
+	knownPeers map[string]bool   // names registered on either plane
 
 	stopc  chan struct{}
 	stopMu sync.Once
@@ -148,6 +174,17 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Log == nil {
 		cfg.Log = wal.New(wal.NewMemStore())
 	}
+	if cfg.StageTimeout <= 0 {
+		cfg.StageTimeout = 2 * time.Second
+	}
+	var smap *router.ShardMap
+	if cfg.ShardMap != "" {
+		var err error
+		smap, err = router.Parse(cfg.ShardMap)
+		if err != nil {
+			return nil, err
+		}
+	}
 
 	ep, err := netsim.ListenTCP(cfg.Name, cfg.ListenProto, netsim.WithCodec(cfg.Codec))
 	if err != nil {
@@ -178,22 +215,47 @@ func New(cfg Config) (*Server, error) {
 		opts = append(opts, live.WithShards(cfg.Shards))
 	}
 	opts = append(opts, cfg.LiveOptions...)
+
+	// The shard's kvstore keeps its own WAL, deliberately distinct
+	// from the participant's observed protocol log: resource-manager
+	// record writes are database spend, not protocol spend, and must
+	// not enter the cost ledger the conformance audit checks against
+	// the paper's closed forms. The static resource stays alongside so
+	// every transaction — even one staging no local ops — votes yes
+	// and keeps the exact commit shape.
+	store := kvstore.New("kv@"+cfg.Name, wal.New(wal.NewMemStore()), clock.NewWall(),
+		kvstore.WithBlockingLocks(true))
 	part := live.NewParticipant(cfg.Name, ep, cfg.Log,
-		[]core.Resource{core.NewStaticResource("r@" + cfg.Name)}, opts...)
+		[]core.Resource{core.NewStaticResource("r@" + cfg.Name), store}, opts...)
 
 	s := &Server{
-		cfg:       cfg,
-		reg:       reg,
-		trc:       trc,
-		part:      part,
-		ep:        ep,
-		httpLn:    httpLn,
-		sem:       make(chan struct{}, cfg.MaxInflight),
-		start:     time.Now(),
-		idle:      make(chan struct{}),
-		costAgg:   make(map[metrics.AggregateCostKey]metrics.CostCounters),
-		costNodes: make(map[metrics.AggregateCostKey]int),
-		stopc:     make(chan struct{}),
+		cfg:        cfg,
+		reg:        reg,
+		trc:        trc,
+		part:       part,
+		ep:         ep,
+		store:      store,
+		smap:       smap,
+		httpc:      &http.Client{},
+		httpLn:     httpLn,
+		sem:        make(chan struct{}, cfg.MaxInflight),
+		start:      time.Now(),
+		idle:       make(chan struct{}),
+		costAgg:    make(map[metrics.AggregateCostKey]metrics.CostCounters),
+		costNodes:  make(map[metrics.AggregateCostKey]int),
+		peerHTTP:   make(map[string]string),
+		knownPeers: make(map[string]bool),
+		stopc:      make(chan struct{}),
+	}
+	for name := range cfg.Peers {
+		s.knownPeers[name] = true
+	}
+	for name, u := range cfg.PeerHTTP {
+		s.peerHTTP[name] = u
+		s.knownPeers[name] = true
+	}
+	for _, name := range cfg.Subs {
+		s.knownPeers[name] = true
 	}
 	s.httpSrv = &http.Server{Handler: s.mux()}
 
@@ -217,7 +279,56 @@ func (s *Server) ProtoAddr() string { return s.ep.Addr() }
 func (s *Server) HTTPAddr() string { return s.httpLn.Addr().String() }
 
 // RegisterPeer tells the protocol endpoint where to dial for a peer.
-func (s *Server) RegisterPeer(name, addr string) { s.ep.Register(name, addr) }
+func (s *Server) RegisterPeer(name, addr string) {
+	s.ep.Register(name, addr)
+	s.mu.Lock()
+	s.knownPeers[name] = true
+	s.mu.Unlock()
+}
+
+// RegisterPeerHTTP tells the data plane where a fleet member's HTTP
+// surface (/v1/stage, /v1/commit) lives.
+func (s *Server) RegisterPeerHTTP(name, baseURL string) {
+	s.mu.Lock()
+	s.peerHTTP[name] = baseURL
+	s.knownPeers[name] = true
+	s.mu.Unlock()
+}
+
+// Store exposes the daemon's kvstore shard (tests read committed state
+// directly).
+func (s *Server) Store() *kvstore.Store { return s.store }
+
+// nextTxID generates a daemon-unique transaction id.
+func (s *Server) nextTxID() string {
+	return fmt.Sprintf("%s.%d.%d", s.cfg.Name, s.start.UnixNano(), s.txSeq.Add(1))
+}
+
+// peerHTTPURL resolves a fleet member's HTTP base URL.
+func (s *Server) peerHTTPURL(name string) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	u, ok := s.peerHTTP[name]
+	return u, ok
+}
+
+// knownPeer reports whether name is registered on either plane.
+func (s *Server) knownPeer(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.knownPeers[name]
+}
+
+// selfHTTPURL is the base URL this daemon advertises for itself.
+func (s *Server) selfHTTPURL() string {
+	if s.cfg.AdvertiseHTTP != "" {
+		return s.cfg.AdvertiseHTTP
+	}
+	return "http://" + s.HTTPAddr()
+}
+
+// countStagedOps accounts operations staged on this shard.
+func (s *Server) countStagedOps(n int) { s.stagedOps.Add(int64(n)) }
 
 // Registry exposes the daemon's metrics registry (tests and embedding
 // harnesses read it directly; external observers scrape /metrics).
@@ -231,36 +342,46 @@ func (s *Server) Participant() *live.Participant { return s.part }
 // fails with ErrOverloaded at the inflight limit and ErrDraining
 // during drain.
 func (s *Server) Commit(ctx context.Context, tx string, subs []string, v core.Variant) (live.Outcome, error) {
-	s.mu.Lock()
-	if s.draining {
-		s.mu.Unlock()
-		return live.Aborted, ErrDraining
+	if err := s.acquire(); err != nil {
+		return live.Aborted, err
 	}
-	select {
-	case s.sem <- struct{}{}:
-	default:
-		s.mu.Unlock()
-		return live.Aborted, ErrOverloaded
-	}
-	s.inflight++
-	s.mu.Unlock()
-	defer func() {
-		<-s.sem
-		s.mu.Lock()
-		s.inflight--
-		if s.draining && s.inflight == 0 {
-			select {
-			case <-s.idle:
-			default:
-				close(s.idle)
-			}
-		}
-		s.mu.Unlock()
-	}()
+	defer s.release()
 	if subs == nil {
 		subs = s.cfg.Subs
 	}
 	return s.part.CommitVariant(ctx, tx, subs, v)
+}
+
+// acquire claims an admission slot, failing with ErrDraining during
+// drain and ErrOverloaded at the inflight limit.
+func (s *Server) acquire() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return ErrDraining
+	}
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		return ErrOverloaded
+	}
+	s.inflight++
+	return nil
+}
+
+// release returns an admission slot and signals drain idleness.
+func (s *Server) release() {
+	<-s.sem
+	s.mu.Lock()
+	s.inflight--
+	if s.draining && s.inflight == 0 {
+		select {
+		case <-s.idle:
+		default:
+			close(s.idle)
+		}
+	}
+	s.mu.Unlock()
 }
 
 // Drain stops admitting new commits and waits for inflight ones to
@@ -376,7 +497,10 @@ func (s *Server) mux() *http.ServeMux {
 	m.HandleFunc("/metrics", s.handleMetrics)
 	m.HandleFunc("/auditz", s.handleAuditz)
 	m.HandleFunc("/tracez", s.handleTracez)
-	m.HandleFunc("/commit", s.handleCommit)
+	m.HandleFunc("/commit", s.handleCommit) // deprecated: use /v1/commit
+	m.HandleFunc("/v1/commit", s.handleV1Commit)
+	m.HandleFunc("/v1/shards", s.handleShards)
+	m.HandleFunc("/v1/stage", s.handleStage)
 	m.HandleFunc("/debug/pprof/", pprof.Index)
 	m.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	m.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -405,6 +529,10 @@ func (s *Server) handleVarz(w http.ResponseWriter, _ *http.Request) {
 	for _, c := range snap.Nodes {
 		inDoubt += c.InDoubt
 	}
+	shardMap := ""
+	if s.smap != nil {
+		shardMap = s.smap.String()
+	}
 	s.mu.Lock()
 	v := map[string]any{
 		"name":             s.cfg.Name,
@@ -412,6 +540,8 @@ func (s *Server) handleVarz(w http.ResponseWriter, _ *http.Request) {
 		"codec":            s.cfg.Codec.String(),
 		"shards":           s.cfg.Shards,
 		"subs":             s.cfg.Subs,
+		"shard_map":        shardMap,
+		"staged_ops":       s.stagedOps.Load(),
 		"uptime_seconds":   time.Since(s.start).Seconds(),
 		"inflight":         s.inflight,
 		"max_inflight":     s.cfg.MaxInflight,
@@ -463,6 +593,10 @@ func (s *Server) handleTracez(w http.ResponseWriter, r *http.Request) {
 // parameter pins the wire format the caller expects this daemon to
 // speak — an A/B driver naming the wrong codec gets 409 instead of a
 // mislabeled measurement.
+//
+// Deprecated: this is the v0 query-string plane, kept as a shim for
+// old drivers. New callers use POST /v1/commit (typed ops, shard
+// resolution, machine-readable errors); see internal/api.
 func (s *Server) handleCommit(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
@@ -633,6 +767,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	})
 	counter("twopc_audit_transactions_total", "Closed transactions consumed by the audit.", func(b *strings.Builder) {
 		fmt.Fprintf(b, "twopc_audit_transactions_total %d\n", auditTxs)
+	})
+
+	counter("twopc_stage_ops_total", "Typed operations staged on this shard's kvstore.", func(b *strings.Builder) {
+		fmt.Fprintf(b, "twopc_stage_ops_total %d\n", s.stagedOps.Load())
 	})
 
 	fmt.Fprintf(&b, "# HELP twopc_inflight Commits currently admitted.\n# TYPE twopc_inflight gauge\ntwopc_inflight %d\n", inflight)

@@ -1,0 +1,380 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/analytic"
+	"repro/internal/api"
+	"repro/internal/core"
+	"repro/internal/kvstore"
+	"repro/internal/live"
+	"repro/internal/protocol"
+)
+
+// maxBody bounds v1 request bodies.
+const maxBody = 1 << 20
+
+// httpError pairs an HTTP status with the machine-readable error body
+// of the v1 taxonomy.
+type httpError struct {
+	status int
+	e      api.Error
+}
+
+func (h *httpError) Error() string { return h.e.Error }
+
+func errBadRequest(format string, args ...any) *httpError {
+	return &httpError{http.StatusBadRequest, api.ErrorOf(api.CodeBadRequest, format, args...)}
+}
+
+func errUnknownShard(format string, args ...any) *httpError {
+	return &httpError{http.StatusUnprocessableEntity, api.ErrorOf(api.CodeUnknownShard, format, args...)}
+}
+
+func writeAPIError(w http.ResponseWriter, herr *httpError) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(herr.status)
+	_ = json.NewEncoder(w).Encode(herr.e)
+}
+
+// handleV1Commit is POST /v1/commit: the versioned, typed commit
+// plane. See runV1 for the taxonomy.
+func (s *Server) handleV1Commit(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeAPIError(w, &httpError{http.StatusMethodNotAllowed, api.ErrorOf(api.CodeBadRequest, "POST only")})
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBody))
+	if err != nil {
+		writeAPIError(w, errBadRequest("read body: %v", err))
+		return
+	}
+	var creq api.CommitRequest
+	if len(bytes.TrimSpace(body)) > 0 {
+		if err := json.Unmarshal(body, &creq); err != nil {
+			writeAPIError(w, errBadRequest("decode request: %v", err))
+			return
+		}
+	}
+	resp, herr := s.runV1(r.Context(), creq)
+	if herr != nil {
+		writeAPIError(w, herr)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+// runV1 validates, stages, and runs one typed transaction. The error
+// taxonomy: 400 malformed request, 409 codec pin mismatch, 422 a key
+// or named participant resolves to no known shard, 503 shed or
+// draining. A transaction that runs and aborts is not an error — the
+// response reports outcome "aborted" with the reason.
+func (s *Server) runV1(ctx context.Context, creq api.CommitRequest) (*api.CommitResponse, *httpError) {
+	if err := creq.Validate(); err != nil {
+		return nil, errBadRequest("%v", err)
+	}
+	if creq.Codec != "" {
+		kind, err := protocol.ParseCodecKind(creq.Codec)
+		if err != nil {
+			return nil, errBadRequest("%v", err)
+		}
+		if kind != s.cfg.Codec {
+			return nil, &httpError{http.StatusConflict, api.ErrorOf(api.CodeCodecMismatch,
+				"codec mismatch: daemon speaks %s, request pinned %s", s.cfg.Codec, kind)}
+		}
+	}
+	v := s.cfg.Variant
+	if creq.Variant != "" {
+		parsed, ok := ParseVariant(creq.Variant)
+		if !ok {
+			return nil, errBadRequest("unknown variant %q", creq.Variant)
+		}
+		v = parsed
+	}
+	tx := creq.Tx
+	if tx == "" {
+		tx = s.nextTxID()
+	}
+
+	// Resolve the transaction's shape before admission so taxonomy
+	// errors never consume a slot.
+	var (
+		participants []string // every owning shard, self included
+		subs         []string // the subordinate set (participants minus self)
+		opsByNode    map[string][]api.Op
+	)
+	switch {
+	case len(creq.Ops) > 0:
+		if s.smap != nil {
+			participants, opsByNode = s.smap.Resolve(creq.Ops)
+		} else {
+			// No shard map: this daemon owns the whole keyspace.
+			participants = []string{s.cfg.Name}
+			opsByNode = map[string][]api.Op{s.cfg.Name: creq.Ops}
+		}
+		for _, n := range participants {
+			if n == s.cfg.Name {
+				continue
+			}
+			if _, ok := s.peerHTTPURL(n); !ok {
+				return nil, errUnknownShard("shard %q owns keys of this transaction but has no known HTTP address", n)
+			}
+			subs = append(subs, n)
+		}
+	case len(creq.Participants) > 0:
+		for _, n := range creq.Participants {
+			if n == s.cfg.Name {
+				return nil, errBadRequest("participant %q is the coordinator itself", n)
+			}
+			if !s.knownPeer(n) {
+				return nil, errUnknownShard("unknown participant %q: not a registered fleet member", n)
+			}
+		}
+		participants = creq.Participants
+		subs = creq.Participants
+	default:
+		participants = s.cfg.Subs
+		subs = s.cfg.Subs
+	}
+
+	if err := s.acquire(); err != nil {
+		code, apiCode := http.StatusServiceUnavailable, api.CodeOverloaded
+		if err == ErrDraining {
+			apiCode = api.CodeDraining
+		}
+		return nil, &httpError{code, api.ErrorOf(apiCode, "%v", err)}
+	}
+	defer s.release()
+
+	start := time.Now()
+	reads := make(map[string]string)
+
+	// Stage each owning shard's slice, strictly in the sorted order
+	// Resolve returns: with every coordinator acquiring shards in the
+	// same global order, no two transactions can hold locks on two
+	// shards in opposite orders, so cross-shard deadlock cycles are
+	// impossible and the only cycles left are within one shard's lock
+	// manager, where its detector resolves them.
+	var staged []string
+	abortStaged := func() {
+		for _, n := range staged {
+			if n == s.cfg.Name {
+				_ = s.store.Abort(core.ParseTxID(tx))
+				continue
+			}
+			s.stageRemote(context.Background(), n, api.StageRequest{Tx: tx, Abort: true})
+		}
+	}
+	for _, n := range participants {
+		ops := opsByNode[n]
+		if len(ops) == 0 {
+			continue
+		}
+		var (
+			nodeReads map[string]string
+			err       error
+		)
+		if n == s.cfg.Name {
+			nodeReads, err = s.stageLocal(ctx, tx, ops)
+		} else {
+			nodeReads, err = s.stageRemote(ctx, n, api.StageRequest{Tx: tx, Ops: ops})
+		}
+		if err != nil {
+			staged = append(staged, n) // the failing shard may hold partial state
+			abortStaged()
+			var herr *httpError
+			if errors.As(err, &herr) {
+				return nil, herr
+			}
+			// Lock conflicts, deadlock victims, and staging timeouts
+			// abort the transaction before phase one: outcome, not error.
+			return &api.CommitResponse{
+				Tx: tx, Outcome: live.Aborted.String(), Variant: v.String(),
+				Coordinator: s.cfg.Name, Participants: subs,
+				Abort:     fmt.Sprintf("staging on %s: %v", n, err),
+				LatencyMS: msSince(start),
+			}, nil
+		}
+		staged = append(staged, n)
+		for k, val := range nodeReads {
+			reads[k] = val
+		}
+	}
+
+	out, err := s.part.CommitVariant(ctx, tx, subs, v)
+	resp := &api.CommitResponse{
+		Tx:           tx,
+		Outcome:      out.String(),
+		Variant:      v.String(),
+		Coordinator:  s.cfg.Name,
+		Participants: subs,
+		LatencyMS:    msSince(start),
+	}
+	switch out {
+	case live.Committed:
+		resp.Reads = reads
+		if rc, ok := analytic.CommitCostByRole(v.String(), len(subs)); ok {
+			total := rc.Coordinator
+			for range subs {
+				total = total.Add(rc.Subordinate)
+			}
+			resp.Cost = &api.CostSummary{Flows: total.Flows, LogWrites: total.Writes, ForcedWrites: total.Forced}
+		}
+	default:
+		if err != nil {
+			resp.Abort = err.Error()
+		}
+	}
+	return resp, nil
+}
+
+// msSince is elapsed wall time in milliseconds.
+func msSince(t time.Time) float64 { return float64(time.Since(t)) / float64(time.Millisecond) }
+
+// stageLocal applies one shard slice to this daemon's own store.
+func (s *Server) stageLocal(ctx context.Context, tx string, ops []api.Op) (map[string]string, error) {
+	ctx, cancel := context.WithTimeout(ctx, s.cfg.StageTimeout)
+	defer cancel()
+	id := core.ParseTxID(tx)
+	reads := make(map[string]string)
+	for _, op := range ops {
+		var err error
+		switch op.Op {
+		case api.OpGet:
+			var val string
+			val, err = s.store.Get(ctx, id, op.Key)
+			if errors.Is(err, kvstore.ErrNotFound) {
+				err = nil // absent keys read as no entry, not a failure
+			} else if err == nil {
+				reads[op.Key] = val
+			}
+		case api.OpPut:
+			err = s.store.Put(ctx, id, op.Key, op.Value)
+		case api.OpDelete:
+			err = s.store.Delete(ctx, id, op.Key)
+		default:
+			err = fmt.Errorf("unknown op %q", op.Op)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	s.countStagedOps(len(ops))
+	return reads, nil
+}
+
+// stageRemote posts one shard slice to the owning daemon's /v1/stage.
+// Abort requests are best-effort.
+func (s *Server) stageRemote(ctx context.Context, node string, sreq api.StageRequest) (map[string]string, error) {
+	baseURL, ok := s.peerHTTPURL(node)
+	if !ok {
+		return nil, errUnknownShard("no HTTP address for shard %q", node)
+	}
+	body, err := json.Marshal(sreq)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithTimeout(ctx, s.cfg.StageTimeout+time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		strings.TrimRight(baseURL, "/")+api.PathStage, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := s.httpc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("stage %s: %w", node, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e api.Error
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+			return nil, fmt.Errorf("stage %s: %s (%s)", node, e.Error, e.Code)
+		}
+		return nil, fmt.Errorf("stage %s: %s: %s", node, resp.Status, strings.TrimSpace(string(raw)))
+	}
+	var sresp api.StageResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sresp); err != nil {
+		return nil, fmt.Errorf("stage %s: decode response: %w", node, err)
+	}
+	return sresp.Reads, nil
+}
+
+// handleStage is POST /v1/stage: the fleet-internal data plane. A
+// coordinator (or router acting for one) delivers the operations this
+// shard owns for a transaction; they are applied under the
+// transaction's locks ahead of the Prepare arriving on the protocol
+// plane. Abort discards staged state for transactions that never
+// reached phase one.
+func (s *Server) handleStage(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeAPIError(w, &httpError{http.StatusMethodNotAllowed, api.ErrorOf(api.CodeBadRequest, "POST only")})
+		return
+	}
+	var sreq api.StageRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, maxBody)).Decode(&sreq); err != nil {
+		writeAPIError(w, errBadRequest("decode request: %v", err))
+		return
+	}
+	if sreq.Tx == "" {
+		writeAPIError(w, errBadRequest("stage needs a tx"))
+		return
+	}
+	if sreq.Abort {
+		_ = s.store.Abort(core.ParseTxID(sreq.Tx))
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(api.StageResponse{Tx: sreq.Tx})
+		return
+	}
+	for i, op := range sreq.Ops {
+		if err := op.Validate(); err != nil {
+			writeAPIError(w, errBadRequest("ops[%d]: %v", i, err))
+			return
+		}
+	}
+	reads, err := s.stageLocal(r.Context(), sreq.Tx, sreq.Ops)
+	if err != nil {
+		// Lock conflict, deadlock victim, or timeout: the shard could
+		// not take the transaction's locks. The staged remainder is
+		// discarded here; the coordinator aborts the transaction.
+		_ = s.store.Abort(core.ParseTxID(sreq.Tx))
+		writeAPIError(w, &httpError{http.StatusConflict, api.ErrorOf("conflict", "%v", err)})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(api.StageResponse{Tx: sreq.Tx, Reads: reads})
+}
+
+// handleShards is GET /v1/shards: the node's fleet view, consumed by
+// routers and shard-aware clients for client-side routing.
+func (s *Server) handleShards(w http.ResponseWriter, _ *http.Request) {
+	var m api.ShardMap
+	if s.smap != nil {
+		m = s.smap.ToAPI()
+	} else {
+		m = api.ShardMap{Kind: "hash", Nodes: []string{s.cfg.Name}}
+	}
+	httpTable := map[string]string{s.cfg.Name: s.selfHTTPURL()}
+	s.mu.Lock()
+	for n, u := range s.peerHTTP {
+		httpTable[n] = u
+	}
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(api.ShardsResponse{
+		Name: s.cfg.Name,
+		Map:  m,
+		HTTP: httpTable,
+	})
+}

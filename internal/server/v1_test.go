@@ -1,0 +1,355 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/protocol"
+)
+
+// postV1 posts a raw body to a daemon's /v1/commit and decodes either
+// the response or the taxonomy error.
+func postV1(t *testing.T, s *Server, body string) (int, *api.CommitResponse, *api.Error) {
+	t.Helper()
+	resp, err := http.Post("http://"+s.HTTPAddr()+api.PathCommit, "application/json",
+		strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		var e api.Error
+		if err := json.Unmarshal(raw, &e); err != nil {
+			t.Fatalf("status %d with non-taxonomy body %q", resp.StatusCode, raw)
+		}
+		return resp.StatusCode, nil, &e
+	}
+	var cr api.CommitResponse
+	if err := json.Unmarshal(raw, &cr); err != nil {
+		t.Fatalf("decode commit response %q: %v", raw, err)
+	}
+	return resp.StatusCode, &cr, nil
+}
+
+func commitJSON(t *testing.T, req api.CommitRequest) string {
+	t.Helper()
+	b, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestV1Taxonomy400 covers every malformed-request shape: broken
+// JSON, invalid ops, mutually exclusive fields, unknown names.
+func TestV1Taxonomy400(t *testing.T) {
+	s, err := New(Config{Name: "A", AuditInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	cases := []struct {
+		name, body string
+	}{
+		{"broken json", "{"},
+		{"op without verb", `{"ops":[{"key":"k"}]}`},
+		{"op without key", `{"ops":[{"op":"put","value":"v"}]}`},
+		{"unknown verb", `{"ops":[{"key":"k","op":"incr"}]}`},
+		{"get with value", `{"ops":[{"key":"k","op":"get","value":"v"}]}`},
+		{"ops and participants", `{"ops":[{"key":"k","op":"put","value":"v"}],"participants":["B"]}`},
+		{"unknown variant", `{"variant":"3pc"}`},
+		{"unknown codec name", `{"codec":"xml"}`},
+		{"self as participant", `{"participants":["A"]}`},
+	}
+	for _, c := range cases {
+		status, _, e := postV1(t, s, c.body)
+		if status != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", c.name, status)
+			continue
+		}
+		if e.Code != api.CodeBadRequest {
+			t.Errorf("%s: code %q, want %q", c.name, e.Code, api.CodeBadRequest)
+		}
+		if e.Error == "" {
+			t.Errorf("%s: empty error message", c.name)
+		}
+	}
+
+	// GET is not a commit.
+	resp, err := http.Get("http://" + s.HTTPAddr() + api.PathCommit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/commit: status %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestV1Taxonomy409CodecPin: pinning a codec the daemon does not speak
+// is a conflict, so A/B measurements cannot land on the wrong format.
+func TestV1Taxonomy409CodecPin(t *testing.T) {
+	s, err := New(Config{Name: "A", Codec: protocol.CodecBinary, AuditInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	status, _, e := postV1(t, s, `{"codec":"gob-stream"}`)
+	if status != http.StatusConflict {
+		t.Fatalf("status %d, want 409", status)
+	}
+	if e.Code != api.CodeCodecMismatch {
+		t.Fatalf("code %q, want %q", e.Code, api.CodeCodecMismatch)
+	}
+	if !strings.Contains(e.Error, "binary") || !strings.Contains(e.Error, "gob-stream") {
+		t.Fatalf("message should name both codecs: %q", e.Error)
+	}
+
+	// The matching pin passes.
+	if status, cr, _ := postV1(t, s, `{"codec":"binary","tx":"pin-ok"}`); status != http.StatusOK || cr.Outcome != "committed" {
+		t.Fatalf("matching pin: status %d resp %+v", status, cr)
+	}
+}
+
+// TestV1Taxonomy422UnknownShard: keys resolving to members without
+// addresses, and participants that are not fleet members.
+func TestV1Taxonomy422UnknownShard(t *testing.T) {
+	// Shard map names a member B this daemon has no HTTP address for.
+	s, err := New(Config{Name: "A", ShardMap: "hash:A,B", AuditInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Enough distinct keys that at least one lands on B.
+	ops := make([]api.Op, 0, 8)
+	for i := 0; i < 8; i++ {
+		ops = append(ops, api.Op{Key: fmt.Sprintf("k%d", i), Op: api.OpPut, Value: "v"})
+	}
+	status, _, e := postV1(t, s, commitJSON(t, api.CommitRequest{Tx: "t1", Ops: ops}))
+	if status != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d, want 422", status)
+	}
+	if e.Code != api.CodeUnknownShard {
+		t.Fatalf("code %q, want %q", e.Code, api.CodeUnknownShard)
+	}
+
+	// An explicit participant nobody registered.
+	status, _, e = postV1(t, s, `{"participants":["Z"]}`)
+	if status != http.StatusUnprocessableEntity || e.Code != api.CodeUnknownShard {
+		t.Fatalf("unknown participant: status %d code %q", status, e.Code)
+	}
+}
+
+// TestV1Taxonomy503 covers both load-shed classes: the admission
+// limit and drain.
+func TestV1Taxonomy503(t *testing.T) {
+	s, err := New(Config{Name: "A", MaxInflight: 1, AuditInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Occupy the only admission slot, then get shed.
+	if err := s.acquire(); err != nil {
+		t.Fatal(err)
+	}
+	status, _, e := postV1(t, s, `{"tx":"shed-me"}`)
+	if status != http.StatusServiceUnavailable || e.Code != api.CodeOverloaded {
+		t.Fatalf("overloaded: status %d code %q", status, e.Code)
+	}
+	s.release()
+
+	// Drain: same status, distinct code.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	status, _, e = postV1(t, s, `{"tx":"drained"}`)
+	if status != http.StatusServiceUnavailable || e.Code != api.CodeDraining {
+		t.Fatalf("draining: status %d code %q", status, e.Code)
+	}
+}
+
+// TestV1SingleNodeOps: a daemon with no shard map owns every key —
+// typed ops stage locally, commit with zero subordinates, audit
+// exactly, and reads return committed state.
+func TestV1SingleNodeOps(t *testing.T) {
+	s, err := New(Config{Name: "A", AuditInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	status, cr, _ := postV1(t, s, commitJSON(t, api.CommitRequest{
+		Tx:  "w1",
+		Ops: []api.Op{{Key: "x", Op: api.OpPut, Value: "1"}, {Key: "y", Op: api.OpPut, Value: "2"}},
+	}))
+	if status != http.StatusOK || cr.Outcome != "committed" {
+		t.Fatalf("write: status %d resp %+v", status, cr)
+	}
+	if cr.Coordinator != "A" || len(cr.Participants) != 0 {
+		t.Fatalf("single-node shape wrong: %+v", cr)
+	}
+	if cr.Cost == nil || cr.Cost.ForcedWrites != 1 || cr.Cost.LogWrites != 2 {
+		t.Fatalf("0-sub PA commit cost %+v, want 2 writes 1 forced", cr.Cost)
+	}
+
+	status, cr, _ = postV1(t, s, commitJSON(t, api.CommitRequest{
+		Tx:  "r1",
+		Ops: []api.Op{{Key: "x", Op: api.OpGet}, {Key: "missing", Op: api.OpGet}},
+	}))
+	if status != http.StatusOK || cr.Outcome != "committed" {
+		t.Fatalf("read: status %d resp %+v", status, cr)
+	}
+	if cr.Reads["x"] != "1" {
+		t.Fatalf("reads %+v, want x=1", cr.Reads)
+	}
+	if _, ok := cr.Reads["missing"]; ok {
+		t.Fatalf("absent key must be omitted from reads: %+v", cr.Reads)
+	}
+
+	// A generated tx id comes back when the request names none.
+	status, cr, _ = postV1(t, s, `{"ops":[{"key":"z","op":"put","value":"3"}]}`)
+	if status != http.StatusOK || cr.Tx == "" {
+		t.Fatalf("generated tx: status %d resp %+v", status, cr)
+	}
+
+	rep := s.AuditNow()
+	if !rep.OK() || rep.Exact != rep.Checked || rep.Checked == 0 {
+		t.Fatalf("audit after typed ops: %+v", rep)
+	}
+}
+
+// TestV1ShardsDocument: the fleet view a router or client bootstraps
+// from.
+func TestV1ShardsDocument(t *testing.T) {
+	s, err := New(Config{Name: "A", ShardMap: "range:A=m,B=", AuditInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.RegisterPeerHTTP("B", "http://b.example:1")
+
+	resp, err := http.Get("http://" + s.HTTPAddr() + api.PathShards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var info api.ShardsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Name != "A" || info.Map.Kind != "range" || len(info.Map.Ranges) != 2 {
+		t.Fatalf("shards document %+v", info)
+	}
+	if info.HTTP["B"] != "http://b.example:1" || info.HTTP["A"] == "" {
+		t.Fatalf("member table %+v must carry B and self", info.HTTP)
+	}
+
+	// A daemon with no shard map reports itself as the whole fleet.
+	solo, err := New(Config{Name: "Z", AuditInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer solo.Close()
+	resp2, err := http.Get("http://" + solo.HTTPAddr() + api.PathShards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var soloInfo api.ShardsResponse
+	if err := json.NewDecoder(resp2.Body).Decode(&soloInfo); err != nil {
+		t.Fatal(err)
+	}
+	if soloInfo.Map.Kind != "hash" || len(soloInfo.Map.Nodes) != 1 || soloInfo.Map.Nodes[0] != "Z" {
+		t.Fatalf("solo shards document %+v", soloInfo)
+	}
+}
+
+// TestV1StageEndpoint: the fleet-internal data plane — tx required,
+// abort discards, staged writes become visible only at commit.
+func TestV1StageEndpoint(t *testing.T) {
+	s, err := New(Config{Name: "A", AuditInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	stageURL := "http://" + s.HTTPAddr() + api.PathStage
+
+	post := func(body string) (int, string) {
+		resp, err := http.Post(stageURL, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(raw)
+	}
+
+	if status, _ := post(`{"ops":[{"key":"k","op":"put","value":"v"}]}`); status != http.StatusBadRequest {
+		t.Fatalf("stage without tx: status %d, want 400", status)
+	}
+	if status, body := post(`{"tx":"st1","ops":[{"key":"k","op":"put","value":"v"}]}`); status != http.StatusOK {
+		t.Fatalf("stage: status %d body %s", status, body)
+	}
+	// Abort discards the staged write and releases its locks: a new
+	// transaction can take them and sees no value.
+	if status, _ := post(`{"tx":"st1","abort":true}`); status != http.StatusOK {
+		t.Fatal("stage abort failed")
+	}
+	status, cr, _ := postV1(t, s, `{"tx":"after-abort","ops":[{"key":"k","op":"get"}]}`)
+	if status != http.StatusOK || cr.Outcome != "committed" {
+		t.Fatalf("post-abort read: status %d resp %+v", status, cr)
+	}
+	if _, ok := cr.Reads["k"]; ok {
+		t.Fatalf("aborted staged write leaked: %+v", cr.Reads)
+	}
+}
+
+// TestLegacyCommitShim: the deprecated query-string plane keeps its
+// exact contract for old drivers.
+func TestLegacyCommitShim(t *testing.T) {
+	coord, _, _ := newTrio(t, Config{Name: "C", Subs: []string{"S1", "S2"}, AuditInterval: -1})
+	base := "http://" + coord.HTTPAddr()
+
+	resp, err := http.Get(base + "/commit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /commit: status %d, want 405", resp.StatusCode)
+	}
+
+	post := func(q string) (int, string) {
+		resp, err := http.Post(base+"/commit"+q, "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(raw)
+	}
+	if status, body := post("?tx=legacy1&variant=pa"); status != http.StatusOK || !strings.Contains(body, "committed") {
+		t.Fatalf("legacy commit: status %d body %q", status, body)
+	}
+	if status, _ := post("?variant=3pc"); status != http.StatusBadRequest {
+		t.Fatalf("legacy bad variant: status %d, want 400", status)
+	}
+	if status, body := post("?codec=gob-packet"); status != http.StatusConflict ||
+		!strings.Contains(body, "codec mismatch") {
+		t.Fatalf("legacy codec pin: status %d body %q", status, body)
+	}
+}

@@ -1,0 +1,197 @@
+// Access profiles: per-transaction typed operation lists for the v1
+// fleet plane, from uniform spread to zipf-skewed hot keys,
+// read-mostly mixes, and multi-shard fan-out of configurable width.
+//
+// A profile compiles to a deterministic generator: the same (profile,
+// seed, sequence number) always yields the same operation list, so a
+// run is reproducible and two fleets being A/B-compared see identical
+// traffic. Generators are safe for concurrent use — each call derives
+// its randomness from the sequence number alone.
+
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"repro/internal/api"
+)
+
+// Profile kinds.
+const (
+	// KindUniform spreads ops uniformly over the keyspace: every key —
+	// and with a hash shard map, every shard — equally loaded.
+	KindUniform = "uniform"
+	// KindHotkey skews key choice by a zipf distribution: rank 0 is
+	// the hot key. With a shard map this concentrates lock traffic on
+	// the hot keys' owners and exposes lock-queue behavior.
+	KindHotkey = "hotkey"
+	// KindReadMostly issues gets for ReadFraction of ops (uniform
+	// keys): shared read locks rarely conflict, so throughput holds up
+	// where a write-heavy mix would queue on the lock manager.
+	KindReadMostly = "read-mostly"
+)
+
+// Profile describes one access pattern. Zero fields take documented
+// defaults at Generator time.
+type Profile struct {
+	// Kind selects the pattern (see the Kind constants).
+	Kind string
+	// Keys is the keyspace size. Default 1000.
+	Keys int
+	// FanOut is the number of operations per transaction — with a
+	// shard map, the knob that widens the participant tree. Default 2.
+	FanOut int
+	// ReadFraction is the probability each op is a get rather than a
+	// put. Defaults: 0.9 for read-mostly, 0 otherwise.
+	ReadFraction float64
+	// ZipfS is the hotkey skew exponent (>1; larger = hotter).
+	// Default 1.2.
+	ZipfS float64
+	// ZipfV is the zipf v parameter (>=1). Default 1.
+	ZipfV float64
+	// Seed varies the derived randomness between runs.
+	Seed int64
+}
+
+// withDefaults fills zero fields.
+func (p Profile) withDefaults() Profile {
+	if p.Kind == "" {
+		p.Kind = KindUniform
+	}
+	if p.Keys <= 0 {
+		p.Keys = 1000
+	}
+	if p.FanOut <= 0 {
+		p.FanOut = 2
+	}
+	if p.ReadFraction == 0 && p.Kind == KindReadMostly {
+		p.ReadFraction = 0.9
+	}
+	if p.ZipfS <= 1 {
+		p.ZipfS = 1.2
+	}
+	if p.ZipfV < 1 {
+		p.ZipfV = 1
+	}
+	return p
+}
+
+// ParseProfile builds a Profile from its spec form:
+//
+//	kind[:k=v,...]
+//
+// e.g. "uniform", "hotkey:s=1.5,keys=100", "read-mostly:read=0.95",
+// "uniform:fanout=5". Keys: keys, fanout, read, s, v, seed.
+func ParseProfile(spec string) (Profile, error) {
+	kind, body, _ := strings.Cut(spec, ":")
+	p := Profile{Kind: strings.TrimSpace(kind)}
+	switch p.Kind {
+	case KindUniform, KindHotkey, KindReadMostly:
+	case "":
+		p.Kind = KindUniform
+	default:
+		return p, fmt.Errorf("workload: unknown profile %q (want %s, %s, %s)",
+			p.Kind, KindUniform, KindHotkey, KindReadMostly)
+	}
+	for _, part := range strings.Split(body, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(part, "=")
+		if !ok {
+			return p, fmt.Errorf("workload: profile %q: want key=value, got %q", spec, part)
+		}
+		var err error
+		switch k {
+		case "keys":
+			p.Keys, err = strconv.Atoi(v)
+		case "fanout":
+			p.FanOut, err = strconv.Atoi(v)
+		case "read":
+			p.ReadFraction, err = strconv.ParseFloat(v, 64)
+		case "s":
+			p.ZipfS, err = strconv.ParseFloat(v, 64)
+		case "v":
+			p.ZipfV, err = strconv.ParseFloat(v, 64)
+		case "seed":
+			p.Seed, err = strconv.ParseInt(v, 10, 64)
+		default:
+			return p, fmt.Errorf("workload: profile %q: unknown key %q", spec, k)
+		}
+		if err != nil {
+			return p, fmt.Errorf("workload: profile %q: %s: %v", spec, k, err)
+		}
+	}
+	return p, nil
+}
+
+// String renders a canonical spec form ParseProfile accepts.
+func (p Profile) String() string {
+	p = p.withDefaults()
+	s := fmt.Sprintf("%s:keys=%d,fanout=%d", p.Kind, p.Keys, p.FanOut)
+	if p.ReadFraction > 0 {
+		s += fmt.Sprintf(",read=%g", p.ReadFraction)
+	}
+	if p.Kind == KindHotkey {
+		s += fmt.Sprintf(",s=%g", p.ZipfS)
+	}
+	return s
+}
+
+// Generator compiles the profile to a per-transaction op-list
+// generator, suitable for loadgen's Config.Ops. Deterministic in
+// (profile, Seed, seq) and safe for concurrent use: every call seeds
+// its own rand from the sequence number.
+func (p Profile) Generator() func(seq int) []api.Op {
+	p = p.withDefaults()
+	return func(seq int) []api.Op {
+		rng := rand.New(rand.NewSource(mix64(p.Seed ^ int64(seq))))
+		var zipf *rand.Zipf
+		if p.Kind == KindHotkey {
+			zipf = rand.NewZipf(rng, p.ZipfS, p.ZipfV, uint64(p.Keys-1))
+		}
+		ops := make([]api.Op, 0, p.FanOut)
+		seen := make(map[int]bool, p.FanOut)
+		for len(ops) < p.FanOut {
+			var idx int
+			if zipf != nil {
+				idx = int(zipf.Uint64())
+			} else {
+				idx = rng.Intn(p.Keys)
+			}
+			// Distinct keys per transaction: a duplicate key adds no
+			// fan-out and would be a same-transaction overwrite. A
+			// duplicate draw probes linearly (hot profiles on small
+			// keyspaces collide often); an exhausted keyspace stops.
+			if seen[idx] {
+				if len(seen) >= p.Keys {
+					break
+				}
+				for seen[idx] {
+					idx = (idx + 1) % p.Keys
+				}
+			}
+			seen[idx] = true
+			key := fmt.Sprintf("k%06d", idx)
+			if p.ReadFraction > 0 && rng.Float64() < p.ReadFraction {
+				ops = append(ops, api.Op{Key: key, Op: api.OpGet})
+			} else {
+				ops = append(ops, api.Op{Key: key, Op: api.OpPut, Value: fmt.Sprintf("v%d", seq)})
+			}
+		}
+		return ops
+	}
+}
+
+// mix64 is a splitmix64-style avalanche so consecutive sequence
+// numbers do not produce correlated rand streams.
+func mix64(x int64) int64 {
+	z := uint64(x) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}

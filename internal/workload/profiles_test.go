@@ -1,0 +1,120 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/api"
+)
+
+func TestParseProfile(t *testing.T) {
+	cases := []struct {
+		spec string
+		want Profile
+	}{
+		{"", Profile{Kind: KindUniform}},
+		{"uniform", Profile{Kind: KindUniform}},
+		{"hotkey:s=1.5,keys=100", Profile{Kind: KindHotkey, ZipfS: 1.5, Keys: 100}},
+		{"read-mostly:read=0.95", Profile{Kind: KindReadMostly, ReadFraction: 0.95}},
+		{"uniform:fanout=5,seed=7", Profile{Kind: KindUniform, FanOut: 5, Seed: 7}},
+	}
+	for _, c := range cases {
+		got, err := ParseProfile(c.spec)
+		if err != nil {
+			t.Fatalf("ParseProfile(%q): %v", c.spec, err)
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("ParseProfile(%q) = %+v, want %+v", c.spec, got, c.want)
+		}
+	}
+	for _, bad := range []string{"nope", "uniform:fanout", "uniform:fanout=x", "hotkey:zipf=2"} {
+		if _, err := ParseProfile(bad); err == nil {
+			t.Errorf("ParseProfile(%q): want error", bad)
+		}
+	}
+}
+
+func TestGeneratorDeterministicAndDistinct(t *testing.T) {
+	p := Profile{Kind: KindHotkey, Keys: 50, FanOut: 4, Seed: 42}
+	g1, g2 := p.Generator(), p.Generator()
+	for seq := 0; seq < 200; seq++ {
+		a, b := g1(seq), g2(seq)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seq %d: generators disagree: %v vs %v", seq, a, b)
+		}
+		if len(a) != 4 {
+			t.Fatalf("seq %d: want 4 ops, got %d", seq, len(a))
+		}
+		seen := map[string]bool{}
+		for _, op := range a {
+			if seen[op.Key] {
+				t.Fatalf("seq %d: duplicate key %q in %v", seq, op.Key, a)
+			}
+			seen[op.Key] = true
+			if err := op.Validate(); err != nil {
+				t.Fatalf("seq %d: invalid op: %v", seq, err)
+			}
+		}
+	}
+}
+
+func TestHotkeySkew(t *testing.T) {
+	// Zipf mass concentrates on low ranks: the most popular key must
+	// be drawn far more often than a uniform keyspace would allow.
+	g := Profile{Kind: KindHotkey, Keys: 1000, FanOut: 1, ZipfS: 1.2}.Generator()
+	counts := map[string]int{}
+	const n = 5000
+	for seq := 0; seq < n; seq++ {
+		counts[g(seq)[0].Key]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	// Uniform would put ~n/1000 = 5 on each key; the zipf head should
+	// hold a large multiple of that.
+	if max < n/20 {
+		t.Fatalf("hot key drawn %d/%d times; want heavy skew (>= %d)", max, n, n/20)
+	}
+}
+
+func TestReadMostlyMix(t *testing.T) {
+	g := Profile{Kind: KindReadMostly, Keys: 100, FanOut: 2}.Generator()
+	gets, puts := 0, 0
+	for seq := 0; seq < 1000; seq++ {
+		for _, op := range g(seq) {
+			switch op.Op {
+			case api.OpGet:
+				gets++
+			case api.OpPut:
+				puts++
+			}
+		}
+	}
+	frac := float64(gets) / float64(gets+puts)
+	if frac < 0.85 || frac > 0.95 {
+		t.Fatalf("read fraction %.3f, want ~0.9", frac)
+	}
+}
+
+func TestUniformCoversKeyspaceAndFanOut(t *testing.T) {
+	g := Profile{Kind: KindUniform, Keys: 10, FanOut: 6}.Generator()
+	hit := map[string]bool{}
+	for seq := 0; seq < 100; seq++ {
+		ops := g(seq)
+		if len(ops) != 6 {
+			t.Fatalf("seq %d: want 6 ops, got %d", seq, len(ops))
+		}
+		for _, op := range ops {
+			hit[op.Key] = true
+			if op.Op != api.OpPut {
+				t.Fatalf("uniform profile should write, got %s", op.Op)
+			}
+		}
+	}
+	if len(hit) != 10 {
+		t.Fatalf("uniform over 10 keys hit %d", len(hit))
+	}
+}

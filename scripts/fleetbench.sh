@@ -1,0 +1,159 @@
+#!/bin/sh
+# fleetbench.sh — the cluster-scale scaling-curve runner: for each
+# fleet size it boots that many twopcd daemons (hash shard map, full
+# protocol + /v1/stage mesh), fronts them with twopcrouter, offers
+# open-loop typed-ops load through the router for each access profile,
+# and writes BENCH_fleet.json in the same shape scripts/bench.sh
+# writes BENCH_live.json, so cmd/benchdiff can gate it:
+#
+#   "fleet/n3/uniform": {"runs": 1, "iterations": <committed>,
+#                        "commits/sec": ..., "p99_ms": ..., ...}
+#
+# Every daemon audits its measured protocol costs against the paper's
+# closed forms while the load runs and re-audits on drain; a violation
+# makes its process exit non-zero and fails the whole script, so a
+# number only lands in the file if the fleet was exactly conformant.
+#
+# Environment knobs:
+#   FLEETS    fleet sizes to sweep (default "1 3 9")
+#   PROFILES  access profiles (default "uniform hotkey")
+#   RATE      offered tx/s per run (default 600)
+#   DURATION  per-run load duration (default 5s)
+#   WORKERS   loadgen concurrency (default 64)
+#   VARIANT   protocol variant (default pa)
+#   FANOUT    ops per transaction, i.e. multi-shard width (default 3)
+#   KEYS      profile keyspace size (default 2000)
+#   PICK      router coordinator choice (default first-shard)
+#   OUT       output path (default BENCH_fleet.json)
+set -eu
+cd "$(dirname "$0")/.."
+
+FLEETS="${FLEETS:-1 3 9}"
+PROFILES="${PROFILES:-uniform hotkey}"
+RATE="${RATE:-600}"
+DURATION="${DURATION:-5s}"
+WORKERS="${WORKERS:-64}"
+VARIANT="${VARIANT:-pa}"
+FANOUT="${FANOUT:-3}"
+KEYS="${KEYS:-2000}"
+PICK="${PICK:-first-shard}"
+OUT="${OUT:-BENCH_fleet.json}"
+
+bindir=$(mktemp -d)
+results=$(mktemp)
+pids=""
+
+cleanup() {
+    # SIGTERM drains each daemon; ignore status here, runs already did.
+    for pid in $pids; do kill "$pid" 2>/dev/null || true; done
+    for pid in $pids; do wait "$pid" 2>/dev/null || true; done
+    rm -rf "$bindir" "$results"
+}
+trap cleanup EXIT INT TERM
+
+echo "== building twopcd, twopcrouter, twopcload =="
+go build -o "$bindir" ./cmd/twopcd ./cmd/twopcrouter ./cmd/twopcload
+
+wait_healthy() { # url
+    # POSIX sh has no locals: keep this counter's name distinct from
+    # the callers' loop variables.
+    _wh_try=0
+    until curl -fsS -o /dev/null "$1/healthz" 2>/dev/null; do
+        _wh_try=$((_wh_try + 1))
+        if [ "$_wh_try" -gt 100 ]; then
+            echo "fleetbench: $1 never became healthy" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
+
+for n in $FLEETS; do
+    # Distinct port blocks per fleet size so a slow drain from the
+    # previous sweep can't collide with the next one's binds.
+    proto_base=$((7400 + n * 20))
+    http_base=$((8400 + n * 20))
+    router_port=$((8300 + n))
+
+    names=""
+    i=1
+    while [ "$i" -le "$n" ]; do
+        names="${names}${names:+,}F$i"
+        i=$((i + 1))
+    done
+
+    echo "== fleet n=$n ($names) =="
+    fleet_pids=""
+    i=1
+    while [ "$i" -le "$n" ]; do
+        mesh=""
+        j=1
+        while [ "$j" -le "$n" ]; do
+            if [ "$j" -ne "$i" ]; then
+                mesh="$mesh -peer F$j=127.0.0.1:$((proto_base + j))"
+                mesh="$mesh -peer-http F$j=http://127.0.0.1:$((http_base + j))"
+            fi
+            j=$((j + 1))
+        done
+        # shellcheck disable=SC2086  # mesh is intentionally word-split
+        "$bindir/twopcd" -name "F$i" \
+            -listen "127.0.0.1:$((proto_base + i))" \
+            -http "127.0.0.1:$((http_base + i))" \
+            -shardmap "hash:$names" -variant "$VARIANT" \
+            -audit-interval 500ms $mesh &
+        fleet_pids="$fleet_pids $!"
+        i=$((i + 1))
+    done
+    pids="$pids $fleet_pids"
+
+    i=1
+    while [ "$i" -le "$n" ]; do
+        wait_healthy "http://127.0.0.1:$((http_base + i))"
+        i=$((i + 1))
+    done
+
+    "$bindir/twopcrouter" -listen "127.0.0.1:$router_port" \
+        -seed "http://127.0.0.1:$((http_base + 1))" -pick "$PICK" &
+    router_pid=$!
+    pids="$pids $router_pid"
+    wait_healthy "http://127.0.0.1:$router_port"
+
+    for profile in $PROFILES; do
+        case "$profile" in
+        hotkey) spec="hotkey:keys=$KEYS,fanout=$FANOUT,s=1.2,seed=1" ;;
+        *) spec="$profile:keys=$KEYS,fanout=$FANOUT,seed=1" ;;
+        esac
+        echo "-- n=$n profile=$profile ($spec, $RATE tx/s for $DURATION) --"
+        run=$("$bindir/twopcload" -target "http://127.0.0.1:$router_port" \
+            -rate "$RATE" -duration "$DURATION" -workers "$WORKERS" \
+            -profile "$spec" -tx-prefix "fb-n$n-$profile" -json)
+        printf '%s\n' "$run"
+        printf '%s\t%s\t%s\n' "$n" "$profile" "$run" >>"$results"
+    done
+
+    # Drain the fleet; a conformance-audit violation exits non-zero.
+    kill "$router_pid"
+    for pid in $fleet_pids; do kill "$pid"; done
+    for pid in $fleet_pids; do
+        if ! wait "$pid"; then
+            echo "fleetbench: a fleet member failed its drain audit" >&2
+            exit 1
+        fi
+    done
+    wait "$router_pid" 2>/dev/null || true
+    pids=""
+done
+
+jq -Rn --arg duration "$DURATION" --arg go "$(go env GOVERSION)" '
+    {benchtime: $duration, count: 1, go: $go,
+     benchmarks: [inputs | split("\t") | {
+         key: "fleet/n\(.[0])/\(.[1])",
+         value: (.[2] | fromjson | {
+             runs: 1, iterations: .committed,
+             "commits/sec": .commits_per_sec,
+             p50_ms, p95_ms, p99_ms,
+             offered, aborted, shed, errors})
+     }] | from_entries}
+' <"$results" >"$OUT"
+
+echo "wrote $OUT"

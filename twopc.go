@@ -37,6 +37,8 @@ package twopc
 import (
 	"context"
 
+	"repro/client"
+	"repro/internal/api"
 	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/kvstore"
@@ -362,6 +364,62 @@ func LiveCommit(p *LiveParticipant, tx string, subs []string) (LiveOutcome, erro
 func LiveRecoverInDoubt(p *LiveParticipant, coordinator string) ([]string, error) {
 	return p.RecoverInDoubt(context.Background(), coordinator)
 }
+
+// Versioned HTTP transaction API (v1): the typed wire surface spoken
+// by twopcd fleets, twopcrouter, and the shard-aware client.
+type (
+	// Op is one typed key operation (get, put, delete) within a
+	// v1 transaction.
+	Op = api.Op
+	// APICommitRequest is the POST /v1/commit body.
+	APICommitRequest = api.CommitRequest
+	// APICommitResponse reports a v1 transaction's outcome,
+	// participants, reads, latency, and analytic cost.
+	APICommitResponse = api.CommitResponse
+	// APIShardMap is the wire form of a fleet's key-ownership map.
+	APIShardMap = api.ShardMap
+	// APIError is the machine-readable error body of non-2xx v1
+	// responses (client.APIError wraps it with the HTTP status).
+	APIError = api.Error
+	// Client is the shard-aware v1 API client.
+	Client = client.Client
+	// ClientOption configures a Client.
+	ClientOption = client.Option
+	// ClientError is a non-2xx v1 response seen by the client.
+	ClientError = client.APIError
+)
+
+// NewClient returns a v1 API client for the fleet behind baseURL (a
+// twopcd daemon or a twopcrouter).
+var NewClient = client.New
+
+// Client options, re-exported.
+var (
+	// ClientWithVariant requests a protocol variant per transaction.
+	ClientWithVariant = client.WithVariant
+	// ClientWithCodec pins the fleet's wire codec (409 on mismatch).
+	ClientWithCodec = client.WithCodec
+	// ClientWithTimeout bounds each HTTP request.
+	ClientWithTimeout = client.WithTimeout
+	// ClientWithRetry retries sheds and transport failures on the live
+	// runtime's backoff schedule.
+	ClientWithRetry = client.WithRetry
+	// ClientWithHTTPClient substitutes the HTTP transport.
+	ClientWithHTTPClient = client.WithHTTPClient
+	// ClientWithShardRouting routes each transaction client-side to
+	// the owner of its first key, from a fetched /v1/shards map.
+	ClientWithShardRouting = client.WithShardRouting
+)
+
+// Typed-op builders for v1 transactions.
+var (
+	// OpGet reads a key within a transaction.
+	OpGet = client.Get
+	// OpPut writes key=value at commit.
+	OpPut = client.Put
+	// OpDel deletes a key at commit.
+	OpDel = client.Del
+)
 
 // Transactional message queue resource manager.
 type (
