@@ -1,0 +1,160 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/live"
+)
+
+// fastRetry is a millisecond-scale policy so the retry tests finish
+// instantly while still walking the real backoff schedule.
+func fastRetry() live.RetryPolicy {
+	return live.RetryPolicy{
+		MaxAttempts: 4,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    4 * time.Millisecond,
+		Multiplier:  2,
+		Jitter:      0.2,
+	}
+}
+
+// TestBackoffJitterBounds pins the schedule the client retries on:
+// each delay is the nominal exponential step shrunk by at most the
+// jitter fraction (never grown — a grown delay could outlive the
+// caller's deadline), capped at MaxDelay, and the schedule ends after
+// MaxAttempts-1 retries.
+func TestBackoffJitterBounds(t *testing.T) {
+	p := live.RetryPolicy{
+		MaxAttempts: 5,
+		BaseDelay:   10 * time.Millisecond,
+		MaxDelay:    40 * time.Millisecond,
+		Multiplier:  2,
+		Jitter:      0.25,
+	}
+	for seed := int64(0); seed < 100; seed++ {
+		bo := p.Backoff(rand.New(rand.NewSource(seed)))
+		nominal := float64(p.BaseDelay)
+		steps := 0
+		for {
+			d, ok := bo.Next()
+			if !ok {
+				break
+			}
+			steps++
+			capped := nominal
+			if capped > float64(p.MaxDelay) {
+				capped = float64(p.MaxDelay)
+			}
+			lo := time.Duration((1 - p.Jitter) * capped)
+			hi := time.Duration(capped)
+			if d < lo || d > hi {
+				t.Fatalf("seed %d step %d: delay %v outside [%v, %v]", seed, steps, d, lo, hi)
+			}
+			nominal *= p.Multiplier
+		}
+		if want := p.MaxAttempts - 1; steps != want {
+			t.Fatalf("seed %d: schedule allowed %d retries, want %d", seed, steps, want)
+		}
+	}
+}
+
+// commitServer fakes the v1 endpoint: the first shed responses are
+// 503s, then every request commits.
+func commitServer(t *testing.T, sheds int) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != api.PathCommit {
+			t.Errorf("unexpected path %s", r.URL.Path)
+			http.NotFound(w, r)
+			return
+		}
+		n := hits.Add(1)
+		if n <= int64(sheds) {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(api.ErrorOf(api.CodeOverloaded, "admission limit reached"))
+			return
+		}
+		var req api.CommitRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			t.Errorf("bad request body: %v", err)
+		}
+		json.NewEncoder(w).Encode(api.CommitResponse{Tx: req.Tx, Outcome: "committed"})
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &hits
+}
+
+// TestRetryAfter503 exercises the shed-retry loop: two 503s, then a
+// commit. The client must come back exactly twice and surface the
+// eventual success.
+func TestRetryAfter503(t *testing.T) {
+	srv, hits := commitServer(t, 2)
+	c := New(srv.URL, WithRetry(fastRetry()))
+	resp, err := c.Commit(context.Background(), "C:1", []api.Op{Put("k", "v")})
+	if err != nil {
+		t.Fatalf("commit after sheds: %v", err)
+	}
+	if resp.Outcome != "committed" || resp.Tx != "C:1" {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if got := hits.Load(); got != 3 {
+		t.Fatalf("server saw %d requests, want 3 (two sheds + success)", got)
+	}
+}
+
+// TestRetryExhaustion: when every attempt sheds, the schedule runs dry
+// and the last 503 comes back typed and Temporary.
+func TestRetryExhaustion(t *testing.T) {
+	srv, hits := commitServer(t, 1000)
+	c := New(srv.URL, WithRetry(fastRetry()))
+	_, err := c.Commit(context.Background(), "C:1", []api.Op{Put("k", "v")})
+	apiErr, ok := err.(*APIError)
+	if !ok {
+		t.Fatalf("err = %v, want *APIError", err)
+	}
+	if apiErr.Status != http.StatusServiceUnavailable || apiErr.Code != api.CodeOverloaded {
+		t.Fatalf("err = %+v", apiErr)
+	}
+	if !apiErr.Temporary() {
+		t.Fatal("a 503 must report Temporary")
+	}
+	if got := hits.Load(); got != int64(fastRetry().MaxAttempts) {
+		t.Fatalf("server saw %d requests, want %d (the full schedule)", got, fastRetry().MaxAttempts)
+	}
+}
+
+// TestNoRetryOn4xx: taxonomy rejections fail identically on every
+// attempt, so the client must not burn the schedule on them.
+func TestNoRetryOn4xx(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		json.NewEncoder(w).Encode(api.ErrorOf(api.CodeBadRequest, "unknown variant"))
+	}))
+	defer srv.Close()
+	c := New(srv.URL, WithRetry(fastRetry()))
+	_, err := c.Commit(context.Background(), "C:1", []api.Op{Put("k", "v")})
+	apiErr, ok := err.(*APIError)
+	if !ok {
+		t.Fatalf("err = %v, want *APIError", err)
+	}
+	if apiErr.Status != http.StatusBadRequest || apiErr.Code != api.CodeBadRequest {
+		t.Fatalf("err = %+v", apiErr)
+	}
+	if apiErr.Temporary() {
+		t.Fatal("a 400 must not report Temporary")
+	}
+	if got := hits.Load(); got != 1 {
+		t.Fatalf("server saw %d requests, want 1 (no retries on a request defect)", got)
+	}
+}

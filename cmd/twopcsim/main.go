@@ -23,7 +23,7 @@ import (
 )
 
 func main() {
-	variant := flag.String("variant", "pa", "protocol variant: basic, pa, pn, pc")
+	variant := flag.String("variant", "pa", "protocol variant: basic, pa, pn, pc, paxos")
 	n := flag.Int("n", 3, "participants including the coordinator")
 	depth := flag.Int("depth", 1, "tree depth (1 = flat)")
 	readFrac := flag.Float64("readfrac", 0, "fraction of members that are read-only")
@@ -53,6 +53,8 @@ func main() {
 	case "pc":
 		cfg.Variant = core.VariantPC
 		cfg.Options.ReadOnly = true
+	case "paxos":
+		cfg.Variant = core.VariantPaxos
 	default:
 		fail("unknown variant %q", *variant)
 	}

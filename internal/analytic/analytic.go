@@ -236,6 +236,15 @@ func CommitCostByRole(variant string, subs int) (RoleCost, bool) {
 		coord.Forced++
 		sub.Flows--  // no commit ack
 		sub.Forced-- // subordinate commit record not forced
+	case "PaxosCommit":
+		a := PaxosAcceptorCount(subs)
+		// Coordinator: s Prepares + (a-1) own-instance accepts + s
+		// Commits; one forced PaxAccept bundle, lazy Committed + End.
+		coord = Triplet{Flows: 2*subs + a - 1, Writes: 3, Forced: 1}
+		// Plain subordinate: a ballot-0 accepts; forced Prepared, lazy
+		// Committed + End. Acceptor-subordinates additionally force the
+		// bundle and send one Accepted: see PaxosAcceptorSubCost.
+		sub = Triplet{Flows: a, Writes: 3, Forced: 1}
 	default:
 		return RoleCost{}, false
 	}
@@ -267,6 +276,13 @@ func AbortCostBoundByRole(variant string, subs int) (RoleCost, bool) {
 		coord.Forced-- // abort record is presumed: non-forced
 		sub.Flows--    // no abort ack
 		sub.Forced--   // abort record non-forced
+	case "PaxosCommit":
+		// Ceiling: the full fast path ran before the abort landed
+		// (bundle forced everywhere), recovery traffic is accounted as
+		// Extra and so excluded from Flows.
+		a := PaxosAcceptorCount(subs)
+		coord = Triplet{Flows: 2*subs + a - 1, Writes: 3, Forced: 1}
+		sub = Triplet{Flows: a, Writes: 4, Forced: 2}
 	default:
 		return RoleCost{}, false
 	}
@@ -277,6 +293,56 @@ func AbortCostBoundByRole(variant string, subs int) (RoleCost, bool) {
 // variant: the vote is its only flow and nothing is logged (§4
 // Read-Only).
 func ReadOnlySubCost() Triplet { return Triplet{Flows: 1} }
+
+// PaxosAcceptorCount is the acceptor-set size for a flat Paxos Commit
+// tree with subs leaf subordinates: the first 2f+1 of [coordinator,
+// S1, S2, ...]. With fewer than two subordinates there is no third
+// node to colocate an acceptor on, so f=0 and the coordinator is the
+// sole acceptor.
+func PaxosAcceptorCount(subs int) int {
+	if subs < 2 {
+		return 1
+	}
+	return 3
+}
+
+// PaxosCommitTotal is Paxos Commit (Gray & Lamport) for a flat tree of
+// n = s+1 members, commit case, with acceptors colocated per
+// PaxosAcceptorCount. Derivation (a = acceptor count):
+//
+//	coordinator: s Prepares + (a-1) own-instance accepts + s Commits
+//	  flows = 2s+a-1; one forced bundled PaxAccept, lazy Committed and
+//	  End → 3 writes, 1 forced.
+//	acceptor-subordinate (the 2 colocated acceptors when s ≥ 2):
+//	  (a-1) accepts + 1 bundled Accepted = a flows; forced Prepared and
+//	  PaxAccept, lazy Committed and End → 4 writes, 2 forced.
+//	plain subordinate: a accepts = a flows; forced Prepared, lazy
+//	  Committed and End → 3 writes, 1 forced.
+//
+// Totals: s ≥ 2 → {5s+2, 3s+5, s+3}; s = 1 → {3, 6, 2}. Against
+// Basic2PC the commit case trades the per-subordinate ack for an
+// acceptor round: one extra message delay and two extra acceptor
+// forces buy the non-blocking property.
+func PaxosCommitTotal(n int) Triplet {
+	s := n - 1
+	a := PaxosAcceptorCount(s)
+	coord := Triplet{Flows: 2*s + a - 1, Writes: 3, Forced: 1}
+	t := coord
+	accSubs := a - 1 // acceptors colocated on subordinates
+	for i := 0; i < accSubs; i++ {
+		t = t.Add(Triplet{Flows: a, Writes: 4, Forced: 2})
+	}
+	for i := 0; i < s-accSubs; i++ {
+		t = t.Add(Triplet{Flows: a, Writes: 3, Forced: 1})
+	}
+	return t
+}
+
+// PaxosAcceptorSubCost is one acceptor-subordinate's commit-case share
+// for a tree whose acceptor set has a members (see PaxosCommitTotal).
+func PaxosAcceptorSubCost(a int) Triplet {
+	return Triplet{Flows: a, Writes: 4, Forced: 2}
+}
 
 // PC is Presumed Commit (the R*-lineage dual of PA, implemented here
 // as the extension variant) for a flat tree of n members, commit

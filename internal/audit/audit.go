@@ -189,15 +189,31 @@ func expectation(v metrics.TxCostView, nc metrics.NodeCostView) (exp analytic.Tr
 			return analytic.Triplet{}, false, false
 		}
 		return rc.Coordinator, false, true
-	case metrics.RoleSubordinate:
+	case metrics.RoleSubordinate, metrics.RoleAcceptorSub:
+		// A subordinate's closed form is membership-independent for the
+		// classic variants, but a Paxos subordinate's flow count is the
+		// acceptor-set size, which the coordinator's declared membership
+		// determines — without it only the universal abort ceiling of a
+		// two-member tree would apply, so skip instead of guessing.
+		subs := 1
+		if v.Variant == "PaxosCommit" {
+			if v.Subs < 0 {
+				return analytic.Triplet{}, false, false
+			}
+			subs = v.Subs
+		}
 		if v.Outcome == "committed" {
-			rc, formOK := analytic.CommitCostByRole(v.Variant, 1)
+			rc, formOK := analytic.CommitCostByRole(v.Variant, subs)
 			if !formOK {
 				return analytic.Triplet{}, false, false
 			}
-			return rc.Subordinate, true, true
+			exp = rc.Subordinate
+			if nc.Role == metrics.RoleAcceptorSub {
+				exp = analytic.PaxosAcceptorSubCost(analytic.PaxosAcceptorCount(subs))
+			}
+			return exp, true, true
 		}
-		rc, formOK := analytic.AbortCostBoundByRole(v.Variant, 1)
+		rc, formOK := analytic.AbortCostBoundByRole(v.Variant, subs)
 		if !formOK {
 			return analytic.Triplet{}, false, false
 		}

@@ -3,9 +3,13 @@ package check
 import (
 	"flag"
 	"fmt"
+	"os"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
+
+	"repro/internal/core"
 )
 
 // seedFlag replays one schedule: the failure message of a chaos run
@@ -13,6 +17,32 @@ import (
 //
 //	go test ./internal/check -run TestChaos -args -seed=42
 var seedFlag = flag.Int64("seed", 0, "replay a single chaos schedule by seed")
+
+// Sweep width: seeds per variant per engine. The defaults make the
+// full sweep the CI tier — 5 variants x (32 sim + 16 live) = 240
+// schedules — and -short a quick local smoke. Both are overridable,
+// by flag or by environment (the flag wins):
+//
+//	go test ./internal/check -run TestChaos -args -chaos.sim=200
+//	CHAOS_SIM_SEEDS=200 CHAOS_LIVE_SEEDS=100 go test ./internal/check
+var (
+	simSeedsFlag  = flag.Int("chaos.sim", 0, "sim schedules per variant (0 = tier default)")
+	liveSeedsFlag = flag.Int("chaos.live", 0, "live schedules per variant (0 = tier default)")
+)
+
+// sweepWidth resolves one engine's seeds-per-variant from the flag,
+// the environment, and the tier default, in that order.
+func sweepWidth(flagVal int, envKey string, def int) int {
+	if flagVal > 0 {
+		return flagVal
+	}
+	if s := os.Getenv(envKey); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return def
+}
 
 // runSeed executes one schedule and reports its violations through t,
 // returning whether the run was clean. It uses t.Errorf only (never
@@ -46,10 +76,10 @@ func runSeed(t *testing.T, seed int64, withTrace bool) bool {
 	return false
 }
 
-// TestChaos sweeps seeded failure schedules over all four variants on
+// TestChaos sweeps seeded failure schedules over all five variants on
 // both engines and runs every trace through the safety oracle. Seeds
-// are structured so variant and engine coverage is exact: the low two
-// bits pick the variant, bit 2 the engine.
+// are structured so variant and engine coverage is exact: the low
+// three bits pick the variant, bit 3 the engine.
 func TestChaos(t *testing.T) {
 	if *seedFlag != 0 {
 		s := FromSeed(*seedFlag)
@@ -58,18 +88,21 @@ func TestChaos(t *testing.T) {
 		return
 	}
 
-	simPerVariant, livePerVariant := 160, 80
+	simDef, liveDef := 32, 16 // the 240-schedule CI sweep
 	if testing.Short() {
-		simPerVariant, livePerVariant = 32, 12
+		simDef, liveDef = 8, 4
 	}
+	simPerVariant := sweepWidth(*simSeedsFlag, "CHAOS_SIM_SEEDS", simDef)
+	livePerVariant := sweepWidth(*liveSeedsFlag, "CHAOS_LIVE_SEEDS", liveDef)
+	variants := int64(core.VariantPaxos) + 1
 
 	// Simulator runs: cheap, fully deterministic, sequential. The
 	// first failure gets the full mermaid trace; a run of failures
 	// aborts the sweep (one protocol bug fails many seeds).
 	failed := 0
-	for variant := int64(0); variant < 4; variant++ {
+	for variant := int64(0); variant < variants; variant++ {
 		for i := int64(0); i < int64(simPerVariant); i++ {
-			if !runSeed(t, i<<3|variant, failed == 0) {
+			if !runSeed(t, i<<4|variant, failed == 0) {
 				failed++
 			}
 			if failed > 5 {
@@ -80,9 +113,9 @@ func TestChaos(t *testing.T) {
 
 	// Live runs: real goroutines and timers, bounded worker pool.
 	var seeds []int64
-	for variant := int64(0); variant < 4; variant++ {
+	for variant := int64(0); variant < variants; variant++ {
 		for i := int64(0); i < int64(livePerVariant); i++ {
-			seeds = append(seeds, i<<3|1<<2|variant)
+			seeds = append(seeds, i<<4|1<<3|variant)
 		}
 	}
 	var wg sync.WaitGroup
@@ -102,20 +135,27 @@ func TestChaos(t *testing.T) {
 // TestScheduleDeterminism pins the seed -> schedule expansion: a
 // replay command is only a repro if the mapping never drifts.
 func TestScheduleDeterminism(t *testing.T) {
-	for seed := int64(0); seed < 512; seed++ {
+	for seed := int64(0); seed < 1024; seed++ {
 		a, b := FromSeed(seed), FromSeed(seed)
 		if a != b {
 			t.Fatalf("seed %d expanded to two different schedules:\n%+v\n%+v", seed, a, b)
 		}
-		if got := int64(a.Variant); got != seed&3 {
-			t.Fatalf("seed %d: variant bit mapping broke: got %d", seed, got)
+		wantVariant := seed & 7
+		if wantVariant > int64(core.VariantPaxos) {
+			wantVariant -= 5
+		}
+		if got := int64(a.Variant); got != wantVariant {
+			t.Fatalf("seed %d: variant bit mapping broke: got %d want %d", seed, got, wantVariant)
 		}
 		wantEngine := "sim"
-		if (seed>>2)&1 == 1 {
+		if (seed>>3)&1 == 1 {
 			wantEngine = "live"
 		}
 		if a.Engine != wantEngine {
 			t.Fatalf("seed %d: engine bit mapping broke: got %s", seed, a.Engine)
+		}
+		if a.CoordStaysDown && (a.Variant != core.VariantPaxos || !a.CrashCoord) {
+			t.Fatalf("seed %d: CoordStaysDown outside a Paxos coordinator crash: %+v", seed, a)
 		}
 	}
 }

@@ -15,10 +15,10 @@ func TestChaosLiveCodecPinned(t *testing.T) {
 		codec := codec
 		t.Run(codec, func(t *testing.T) {
 			t.Parallel()
-			// Live-engine seeds have bit 2 set; sweep the four variants
-			// (low two bits) with a crash/loss mix decided by the seed.
-			for i := int64(0); i < 8; i++ {
-				seed := i*8 + 4 + (i & 3)
+			// Live-engine seeds have bit 3 set; sweep the five variants
+			// (low three bits) with a crash/loss mix decided by the seed.
+			for i := int64(0); i < 10; i++ {
+				seed := i*16 + 8 + (i % 5)
 				s := FromSeed(seed)
 				if s.Engine != "live" {
 					t.Fatalf("seed %d: expected live engine, got %s", seed, s.Engine)

@@ -109,3 +109,145 @@ func TestInjectedAtomicityBugLive(t *testing.T) {
 	}
 	t.Logf("oracle convicted the injected flip in %v (seed=%d): %v", time.Since(start), seed, vs)
 }
+
+// paxosInjectFleet builds a live Paxos Commit fleet on a channel
+// network, with per-node protocol-bug hooks and an optional message
+// transform and coordinator failpoint.
+func paxosInjectFleet(t *testing.T, seed int64, subs []string, hooks map[string]core.TestHooks,
+	transform netsim.Transform, coordFail func(string) bool) (map[string]*live.Participant, *trace.Tracer) {
+	t.Helper()
+	trc := trace.New()
+	var netOpts []netsim.ChanOption
+	if transform != nil {
+		netOpts = append(netOpts, netsim.WithTransform(transform))
+	}
+	net := netsim.NewChanNetwork(netOpts...)
+	parts := make(map[string]*live.Participant)
+	for i, name := range append([]string{"C"}, subs...) {
+		opts := []live.Option{
+			live.WithVariant(core.VariantPaxos),
+			live.WithTrace(trc),
+			live.WithTimeout(liveTimeout, liveTimeout),
+			live.WithRetry(liveRetry()),
+			live.WithRetrySeed(seed + int64(i)),
+			live.WithHooks(hooks[name]),
+		}
+		if name == "C" && coordFail != nil {
+			opts = append(opts, live.WithFailpoint(coordFail))
+		}
+		p := live.NewParticipant(name, net.Endpoint(name), wal.New(wal.NewMemStore()),
+			[]core.Resource{core.NewStaticResource(name + "-res")}, opts...)
+		p.Start()
+		t.Cleanup(p.Stop)
+		parts[name] = p
+	}
+	return parts, trc
+}
+
+// TestInjectedAcceptorForceBugLive plants the first deliberate Paxos
+// Commit bug — acceptors acknowledge their ballot-0 acceptance
+// without forcing it (core.TestHooks.SkipAcceptorForce) — and
+// requires the oracle to convict it under AC3. The commit itself
+// SUCCEEDS; only the trace betrays that the quorum's durability
+// promise was hollow.
+func TestInjectedAcceptorForceBugLive(t *testing.T) {
+	start := time.Now()
+	const seed = int64(424244)
+	subs := []string{"S1", "S2"}
+	hooks := map[string]core.TestHooks{
+		"C":  {SkipAcceptorForce: true},
+		"S1": {SkipAcceptorForce: true},
+		"S2": {SkipAcceptorForce: true},
+	}
+	parts, trc := paxosInjectFleet(t, seed, subs, hooks, nil, nil)
+
+	ctx, cancel := context.WithTimeout(context.Background(), liveRecovery)
+	defer cancel()
+	if out, err := parts["C"].Commit(ctx, "C:1", subs); err != nil || out != live.Committed {
+		t.Fatalf("commit = %v, %v (the bug must not block the happy path)", out, err)
+	}
+	time.Sleep(30 * time.Millisecond)
+
+	final := make(map[string]Final)
+	for name, p := range parts {
+		final[name] = Final{Outcomes: p.Decided()}
+	}
+	vs := Check(Run{Variant: core.VariantPaxos, Events: trc.Events(), Final: final})
+	wantRule(t, vs, "AC3")
+	if el := time.Since(start); el > time.Minute {
+		t.Errorf("conviction took %v; the acceptance bar is under a minute", el)
+	}
+	t.Logf("oracle convicted the unforced acceptance in %v (seed=%d): %v", time.Since(start), seed, vs)
+}
+
+// TestInjectedQuorumBugLive plants the second bug — the coordinator
+// counts an acceptor "quorum" of one (core.TestHooks.QuorumOverride)
+// — and arranges the schedule that makes it lethal: the coordinator's
+// own-instance accepts never reach the other acceptors, it commits on
+// its own acceptance alone, and dies before any outcome escapes. The
+// survivors' (correct) recovery reads the real quorum, finds the
+// coordinator's instance nowhere, and aborts. The oracle must convict
+// the split outcome (AC1) and the unjustified decision (AC2).
+func TestInjectedQuorumBugLive(t *testing.T) {
+	start := time.Now()
+	const seed = int64(424245)
+	subs := []string{"S1", "S2", "S3"}
+	hooks := map[string]core.TestHooks{"C": {QuorumOverride: 1}}
+	// The coordinator's ballot-0 accepts and its Commit broadcast are
+	// swallowed by the network; everything else (the subordinates'
+	// accepts, the recovery round) flows.
+	drop := func(from, to string, m protocol.Message) (protocol.Message, bool) {
+		if from == "C" && (m.Type == protocol.MsgPaxosAccept || m.Type == protocol.MsgCommit) {
+			return m, false
+		}
+		return m, true
+	}
+	var crashed atomic.Bool
+	coordFail := func(pt string) bool {
+		if pt == "after-send:Commit" {
+			crashed.Store(true)
+			return true
+		}
+		return false
+	}
+	parts, trc := paxosInjectFleet(t, seed, subs, hooks, drop, coordFail)
+
+	ctx, cancel := context.WithTimeout(context.Background(), liveRecovery)
+	defer cancel()
+	parts["C"].Commit(ctx, "C:1", subs)
+	if !crashed.Load() {
+		t.Fatal("injection never fired: the coordinator never decided on its fake quorum")
+	}
+
+	// The survivors recover from the real acceptor quorum {S1, S2}.
+	rctx, rcancel := context.WithTimeout(context.Background(), liveRecovery)
+	defer rcancel()
+	for _, name := range subs {
+		p := parts[name]
+		deadline := time.Now().Add(liveRecovery)
+		for {
+			if ids, err := p.InDoubtTxs(); err == nil && len(ids) == 0 {
+				break
+			}
+			if _, err := p.RecoverInDoubt(rctx, "C"); err == nil {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("%s could not resolve its doubt", name)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	final := make(map[string]Final)
+	for name, p := range parts {
+		final[name] = Final{Crashed: p.Crashed(), Outcomes: p.Decided()}
+	}
+	vs := Check(Run{Variant: core.VariantPaxos, Events: trc.Events(), Final: final})
+	wantRule(t, vs, "AC1")
+	wantRule(t, vs, "AC2")
+	if el := time.Since(start); el > time.Minute {
+		t.Errorf("conviction took %v; the acceptance bar is under a minute", el)
+	}
+	t.Logf("oracle convicted the miscounted quorum in %v (seed=%d): %v", time.Since(start), seed, vs)
+}

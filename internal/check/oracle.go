@@ -23,6 +23,13 @@
 //	     under PN.
 //	AC5  Locks release no earlier than the variant permits: never
 //	     before the local decision point.
+//
+// Paxos Commit (core.VariantPaxos) swaps AC4 for its strict form:
+//
+//	AC4Strict  While a majority of the acceptors survives, no live
+//	           node may end a run in doubt — not even when the
+//	           coordinator crashed and never restarted. The blocking
+//	           window the other variants merely shrink must be gone.
 package check
 
 import (
@@ -59,7 +66,7 @@ type Run struct {
 
 // Violation is one invariant breach, anchored to the trace.
 type Violation struct {
-	Rule string // "AC1" .. "AC5"
+	Rule string // "AC1" .. "AC5", or "AC4Strict" under Paxos Commit
 	Tx   string
 	Node string
 	Seq  int // sequence number of the offending (or anchoring) event
@@ -113,6 +120,7 @@ var tmKinds = map[string]bool{
 	"CommitPending": true, "AgentPending": true, "Pending": true,
 	"Collecting": true, "Prepared": true, "Committed": true,
 	"Aborted": true, "End": true, "Heuristic": true,
+	"PaxAccept": true, "PaxPromise": true,
 }
 
 // msgBase strips the transaction suffix and option flags from a traced
@@ -201,6 +209,74 @@ func (v *txView) heuristicAt(node string) bool {
 		}
 	}
 	return false
+}
+
+// paxosAcceptors reconstructs the Paxos Commit acceptor set for this
+// transaction's flat tree: the coordinator alone when it has fewer
+// than two subordinates, otherwise the coordinator plus the first two
+// subordinates (the topology both engines install).
+func (v *txView) paxosAcceptors() []string {
+	nodes := make(map[string]bool)
+	for _, e := range v.events {
+		nodes[e.Node] = true
+	}
+	for n := range v.final {
+		nodes[n] = true
+	}
+	subs := 0
+	for n := range nodes {
+		if n != "C" {
+			subs++
+		}
+	}
+	if subs < 2 {
+		return []string{"C"}
+	}
+	return []string{"C", "S1", "S2"}
+}
+
+// paxosQuorum is the acceptor majority for this transaction's tree.
+func (v *txView) paxosQuorum() int { return len(v.paxosAcceptors())/2 + 1 }
+
+// paxosForcedAcceptsBefore counts the distinct nodes holding a forced
+// PaxAccept record before seq — trace order is global, so this is the
+// durable acceptance evidence the whole fleet had when seq happened.
+func (v *txView) paxosForcedAcceptsBefore(seq int) int {
+	nodes := make(map[string]bool)
+	for _, e := range v.events {
+		if e.Seq >= seq {
+			break
+		}
+		if e.Kind == trace.KindLogWrite && e.Forced && e.Detail == "PaxAccept" {
+			nodes[e.Node] = true
+		}
+	}
+	return len(nodes)
+}
+
+// paxosEvidenceBefore counts node's quorum evidence for a commit
+// decision at seq: distinct peers whose acceptance (a ballot-0 bundle
+// ack or a recovery promise) node received, plus one when node's own
+// acceptor state was forced locally.
+func (v *txView) paxosEvidenceBefore(node string, seq int) int {
+	peers := make(map[string]bool)
+	self := 0
+	for _, e := range v.events {
+		if e.Seq >= seq {
+			break
+		}
+		if e.Kind == trace.KindReceive && e.Node == node {
+			switch msgBase(e.Detail) {
+			case "PaxosAccepted", "PaxosPromise":
+				peers[e.Peer] = true
+			}
+		}
+		if e.Kind == trace.KindLogWrite && e.Node == node && e.Forced &&
+			(e.Detail == "PaxAccept" || e.Detail == "PaxPromise") {
+			self = 1
+		}
+	}
+	return len(peers) + self
 }
 
 func (v *txView) check() []Violation {
@@ -300,6 +376,25 @@ func (v *txView) ac2() []Violation {
 		if v.receivedBefore(node, s, "Commit", "OutcomeCommit") {
 			continue // told by the decision owner
 		}
+		if v.variant == core.VariantPaxos {
+			// Under Paxos Commit the decision owner is whoever assembled
+			// an acceptor quorum — the initial leader on the fast path, or
+			// any participant that led a recovery round. The justification
+			// is quorum evidence, not per-peer votes (those ride inside
+			// the acceptance payloads).
+			if got, q := v.paxosEvidenceBefore(node, s), v.paxosQuorum(); got < q {
+				out = append(out, v.vio("AC2", node, s,
+					"decided commit with acceptance evidence from %d node(s); the quorum is %d", got, q))
+			}
+			if v.before(s, func(ev trace.Event) bool {
+				return ev.Kind == trace.KindReceive && ev.Node == node &&
+					msgBase(ev.Detail) == "PaxosAccept" && msgHasFlag(ev.Detail, "VoteNo")
+			}) {
+				out = append(out, v.vio("AC2", node, s,
+					"decided commit after accepting a No instance"))
+			}
+			continue
+		}
 		if v.receivedPlainPrepare(node) {
 			out = append(out, v.vio("AC2", node, s,
 				"subordinate decided commit without receiving the outcome"))
@@ -359,10 +454,29 @@ func (v *txView) ac3() []Violation {
 					"yes vote sent without a forced Prepared record"))
 			}
 		case "Commit":
+			if v.variant == core.VariantPaxos {
+				// Paxos Commit's durable truth is the acceptor quorum's
+				// forced acceptances, not the sender's own outcome record
+				// (which stays lazy). The commit may only be announced
+				// once a quorum of acceptors has hardened its state.
+				if got, q := v.paxosForcedAcceptsBefore(e.Seq), v.paxosQuorum(); got < q {
+					out = append(out, v.vio("AC3", e.Node, e.Seq,
+						"Commit sent with forced acceptances at %d node(s); the quorum is %d", got, q))
+				}
+				break
+			}
 			mustForce := !(v.variant == core.VariantPC && v.receivedPlainPrepare(e.Node))
 			if !v.logWriteBefore(e.Node, e.Seq, map[string]bool{"Committed": true}, mustForce) {
 				out = append(out, v.vio("AC3", e.Node, e.Seq,
 					"Commit sent without a preceding Committed record (forced=%v required)", mustForce))
+			}
+		case "PaxosAccepted":
+			// An acceptor's acknowledgment is a durability promise: the
+			// accepted value must be on stable storage before the ack is
+			// on the wire, exactly like a yes vote's Prepared record.
+			if !v.logWriteBefore(e.Node, e.Seq, map[string]bool{"PaxAccept": true}, true) {
+				out = append(out, v.vio("AC3", e.Node, e.Seq,
+					"acceptance acknowledged without a forced PaxAccept record"))
 			}
 		case "Abort":
 			if v.variant == core.VariantPA {
@@ -410,12 +524,16 @@ func (v *txView) ac3() []Violation {
 		case "End":
 			// Always lazy: its loss only costs redundant recovery work.
 		case "Aborted":
-			if v.variant != core.VariantPA {
+			if v.variant != core.VariantPA && v.variant != core.VariantPaxos {
 				out = append(out, v.vio("AC3", e.Node, e.Seq,
 					"lazy Aborted record outside Presumed Abort"))
 			}
 		case "Committed":
-			if !(v.variant == core.VariantPC && v.receivedPlainPrepare(e.Node)) {
+			// Paxos Commit keeps every local outcome record lazy: the
+			// acceptor quorum, not the node's own log, is what survives a
+			// crash, so forcing here would buy nothing.
+			if v.variant != core.VariantPaxos &&
+				!(v.variant == core.VariantPC && v.receivedPlainPrepare(e.Node)) {
 				out = append(out, v.vio("AC3", e.Node, e.Seq,
 					"lazy Committed record outside a PC subordinate"))
 			}
@@ -431,8 +549,34 @@ func (v *txView) ac3() []Violation {
 // with no outcome is a violation unless it is still crashed or the
 // variant is the baseline (whose coordinator amnesia famously blocks).
 // Under PN a heuristic decision must be reported upstream on the ack.
+//
+// Paxos Commit gets the strict form, AC4Strict: the variant exists to
+// delete the blocking window, so whenever a majority of the acceptors
+// is alive at the end of the run — even if the coordinator died and
+// NEVER came back — no live node may remain in doubt. Only the loss
+// of the acceptor quorum itself excuses doubt.
 func (v *txView) ac4() []Violation {
 	var out []Violation
+	if v.variant == core.VariantPaxos {
+		survivors, q := 0, v.paxosQuorum()
+		for _, a := range v.paxosAcceptors() {
+			if f, ok := v.final[a]; ok && !f.Crashed {
+				survivors++
+			}
+		}
+		for node, f := range v.final {
+			if !f.InDoubt[v.tx] || f.Crashed {
+				continue
+			}
+			if survivors < q {
+				continue // quorum lost: the one sanctioned blocking case
+			}
+			out = append(out, v.vio("AC4Strict", node, 0,
+				"in doubt with %d of %d acceptors alive (quorum %d): Paxos Commit may never block here",
+				survivors, len(v.paxosAcceptors()), q))
+		}
+		return out
+	}
 	for node, f := range v.final {
 		if !f.InDoubt[v.tx] || f.Crashed {
 			continue

@@ -70,7 +70,7 @@ func RunLive(s Schedule) (*RunResult, error) {
 	)
 	lossOn.Store(true)
 	transform := func(from, to string, m protocol.Message) (protocol.Message, bool) {
-		if s.LossPermil == 0 || m.Type == protocol.MsgInquire || m.Type == protocol.MsgOutcome {
+		if s.LossPermil == 0 || spared(m.Type) {
 			return m, true
 		}
 		if !lossOn.Load() {

@@ -30,6 +30,19 @@ func (r *RunResult) Mermaid() string {
 	return r.Tracer.Mermaid(r.Schedule.Nodes()...)
 }
 
+// spared lists the message types the loss schedules never drop:
+// recovery traffic, whose retry budgets are finite and must not be
+// starved by the schedule itself. Paxos Commit's quorum reads are
+// recovery traffic in exactly that sense.
+func spared(t protocol.MsgType) bool {
+	switch t {
+	case protocol.MsgInquire, protocol.MsgOutcome,
+		protocol.MsgPaxosQuery, protocol.MsgPaxosPromise:
+		return true
+	}
+	return false
+}
+
 // simStep is the virtual-time granularity of simulator crash points:
 // with the default 1ms network delay and 0.5ms force delay, offsets of
 // 1..12 steps land crashes everywhere from before the first Prepare to
@@ -51,7 +64,7 @@ func RunSim(s Schedule) (*RunResult, error) {
 		rng := rand.New(rand.NewSource(s.Seed ^ 0x6c6f7373))
 		dropped := 0
 		eng.SetMessageFilter(func(from, to core.NodeID, m protocol.Message) (protocol.Message, bool) {
-			if m.Type == protocol.MsgInquire || m.Type == protocol.MsgOutcome {
+			if spared(m.Type) {
 				return m, true
 			}
 			if dropped >= s.LossWindow {
@@ -105,6 +118,7 @@ func RunSim(s Schedule) (*RunResult, error) {
 	for _, name := range s.Nodes() {
 		id := core.NodeID(name)
 		f := Final{Outcomes: make(map[string]bool), InDoubt: make(map[string]bool)}
+		f.Crashed = name == "C" && s.CoordStaysDown
 		if o, ok := eng.OutcomeAt(id, txID); ok {
 			switch o {
 			case core.OutcomeCommitted:
@@ -126,10 +140,11 @@ func RunSim(s Schedule) (*RunResult, error) {
 }
 
 // restartOrder lists the crashed nodes in the order the schedule
-// restarts them.
+// restarts them. A CoordStaysDown coordinator is left out: staying
+// dead is the whole point of that schedule.
 func (s Schedule) restartOrder() []string {
 	var coord, sub []string
-	if s.CrashCoord {
+	if s.CrashCoord && !s.CoordStaysDown {
 		coord = append(coord, "C")
 	}
 	if s.CrashSub {

@@ -33,6 +33,13 @@ type Schedule struct {
 	// crashed subordinate, or after.
 	RestartCoordFirst bool
 
+	// CoordStaysDown (Paxos Commit schedules only) keeps a crashed
+	// coordinator down for the whole run: the classic protocols would
+	// block here, and AC4Strict demands that Paxos Commit does not —
+	// the subordinates must learn the outcome from the surviving
+	// acceptor quorum alone.
+	CoordStaysDown bool
+
 	// PartitionSub (when >= 0) severs the coordinator's link to that
 	// subordinate for PartitionMS milliseconds.
 	PartitionSub int
@@ -56,19 +63,41 @@ type Schedule struct {
 // FromSeed expands a seed into a schedule. The mapping is pure: the
 // same seed always yields the same schedule, which is what makes a
 // failing run a one-line repro.
+//
+// The low three bits pick the variant (0..4 directly; the spare
+// values 5..7 wrap back onto 0..2 so every seed is valid), bit 3
+// picks the engine, and the rest of the seed drives the failure rng.
 func FromSeed(seed int64) Schedule {
 	s := Schedule{Seed: seed, PartitionSub: -1}
-	s.Variant = core.Variant(seed & 3)
-	if (seed>>2)&1 == 0 {
+	v := seed & 7
+	if v > int64(core.VariantPaxos) {
+		v -= 5
+	}
+	s.Variant = core.Variant(v)
+	if (seed>>3)&1 == 0 {
 		s.Engine = "sim"
 	} else {
 		s.Engine = "live"
 	}
 	rng := rand.New(rand.NewSource(seed))
 	s.Subs = 1 + rng.Intn(3)
+	if s.Variant == core.VariantPaxos {
+		// Bias toward real acceptor quorums: with two or three
+		// subordinates the acceptor set is {C, S1, S2}, so subordinate
+		// crashes double as acceptor crashes.
+		s.Subs = 2 + rng.Intn(2)
+	}
 	if rng.Intn(2) == 0 {
 		s.CrashCoord = true
 		s.CrashCoordAt = 1 + rng.Intn(12)
+		if s.Variant == core.VariantPaxos {
+			// The Paxos coordinator has more instrumented steps (its own
+			// acceptor forces and ballot-0 accepts): reach past every
+			// Prepare send so the classic blocking window — crash after
+			// the prepares left, before any outcome — is squarely hit.
+			s.CrashCoordAt = 1 + rng.Intn(18)
+			s.CoordStaysDown = rng.Intn(2) == 0
+		}
 	}
 	if rng.Intn(2) == 0 {
 		s.CrashSub = true
@@ -109,6 +138,9 @@ func (s Schedule) String() string {
 	out := fmt.Sprintf("seed=%d %s/%s subs=%d", s.Seed, s.Variant, s.Engine, s.Subs)
 	if s.CrashCoord {
 		out += fmt.Sprintf(" crash-coord@%d", s.CrashCoordAt)
+		if s.CoordStaysDown {
+			out += "(stays down)"
+		}
 	}
 	if s.CrashSub {
 		out += fmt.Sprintf(" crash-%s@%d", SubName(s.CrashSubIdx), s.CrashSubAt)

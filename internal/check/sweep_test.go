@@ -10,12 +10,19 @@ import (
 
 // cleanLiveSchedule is a failure-free live schedule for one variant:
 // the probe run that counts each role's instrumented protocol steps.
+// Paxos Commit gets three subordinates so the acceptor set is the
+// real {C, S1, S2} majority topology — crashing subordinate S1 then
+// is an acceptor crash, the window the variant exists to survive.
 func cleanLiveSchedule(v core.Variant) Schedule {
+	subs := 1
+	if v == core.VariantPaxos {
+		subs = 3
+	}
 	return Schedule{
 		Seed:         int64(1000 + int(v)), // label only; not FromSeed-derived
 		Variant:      v,
 		Engine:       "live",
-		Subs:         1,
+		Subs:         subs,
 		PartitionSub: -1,
 	}
 }
@@ -44,11 +51,12 @@ func checkSweepRun(t *testing.T, s Schedule, what string) {
 // TestLiveCrashPointSweep kills the coordinator — and then a
 // subordinate — at every instrumented protocol step (before and after
 // each forced log write, before and after each message send) for all
-// four variants, restarts the victim, drives recovery, and requires
+// five variants, restarts the victim, drives recovery, and requires
 // the oracle green every time. The step counts come from a clean
-// probe run of the same schedule.
+// probe run of the same schedule. For Paxos Commit the subordinate
+// sweep doubles as an acceptor-crash sweep (S1 sits in the quorum).
 func TestLiveCrashPointSweep(t *testing.T) {
-	for v := core.VariantBaseline; v <= core.VariantPC; v++ {
+	for v := core.VariantBaseline; v <= core.VariantPaxos; v++ {
 		v := v
 		t.Run(v.String(), func(t *testing.T) {
 			t.Parallel()

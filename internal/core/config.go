@@ -32,6 +32,15 @@ const (
 	// commits need neither subordinate commit-record forces nor
 	// acknowledgments, while aborts are fully logged and acked.
 	VariantPC
+	// VariantPaxos is Gray & Lamport's Paxos Commit (Consensus on
+	// Transaction Commit): each participant's vote is one Paxos
+	// instance replicated across 2f+1 acceptors colocated on the
+	// transaction's nodes, the coordinator is merely the initial
+	// leader, and any participant learns the outcome from an acceptor
+	// quorum after a coordinator crash — non-blocking for up to f
+	// acceptor failures at the cost of one extra message delay and
+	// the acceptor forces.
+	VariantPaxos
 )
 
 // String returns the paper's abbreviation for the variant.
@@ -45,6 +54,8 @@ func (v Variant) String() string {
 		return "PN"
 	case VariantPC:
 		return "PC"
+	case VariantPaxos:
+		return "PaxosCommit"
 	default:
 		return fmt.Sprintf("Variant(%d)", int(v))
 	}
@@ -112,10 +123,29 @@ type HeuristicPolicy struct {
 // Enabled reports whether the policy ever fires.
 func (p HeuristicPolicy) Enabled() bool { return p.After > 0 }
 
+// TestHooks are deliberate protocol-correctness bugs the chaos
+// harness injects to prove the safety oracle convicts them. They
+// exist only for tests; production configurations leave them zero.
+type TestHooks struct {
+	// SkipAcceptorForce makes Paxos acceptors acknowledge acceptance
+	// without forcing the acceptance record first — the classic
+	// lost-promise bug an oracle must catch (AC3).
+	SkipAcceptorForce bool
+	// QuorumOverride, when positive, replaces the correct f+1 acceptor
+	// quorum with the given size (e.g. 1 of 3 miscounted as a
+	// majority), letting two recovery leaders learn different
+	// outcomes (AC1/AC4Strict).
+	QuorumOverride int
+}
+
 // Config parameterizes an Engine.
 type Config struct {
 	Variant Variant
 	Options Options
+
+	// Hooks injects protocol bugs for oracle-conviction tests; see
+	// TestHooks. Zero in any real configuration.
+	Hooks TestHooks
 
 	// NetDelay is the one-way latency applied to every link that has
 	// no per-link override. Default 1ms.

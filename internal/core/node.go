@@ -21,6 +21,13 @@ const (
 	recAborted       = "Aborted"
 	recEnd           = "End"
 	recHeuristic     = "Heuristic"
+	// Paxos Commit acceptor records. PaxAccept is the acceptor's
+	// durable acceptance — at ballot 0 one bundled record covering
+	// every instance, at recovery ballots one per instance. PaxPromise
+	// is the forced promise not to accept lower ballots, with the
+	// acceptor's prior accepted state.
+	recPaxAccept  = "PaxAccept"
+	recPaxPromise = "PaxPromise"
 )
 
 // recPayload is the JSON body of TM records: enough for recovery to
@@ -33,6 +40,20 @@ type recPayload struct {
 	Agent NodeID `json:"agent,omitempty"`
 	// Commit records the heuristic choice on Heuristic records.
 	Commit bool `json:"commit,omitempty"`
+
+	// Paxos Commit fields (VariantPaxos records only).
+	Acceptors    []NodeID  `json:"acceptors,omitempty"`    // 2f+1 acceptor membership
+	Participants []NodeID  `json:"participants,omitempty"` // one Paxos instance per participant
+	Ballot       int       `json:"ballot,omitempty"`       // promised/accepted ballot
+	Insts        []paxInst `json:"insts,omitempty"`        // accepted instance values
+}
+
+// paxInst is one accepted (instance, ballot, value) triple in an
+// acceptor's durable state.
+type paxInst struct {
+	Inst   NodeID `json:"inst"`
+	Ballot int    `json:"ballot"`
+	No     bool   `json:"no,omitempty"` // accepted value: true = VoteNo, false = VoteYes
 }
 
 // link is the persistent conversation state with one partner,
@@ -226,6 +247,14 @@ func (n *Node) deliver(pkt protocol.Packet) {
 			n.handleInquire(from, m)
 		case protocol.MsgOutcome:
 			n.handleOutcomeReply(from, m)
+		case protocol.MsgPaxosAccept:
+			n.handlePaxosAccept(from, m)
+		case protocol.MsgPaxosAccepted:
+			n.handlePaxosAccepted(from, m)
+		case protocol.MsgPaxosQuery:
+			n.handlePaxosQuery(from, m)
+		case protocol.MsgPaxosPromise:
+			n.handlePaxosPromise(from, m)
 		}
 	}
 }

@@ -68,6 +68,12 @@ func (n *Node) initiateCommit(tx TxID, done func(Result)) {
 
 	members := n.phase1Members(c)
 	variant := n.eng.cfg.Variant
+	if variant == VariantPaxos {
+		// Paxos Commit: no pre-force — the acceptor quorum, not this
+		// node's log, is the durable decision state.
+		n.runPaxosPhase1(c, members)
+		return
+	}
 	if (variant == VariantPN || variant == VariantPC) && (len(members) > 0 || len(n.resources) > 0) {
 		// PN: the coordinator must remember its subordinates before
 		// any of them can become in-doubt (§3 Presumed Nothing).
@@ -273,7 +279,25 @@ func (n *Node) handlePrepare(from NodeID, m protocol.Message) {
 	tx := ParseTxID(m.Tx)
 	c := n.ctx(tx)
 	c.sub(from) // the coordinator is a partner too
+	if m.Presume == protocol.PresumePaxos {
+		if meta, err := protocol.DecodePaxosMeta(m.Payload); err == nil {
+			n.paxosAdoptMeta(c, meta)
+		}
+		if c.state == stPrepared && !c.paxVoteSent {
+			// Prepared unsolicited before the acceptor membership was
+			// known: the late Prepare supplies it; vote now.
+			n.paxosSendAccept0(c)
+			return
+		}
+	}
 	if c.state == stPreparing && c.isRoot {
+		if n.eng.cfg.Variant == VariantPaxos {
+			// Dual initiation under Paxos: neither side may abort
+			// unilaterally (accepts may exist); the quorum rounds
+			// resolve both.
+			n.trcState(tx, "dual-initiation (paxos: quorum resolves)")
+			return
+		}
 		// Two participants initiated commit independently: the
 		// transaction must abort (§3 PN rules).
 		n.trcState(tx, "dual-initiation")
@@ -304,6 +328,14 @@ func (n *Node) startSubordinatePhase1(c *txCtx, trig trigger) {
 		c.haveCoord = c.firstContactSet
 	}
 	members := n.phase1Members(c)
+	if n.eng.cfg.Variant == VariantPaxos {
+		// Flat tree (coordinator plus leaves, as the live fleet runs):
+		// a subordinate prepares locally and makes its instance value
+		// known to the acceptors instead of voting to the coordinator.
+		n.prepareLocal(c)
+		n.paxosVoteUpstream(c)
+		return
+	}
 	if v := n.eng.cfg.Variant; (v == VariantPN || v == VariantPC) && len(members) > 0 {
 		// A cascaded coordinator must remember its subordinates
 		// before they can be put in doubt (Figure 3; same for the
@@ -318,6 +350,11 @@ func (n *Node) startSubordinatePhase1(c *txCtx, trig trigger) {
 // delegation arriving at a last agent).
 func (n *Node) handleVote(from NodeID, m protocol.Message) {
 	tx := ParseTxID(m.Tx)
+	if n.eng.cfg.Variant == VariantPaxos {
+		// Votes travel as Paxos accepts; a stray MsgVote must never
+		// trigger a unilateral (non-quorum) decision.
+		return
+	}
 	if m.LastAgent {
 		n.handleDelegation(from, m)
 		return
@@ -578,6 +615,13 @@ func (n *Node) armOutcomeWatch(c *txCtx) {
 		}
 		n.eng.arriveAt(n, at)
 		c.state = stInDoubt
+		if n.eng.cfg.Variant == VariantPaxos {
+			// Non-blocking: learn the outcome from the acceptor quorum
+			// instead of inquiring the (possibly dead) coordinator.
+			n.trcState(c.id, "outcome overdue: in doubt, leading paxos recovery")
+			n.startPaxosRecovery(c)
+			return
+		}
 		n.trcState(c.id, "outcome overdue: in doubt, inquiring")
 		n.scheduleInquiry(c, 0)
 	})

@@ -21,16 +21,19 @@ func (n *Node) ownDecision(c *txCtx, commit bool) {
 	n.trcDecision(c, commit)
 
 	cfg := n.eng.cfg
+	// Paxos Commit never forces outcome records: the acceptor quorum is
+	// the durable decision, and recovery re-learns it from there.
+	force := cfg.Variant != VariantPaxos
 	if commit {
 		if !(c.allReadOnly && cfg.Options.ReadOnly) {
-			n.logTx(c, recCommitted, recPayload{Coord: c.coord, Subs: c.yesSubIDs("")}, true)
+			n.logTx(c, recCommitted, recPayload{Coord: c.coord, Subs: c.yesSubIDs("")}, force)
 		}
 	} else {
 		// PA presumes abort: nothing is logged and recovery answers
 		// inquiries from the absence of information. Baseline and PN
 		// force the abort record.
 		if cfg.Variant != VariantPA && (c.loggedAny || len(c.yesSubIDs("")) > 0 || c.anyNo) {
-			n.logTx(c, recAborted, recPayload{Coord: c.coord, Subs: c.yesSubIDs("")}, true)
+			n.logTx(c, recAborted, recPayload{Coord: c.coord, Subs: c.yesSubIDs("")}, force)
 		}
 	}
 	n.phase2(c)
@@ -59,14 +62,15 @@ func (n *Node) receivedDecision(c *txCtx, commit bool) {
 	if commit {
 		// Presumed commit: the subordinate's commit record need not
 		// be forced — if it is lost, recovery inquires and the
-		// presumption answers commit.
-		forced := cfg.Variant != VariantPC
+		// presumption answers commit. Paxos: the acceptor quorum
+		// already holds the decision durably.
+		forced := cfg.Variant != VariantPC && cfg.Variant != VariantPaxos
 		n.logTx(c, recCommitted, recPayload{Coord: c.coord, Subs: c.yesSubIDs("")}, forced)
 	} else {
 		// PA subordinates do not force abort records: a lost abort
 		// record merely repeats recovery work that ends in abort
-		// anyway.
-		forced := cfg.Variant != VariantPA
+		// anyway. Same reasoning for Paxos, via the quorum.
+		forced := cfg.Variant != VariantPA && cfg.Variant != VariantPaxos
 		if c.loggedAny {
 			n.logTx(c, recAborted, recPayload{Coord: c.coord, Subs: c.yesSubIDs("")}, forced)
 		}
@@ -78,6 +82,12 @@ func (n *Node) receivedDecision(c *txCtx, commit bool) {
 // acknowledgment from sub for this outcome.
 func (n *Node) expectsAck(s *subInfo, commit bool) bool {
 	cfg := n.eng.cfg
+	if cfg.Variant == VariantPaxos {
+		// No acknowledgments in either direction: once an acceptor
+		// quorum has the decision, nobody needs to confirm receipt —
+		// any participant can always re-learn the outcome.
+		return false
+	}
 	if !commit && cfg.Variant == VariantPA {
 		return false // presumed abort: aborts are not acknowledged
 	}
@@ -142,8 +152,8 @@ func (n *Node) phase2(c *txCtx) {
 
 	// Early acknowledgment: a subordinate acks as soon as its own
 	// commit is logged, before its subtree has acknowledged (§4
-	// Commit Acknowledgment).
-	if cfg.Options.EarlyAck && !c.isRoot && !c.lastAgentAsked && c.haveCoord && !c.votedReadOnly {
+	// Commit Acknowledgment). Meaningless under Paxos (no acks).
+	if cfg.Options.EarlyAck && cfg.Variant != VariantPaxos && !c.isRoot && !c.lastAgentAsked && c.haveCoord && !c.votedReadOnly {
 		n.sendAckUpstream(c)
 	}
 	if c.awaitsRetriableAcks() {
@@ -236,6 +246,8 @@ func (n *Node) redeliveryAck(commit bool) bool {
 		return commit
 	case VariantPC:
 		return !commit
+	case VariantPaxos:
+		return false
 	default:
 		return true
 	}
@@ -262,6 +274,14 @@ func (n *Node) handleOutcomeMsg(from NodeID, m protocol.Message, commit bool) {
 	case stHeurDone:
 		n.resolveHeuristic(c, commit)
 	case stPreparing, stActive:
+		if n.eng.cfg.Variant == VariantPaxos {
+			// A recovery leader resolved the transaction from the
+			// acceptor quorum while this node (possibly the ballot-0
+			// coordinator itself) was still collecting — either outcome
+			// is quorum-backed and final.
+			n.receivedDecision(c, commit)
+			return
+		}
 		if !commit {
 			// An abort can overtake the voting phase (another
 			// participant voted no, or the coordinator timed out).
@@ -363,6 +383,9 @@ func (n *Node) checkAcks(c *txCtx) {
 	// Subordinate: acknowledge upstream per the ack policy.
 	opts := n.eng.cfg.Options
 	switch {
+	case n.eng.cfg.Variant == VariantPaxos:
+		// No acks under Paxos Commit; close out immediately.
+		n.writeEndAndForget(c)
 	case c.votedReadOnly:
 		// Read-only voters are out of phase two entirely.
 		n.writeEndAndForget(c)

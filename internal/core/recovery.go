@@ -19,6 +19,10 @@ type txScan struct {
 	aborted   *recPayload
 	heuristic *recPayload
 	end       bool
+
+	// Paxos Commit acceptor state (VariantPaxos).
+	paxAccepts []*recPayload // every PaxAccept record, in log order
+	paxPromise *recPayload   // highest-ballot PaxPromise
 }
 
 // restart recovers the node from its durable log: the variant's
@@ -48,7 +52,8 @@ func (n *Node) restart() {
 		}
 		var p recPayload
 		switch rec.Kind {
-		case recCommitPending, recAgentPending, recPrepared, recCommitted, recAborted, recHeuristic:
+		case recCommitPending, recAgentPending, recPrepared, recCommitted, recAborted, recHeuristic,
+			recPaxAccept, recPaxPromise:
 			if err := json.Unmarshal(rec.Data, &p); err != nil {
 				n.trcApp("restart: bad record payload for " + rec.Tx)
 				continue
@@ -80,6 +85,14 @@ func (n *Node) restart() {
 		case recHeuristic:
 			cp := p
 			sc.heuristic = &cp
+		case recPaxAccept:
+			cp := p
+			sc.paxAccepts = append(sc.paxAccepts, &cp)
+		case recPaxPromise:
+			cp := p
+			if sc.paxPromise == nil || cp.Ballot > sc.paxPromise.Ballot {
+				sc.paxPromise = &cp
+			}
 		case recEnd:
 			sc.end = true
 		}
@@ -122,6 +135,11 @@ func (n *Node) recoverTx(tx TxID, sc *txScan) {
 
 	case sc.aborted != nil:
 		n.resumeOutcome(tx, sc.aborted, false)
+
+	case n.eng.cfg.Variant == VariantPaxos &&
+		(len(sc.paxAccepts) > 0 || sc.paxPromise != nil ||
+			(sc.prepared != nil && len(sc.prepared.Acceptors) > 0)):
+		n.recoverPaxosTx(tx, sc)
 
 	case sc.prepared != nil:
 		if sc.prepared.Agent != "" {
@@ -198,6 +216,84 @@ func (n *Node) recoverTx(tx TxID, sc *txScan) {
 	}
 }
 
+// recoverPaxosTx reinstates an undecided Paxos Commit transaction from
+// the node's durable acceptor and participant records: the node comes
+// back in doubt, restores its acceptor state (promised ballot and
+// accepted instance values), and leads a staggered recovery round to
+// learn the outcome from the acceptor quorum.
+func (n *Node) recoverPaxosTx(tx TxID, sc *txScan) {
+	c := n.ctx(tx)
+	c.loggedAny = true
+	c.state = stInDoubt
+
+	// Membership travels on every durable Paxos record.
+	src := sc.prepared
+	if src == nil || len(src.Acceptors) == 0 {
+		for _, p := range sc.paxAccepts {
+			if len(p.Acceptors) > 0 {
+				src = p
+				break
+			}
+		}
+	}
+	if (src == nil || len(src.Acceptors) == 0) && sc.paxPromise != nil {
+		src = sc.paxPromise
+	}
+	if src != nil {
+		c.paxAcceptors = src.Acceptors
+		c.paxParticipants = src.Participants
+	}
+	if sc.prepared != nil {
+		c.coord = sc.prepared.Coord
+		c.haveCoord = c.coord != ""
+		c.paxVote = VoteYes // our Prepared record survived
+	} else {
+		// Crashed before (or without) preparing: the local resources
+		// lost their prepared state, so our own instance can only be
+		// re-proposed as No — unless an acceptor already holds it.
+		c.paxVote = VoteNo
+	}
+	c.paxVoteSent = true
+	c.isRoot = len(c.paxParticipants) > 0 && c.paxParticipants[0] == n.id
+
+	// Acceptor state: fold the maximum-ballot accepted value per
+	// instance, remember whether the ballot-0 bundle was forced, and
+	// restore the promise floor.
+	for _, p := range sc.paxAccepts {
+		if p.Ballot == 0 {
+			c.paxBundled = true
+		}
+		if p.Ballot > c.paxPromised {
+			c.paxPromised = p.Ballot
+		}
+		for _, in := range p.Insts {
+			cp := in
+			if prev, ok := c.paxAccepted[cp.Inst]; ok && prev.Ballot > cp.Ballot {
+				continue
+			}
+			if c.paxAccepted == nil {
+				c.paxAccepted = make(map[NodeID]*paxInst)
+			}
+			c.paxAccepted[cp.Inst] = &cp
+		}
+	}
+	if sc.paxPromise != nil && sc.paxPromise.Ballot > c.paxPromised {
+		c.paxPromised = sc.paxPromise.Ballot
+	}
+
+	n.trcState(tx, "in doubt after restart (paxos)")
+	if len(c.paxAcceptors) == 0 {
+		// Degenerate: no membership survived. Fall back to classic
+		// inquiry if a coordinator is known; otherwise an operator must
+		// resolve it.
+		if c.haveCoord {
+			n.scheduleInquiry(c, 0)
+		}
+		return
+	}
+	n.schedulePaxosRecovery(c)
+}
+
 // resumeOutcome re-enters phase two for a transaction whose decision
 // record survived: subordinates are re-notified (idempotently), acks
 // re-collected, and — for a subordinate — the ack upstream re-sent.
@@ -243,7 +339,7 @@ func (n *Node) resumeOutcome(tx TxID, p *recPayload, commit bool) {
 		}
 	}
 	n.trcUnlock(tx, "released")
-	if !c.isRoot && !c.ackSent {
+	if !c.isRoot && !c.ackSent && n.eng.cfg.Variant != VariantPaxos {
 		// Our coordinator may still be waiting for our ack.
 		n.sendAckUpstream(c)
 	}
@@ -358,9 +454,19 @@ func (n *Node) handleOutcomeReply(from NodeID, m protocol.Message) {
 				return
 			}
 			n.receivedDecision(c, commit)
+		case stPreparing:
+			// A Paxos coordinator still collecting acceptances can be
+			// resolved by a done participant's outcome short-circuit.
+			if n.eng.cfg.Variant == VariantPaxos {
+				n.receivedDecision(c, commit)
+			}
 		}
 	case protocol.OutcomeInProgress, protocol.OutcomeUnknown:
 		// Ask again later (bounded); heuristic policy may intervene.
+		if n.eng.cfg.Variant == VariantPaxos {
+			n.schedulePaxosRecovery(c)
+			return
+		}
 		n.scheduleInquiry(c, 1)
 	}
 }

@@ -276,3 +276,101 @@ func BenchmarkLiveParallelMultiSubTCP(b *testing.B) {
 	b.Run("optimized", func(b *testing.B) { benchParallelMultiSub(b, true, false) })
 	b.Run("baseline", func(b *testing.B) { benchParallelMultiSub(b, true, true) })
 }
+
+// benchVariantTCP drives one commit variant over loopback TCP with a
+// full mesh (Paxos Commit's ballot-0 accepts flow subordinate to
+// subordinate) and reports throughput and the latency distribution
+// from the metrics histogram.
+func benchVariantTCP(b *testing.B, variant core.Variant) {
+	const (
+		workers = 16
+		subs    = 2 // acceptor set {C, S1, S2}: one failure tolerated
+	)
+	names := make([]string, subs)
+	for i := range names {
+		names[i] = fmt.Sprintf("S%d", i+1)
+	}
+	eps := make(map[string]*netsim.TCPEndpoint, subs+1)
+	for _, name := range append([]string{"C"}, names...) {
+		ep, err := netsim.ListenTCP(name, "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		eps[name] = ep
+	}
+	for from, ep := range eps {
+		for to, other := range eps {
+			if from != to {
+				ep.Register(to, other.Addr())
+			}
+		}
+	}
+	reg := metrics.New()
+	var parts []*Participant
+	var coord *Participant
+	for name, ep := range eps {
+		opts := []Option{
+			WithVariant(variant),
+			WithGroupCommit(8, 200*time.Microsecond),
+		}
+		if name == "C" {
+			opts = append(opts, WithMetrics(reg))
+		}
+		p := NewParticipant(name, ep, wal.New(wal.NewMemStore()),
+			[]core.Resource{core.NewStaticResource("r" + name)}, opts...)
+		if name == "C" {
+			coord = p
+		}
+		p.Start()
+		parts = append(parts, p)
+	}
+	defer func() {
+		for _, p := range parts {
+			p.Stop()
+		}
+	}()
+
+	ctx := context.Background()
+	var seq atomic.Uint64
+	var wg sync.WaitGroup
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				n := seq.Add(1)
+				if n > uint64(b.N) {
+					return
+				}
+				tx := core.TxID{Origin: "C", Seq: n}
+				out, err := coord.Commit(ctx, tx.String(), names)
+				if err != nil || out != Committed {
+					b.Errorf("commit %d: %v %v", n, out, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/elapsed.Seconds(), "commits/sec")
+	if snap := reg.Snapshot(); snap.Latency.Count > 0 {
+		b.ReportMetric(float64(snap.Latency.P50.Microseconds()), "p50_us")
+		b.ReportMetric(float64(snap.Latency.P99.Microseconds()), "p99_us")
+	}
+}
+
+// BenchmarkLivePaxosVsBasicTCP is the non-blocking-commit price tag:
+// Paxos Commit against the blocking Basic2PC on identical trees over
+// loopback TCP. The analytic model (internal/analytic) prices Paxos
+// at 2s+a-1 flows against the baseline's 4s, with one forced write on
+// the coordinator's critical path for both — the benchmark records
+// what that costs end to end.
+func BenchmarkLivePaxosVsBasicTCP(b *testing.B) {
+	b.Run("Basic2PC", func(b *testing.B) { benchVariantTCP(b, core.VariantBaseline) })
+	b.Run("PaxosCommit", func(b *testing.B) { benchVariantTCP(b, core.VariantPaxos) })
+}

@@ -54,6 +54,13 @@ func (p *Participant) runCommit(ctx context.Context, txName string, subs []strin
 		p.met.CostBegin(txName, p.name, v.String(), len(subs))
 	}
 
+	// Paxos Commit replaces both phases: votes are ballot-0 accepts
+	// replicated across the acceptor set, and the decision needs only
+	// an acceptor quorum, never this node's log.
+	if v == core.VariantPaxos {
+		return p.runPaxosCommit(ctx, st, tx, txName, subs)
+	}
+
 	// Last Agent (§4): hold the final subordinate out of phase one and
 	// delegate the decision to it once everyone else has voted yes.
 	agent := ""
@@ -361,10 +368,11 @@ func (p *Participant) abortTx(tx core.TxID, txName string, subs []string, v core
 }
 
 // logAbort writes the coordinator's abort record: non-forced under
-// Presumed Abort (absence already means abort), forced otherwise.
+// Presumed Abort (absence already means abort) and under Paxos Commit
+// (the acceptor quorum holds the durable outcome), forced otherwise.
 func (p *Participant) logAbort(txName string, v core.Variant) {
 	rec := wal.Record{Tx: txName, Node: p.name, Kind: "Aborted"}
-	if v == core.VariantPA {
+	if v == core.VariantPA || v == core.VariantPaxos {
 		_ = p.lazy(rec)
 	} else {
 		_ = p.force(rec)
@@ -416,12 +424,32 @@ func (p *Participant) registerCoord(txName string, n int) *txState {
 func (p *Participant) unregisterCoord(txName string) {
 	sh := p.shardFor(txName)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	if st, ok := sh.txs[txName]; ok && st.isCoord {
-		// A participant never subordinates a transaction it
-		// coordinates, so the whole entry can go.
-		delete(sh.txs, txName)
+	st, ok := sh.txs[txName]
+	sh.mu.Unlock()
+	if !ok || !st.isCoord {
+		return
 	}
+	// Lock order everywhere in this package is st.mu before sh.mu
+	// (finishLocked -> recordDecision); holding st.mu also pins the
+	// acceptor-state check against a concurrently arriving accept.
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, decided := sh.decided[txName]; !decided && len(st.paxAccepted) > 0 {
+		// An undecided Paxos transaction with acceptor state must keep
+		// it: this node promised its acceptances to recovery leaders,
+		// and forgetting them while the process lives would let two
+		// leaders learn different outcomes. Drop only the coordinator
+		// role and its collection channels.
+		st.isCoord = false
+		st.votes, st.acks, st.decision = nil, nil, nil
+		st.paxAccepts, st.paxPromise = nil, nil
+		return
+	}
+	// A participant never subordinates a transaction it coordinates,
+	// so the whole entry can go.
+	delete(sh.txs, txName)
 }
 
 // nextRetryTimer arms a timer for the backoff schedule's next delay,

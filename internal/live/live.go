@@ -111,6 +111,7 @@ type Participant struct {
 	fp          func(point string) bool
 	lastAgent   bool
 	retrySeed   int64
+	hooks       core.TestHooks
 
 	// Per-transaction state, sharded by fnv hash of the transaction id
 	// (see shard.go). shardHint is the WithShards override consumed at
@@ -154,6 +155,11 @@ type txState struct {
 	decision chan envelope                 // last-agent delegation answer
 	early    map[string]protocol.VoteValue // votes that preceded Commit (unsolicited)
 
+	// Paxos Commit leader collection channels, registered under the
+	// shard mutex like votes/acks.
+	paxAccepts chan envelope // PaxosAccepted bundles and acks
+	paxPromise chan envelope // PaxosPromise replies
+
 	// Subordinate side, guarded by mu.
 	mu        sync.Mutex
 	presume   protocol.Presumption
@@ -162,6 +168,17 @@ type txState struct {
 	done      bool
 	committed bool
 	resolved  chan struct{} // closed when done flips true (recovery waiters)
+
+	// Paxos Commit state, guarded by mu. paxMeta is the transaction's
+	// membership (learned from the Prepare or any accept); the rest is
+	// this node's acceptor role: accepted values per instance, whether
+	// the ballot-0 bundle has been forced and acknowledged, and the
+	// highest promised ballot.
+	paxMeta     *protocol.PaxosMeta
+	paxVoteSent bool
+	paxAccepted map[string]protocol.PaxosInstanceState
+	paxBundled  bool
+	paxPromised int
 }
 
 // NewParticipant wires a participant to its endpoint, log, and
@@ -350,6 +367,7 @@ func (p *Participant) Restarted(ep netsim.Endpoint, opts ...Option) *Participant
 	np.met = p.met
 	np.trc = p.trc
 	np.lastAgent = p.lastAgent
+	np.hooks = p.hooks
 	for _, o := range opts {
 		o(np)
 	}
@@ -401,6 +419,14 @@ func (p *Participant) handle(pkt protocol.Packet) {
 			p.spawn(pkt.From, m, p.handleInquire)
 		case protocol.MsgOutcome:
 			p.spawn(pkt.From, m, p.handleOutcomeReply)
+		case protocol.MsgPaxosAccept:
+			p.spawn(pkt.From, m, p.handlePaxosAccept)
+		case protocol.MsgPaxosQuery:
+			p.spawn(pkt.From, m, p.handlePaxosQuery)
+		case protocol.MsgPaxosAccepted:
+			p.feedPaxos(m.Tx, envelope{from: pkt.From, msg: m}, false)
+		case protocol.MsgPaxosPromise:
+			p.feedPaxos(m.Tx, envelope{from: pkt.From, msg: m}, true)
 		}
 	}
 	// Every dispatch path above copied its message value, so the
@@ -587,7 +613,8 @@ func (p *Participant) sendFlow(to string, m protocol.Message, extra bool) error 
 	}
 	if p.met != nil {
 		// Recovery traffic is never a Table 1-4 flow, whoever sent it.
-		if m.Type == protocol.MsgInquire || m.Type == protocol.MsgOutcome {
+		if m.Type == protocol.MsgInquire || m.Type == protocol.MsgOutcome ||
+			m.Type == protocol.MsgPaxosQuery || m.Type == protocol.MsgPaxosPromise {
 			extra = true
 		}
 		p.met.FlowSent(p.name, m.Tx, piggybacked, extra, m.Type != protocol.MsgData)
@@ -614,6 +641,8 @@ func presumptionOf(v core.Variant) protocol.Presumption {
 		return protocol.PresumePending
 	case core.VariantPC:
 		return protocol.PresumeCommit
+	case core.VariantPaxos:
+		return protocol.PresumePaxos
 	default:
 		return protocol.PresumeNothingKnown
 	}
@@ -627,9 +656,14 @@ func presumeData(pr protocol.Presumption) []byte { return []byte(pr.String()) }
 // missing or unrecognized payload (e.g. a record written before
 // presumptions were persisted).
 func presumeFromData(b []byte) (protocol.Presumption, bool) {
+	// A Paxos Prepared record carries the transaction's Paxos membership
+	// rather than a presumption name: recovery needs the acceptor set.
+	if len(b) > 5 && string(b[:5]) == "pax1 " {
+		return protocol.PresumePaxos, true
+	}
 	for _, pr := range []protocol.Presumption{
 		protocol.PresumeNothingKnown, protocol.PresumeAbort,
-		protocol.PresumePending, protocol.PresumeCommit,
+		protocol.PresumePending, protocol.PresumeCommit, protocol.PresumePaxos,
 	} {
 		if string(b) == pr.String() {
 			return pr, true
@@ -648,14 +682,21 @@ func variantOf(pr protocol.Presumption) core.Variant {
 		return core.VariantPN
 	case protocol.PresumeCommit:
 		return core.VariantPC
+	case protocol.PresumePaxos:
+		return core.VariantPaxos
 	default:
 		return core.VariantBaseline
 	}
 }
 
 // expectsAckFor reports whether the given outcome is acknowledged
-// under the given variant: PA skips abort acks, PC skips commit acks.
+// under the given variant: PA skips abort acks, PC skips commit acks,
+// and Paxos Commit never acks — the acceptor quorum is the durable
+// record of the outcome, so delivery needs no per-subordinate receipt.
 func expectsAckFor(v core.Variant, commit bool) bool {
+	if v == core.VariantPaxos {
+		return false
+	}
 	if commit {
 		return v != core.VariantPC
 	}

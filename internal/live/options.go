@@ -121,6 +121,15 @@ func WithCoalesceWindow(d time.Duration) Option {
 	return func(p *Participant) { p.coalesceDelay = d }
 }
 
+// WithHooks installs protocol-conformance test hooks (deliberate,
+// convictable bugs): skipping the acceptor's force before it
+// acknowledges, or overriding the acceptor quorum size. The chaos
+// harness uses them to prove its oracle catches real protocol
+// violations; production code never sets them.
+func WithHooks(h core.TestHooks) Option {
+	return func(p *Participant) { p.hooks = h }
+}
+
 // WithFailpoint installs a crash-injection hook. The hook is called at
 // every instrumented protocol step with a point name — for example
 // "before-force:Prepared", "after-send:Commit" — and the participant

@@ -69,6 +69,50 @@ func (p *Participant) replayLog() {
 			}
 		}
 	}
+	decidedTxs := make(map[string]bool)
+	for tx, st := range states {
+		if st.decided {
+			decidedTxs[tx] = true
+		}
+	}
+	p.restorePaxosAcceptors(recs, decidedTxs)
+}
+
+// restorePaxosAcceptors folds durable PaxAccept/PaxPromise records
+// back into live acceptor state for transactions still undecided after
+// a restart: an acceptor's promises must survive the crash, or two
+// recovery leaders could learn different outcomes from it.
+func (p *Participant) restorePaxosAcceptors(recs []wal.Record, decided map[string]bool) {
+	for _, r := range recs {
+		if r.Node != p.name || (r.Kind != "PaxAccept" && r.Kind != "PaxPromise") {
+			continue
+		}
+		if decided[r.Tx] {
+			continue
+		}
+		meta, err := protocol.DecodePaxosMeta(r.Data)
+		if err != nil {
+			continue
+		}
+		st := p.state(r.Tx)
+		st.mu.Lock()
+		p.paxosAdoptLocked(st, meta)
+		if meta.Ballot > st.paxPromised {
+			st.paxPromised = meta.Ballot
+		}
+		if st.paxAccepted == nil {
+			st.paxAccepted = make(map[string]protocol.PaxosInstanceState)
+		}
+		for _, is := range meta.States {
+			if prev, ok := st.paxAccepted[is.Instance]; !ok || is.Ballot >= prev.Ballot {
+				st.paxAccepted[is.Instance] = is
+			}
+		}
+		if r.Kind == "PaxAccept" && meta.Ballot == 0 {
+			st.paxBundled = true
+		}
+		st.mu.Unlock()
+	}
 }
 
 // Inquire sends a single recovery inquiry for txName to the
@@ -113,8 +157,23 @@ func (p *Participant) RecoverInDoubt(ctx context.Context, coordinator string) ([
 			st.prepared = true
 			st.presume, _ = presumeFromData(announced[txName])
 		}
+		paxos := st.presume == protocol.PresumePaxos
+		if paxos && st.paxMeta == nil {
+			// The Prepared record's payload is the transaction's Paxos
+			// membership — the acceptor set is this node's recovery
+			// coordinator, not whoever crashed.
+			if meta, derr := protocol.DecodePaxosMeta(announced[txName]); derr == nil {
+				p.paxosAdoptLocked(st, meta)
+			}
+		}
 		st.mu.Unlock()
-		if err := p.resolveInDoubt(ctx, coordinator, txName); err != nil {
+		var rerr error
+		if paxos {
+			rerr = p.resolvePaxosInDoubt(ctx, st, txName)
+		} else {
+			rerr = p.resolveInDoubt(ctx, coordinator, txName)
+		}
+		if err := rerr; err != nil {
 			unresolved = append(unresolved, txName)
 			if ctx.Err() != nil {
 				return inDoubt, fmt.Errorf("live: recovery interrupted with %d of %d unresolved: %w (%w)", len(unresolved), len(inDoubt), ErrInDoubt, ctx.Err())

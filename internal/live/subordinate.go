@@ -27,10 +27,20 @@ func (p *Participant) handlePrepare(from string, m protocol.Message) {
 		// The outcome is already known here — an abort overtook this
 		// Prepare, or it is a late duplicate. Voting no is always safe
 		// for an aborted transaction; a committed one can only see a
-		// duplicate Prepare, which needs no answer.
-		if !st.committed {
+		// duplicate Prepare, which needs no answer. Paxos Commit has no
+		// MsgVote at all: a decided transaction just goes silent (the
+		// coordinator resolves through the acceptors).
+		if !st.committed && m.Presume != protocol.PresumePaxos {
 			_ = p.sendExtra(from, protocol.Message{Type: protocol.MsgVote, Tx: st.id, Vote: protocol.VoteNo})
 		}
+		return
+	}
+	if m.Presume == protocol.PresumePaxos {
+		// Paxos Commit phase one: the vote is a ballot-0 accept sent to
+		// the acceptor set, not a MsgVote (handled wholly in paxos.go;
+		// duplicate Prepares are screened by the vote-sent flag there).
+		st.presume = m.Presume
+		p.handlePaxosPrepareLocked(st, from, m)
 		return
 	}
 	if st.prepared {
@@ -132,9 +142,32 @@ func (p *Participant) handleDelegateLocked(st *txState, from string, m protocol.
 // log it per the transaction's presumption, complete resources, and
 // acknowledge if the variant expects it.
 func (p *Participant) applyOutcome(from string, m protocol.Message, commit bool) {
-	st := p.state(m.Tx)
+	sh := p.shardFor(m.Tx)
+	sh.mu.Lock()
+	_, known := sh.decided[m.Tx]
+	st, exists := sh.txs[m.Tx]
+	if known && !exists {
+		// Decided and already retired from the table (e.g. a Paxos
+		// coordinator answered by several acceptors): a duplicate
+		// delivery, not a transaction to re-apply.
+		sh.mu.Unlock()
+		return
+	}
+	if !exists {
+		st = sh.stateLocked(m.Tx)
+	}
+	sh.mu.Unlock()
 	st.mu.Lock()
 	defer st.mu.Unlock()
+
+	if known && !st.done && !st.prepared && !st.isCoord {
+		// The outcome table says this transaction was decided and fully
+		// applied here, yet the entry has seen none of it: a late
+		// message resurrected a blank state after retirement. Applying
+		// the outcome again would double the writes and re-open the
+		// cost ledger — a duplicate delivery, nothing to re-apply.
+		return
+	}
 
 	// The variant rules come from the Prepare's announced presumption;
 	// for an outcome with no preceding Prepare (redelivery after this
@@ -153,11 +186,13 @@ func (p *Participant) applyOutcome(from string, m protocol.Message, commit bool)
 	}
 
 	tx := core.ParseTxID(m.Tx)
+	// PC subordinate commits are presumed: no force. Paxos outcomes are
+	// never forced anywhere — the acceptor quorum is the durable truth.
 	rec := wal.Record{Tx: m.Tx, Node: p.name, Kind: "Committed"}
-	forced := v != core.VariantPC // PC subordinate commits are presumed: no force
+	forced := v != core.VariantPC && v != core.VariantPaxos
 	if !commit {
 		rec.Kind = "Aborted"
-		forced = v != core.VariantPA // PA subordinate aborts are presumed: no force
+		forced = v != core.VariantPA && v != core.VariantPaxos // PA subordinate aborts are presumed: no force
 	}
 	if forced {
 		if err := p.force(rec); err != nil {
@@ -228,6 +263,27 @@ func (p *Participant) handleInquire(from string, m protocol.Message) {
 // normal phase two; Unknown and InProgress leave the transaction in
 // doubt for the next inquiry round.
 func (p *Participant) handleOutcomeReply(from string, m protocol.Message) {
+	// An outcome answered to a collecting coordinator (a Paxos acceptor
+	// short-circuiting a decided transaction) resolves its fast-path
+	// select, never the subordinate path.
+	sh := p.shardFor(m.Tx)
+	sh.mu.Lock()
+	st, ok := sh.txs[m.Tx]
+	isCoord := ok && st.isCoord
+	var ch chan envelope
+	if isCoord {
+		ch = st.decision
+	}
+	sh.mu.Unlock()
+	if isCoord {
+		if ch != nil {
+			select {
+			case ch <- envelope{from: from, msg: m}:
+			default:
+			}
+		}
+		return
+	}
 	switch m.Outcome {
 	case protocol.OutcomeCommit:
 		p.applyOutcome(from, protocol.Message{Type: protocol.MsgCommit, Tx: m.Tx}, true)

@@ -36,13 +36,17 @@ func TestLoadgenDaemonEndToEnd(t *testing.T) {
 	})
 	s1 := mk(server.Config{Name: "S1", AuditInterval: 50 * time.Millisecond})
 	s2 := mk(server.Config{Name: "S2", AuditInterval: 50 * time.Millisecond})
+	// Full mesh: Paxos Commit's acceptors ({C, S1, S2} here) exchange
+	// acceptances directly, not just through the coordinator.
 	coord.RegisterPeer("S1", s1.ProtoAddr())
 	coord.RegisterPeer("S2", s2.ProtoAddr())
 	s1.RegisterPeer("C", coord.ProtoAddr())
+	s1.RegisterPeer("S2", s2.ProtoAddr())
 	s2.RegisterPeer("C", coord.ProtoAddr())
+	s2.RegisterPeer("S1", s1.ProtoAddr())
 
 	totalCommitted := 0
-	for _, variant := range []string{"basic", "pa", "pn", "pc"} {
+	for _, variant := range []string{"basic", "pa", "pn", "pc", "paxos"} {
 		res := loadgen.Run(context.Background(), &loadgen.HTTPCommitter{
 			BaseURL: "http://" + coord.HTTPAddr(),
 			Variant: variant,
@@ -91,7 +95,7 @@ func TestLoadgenDaemonEndToEnd(t *testing.T) {
 	}
 
 	// Operator view: the scrape must show zero violations and per-variant
-	// cost accounting for all four variants on the coordinator.
+	// cost accounting for all five variants on the coordinator.
 	resp, err := http.Get("http://" + coord.HTTPAddr() + "/metrics")
 	if err != nil {
 		t.Fatal(err)
@@ -107,7 +111,7 @@ func TestLoadgenDaemonEndToEnd(t *testing.T) {
 			t.Errorf("/metrics missing %q", want)
 		}
 	}
-	for _, v := range []core.Variant{core.VariantBaseline, core.VariantPA, core.VariantPN, core.VariantPC} {
+	for _, v := range []core.Variant{core.VariantBaseline, core.VariantPA, core.VariantPN, core.VariantPC, core.VariantPaxos} {
 		want := fmt.Sprintf("twopc_cost_total{variant=%q,role=\"coordinator\",outcome=\"committed\",kind=\"flows\"}", v)
 		if !strings.Contains(metrics, want) {
 			t.Errorf("/metrics missing coordinator cost series for %s", v)

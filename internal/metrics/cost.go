@@ -30,6 +30,11 @@ const (
 	// RoleReadOnly is a subordinate that voted read-only and dropped
 	// out of phase two (§4 Read-Only).
 	RoleReadOnly
+	// RoleAcceptorSub is a Paxos Commit subordinate that also hosts an
+	// acceptor: it additionally forces the acceptance bundle and sends
+	// the acknowledgment, so its exact cost form differs from a plain
+	// subordinate's.
+	RoleAcceptorSub
 )
 
 // String returns a lowercase role name for metric labels.
@@ -41,6 +46,8 @@ func (r Role) String() string {
 		return "subordinate"
 	case RoleReadOnly:
 		return "readonly"
+	case RoleAcceptorSub:
+		return "acceptor"
 	default:
 		return "unknown"
 	}
@@ -217,8 +224,34 @@ func (r *Registry) CostSub(tx, node, variant string, readOnly bool) {
 	nc := tc.node(node)
 	if readOnly {
 		nc.role = RoleReadOnly
-	} else if nc.role != RoleCoordinator {
+	} else if nc.role != RoleCoordinator && nc.role != RoleAcceptorSub {
 		nc.role = RoleSubordinate
+	}
+}
+
+// CostMembership records tx's subordinate count as learned away from
+// the coordinator: a Paxos Prepare carries the full membership, and
+// the audit's Paxos closed forms need it in every daemon's ledger,
+// not only the coordinator's. A count the coordinator already
+// declared wins.
+func (r *Registry) CostMembership(tx string, subs int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	tc := r.txCostLocked(tx)
+	if tc.subs < 0 && subs >= 0 {
+		tc.subs = subs
+	}
+}
+
+// CostAcceptor upgrades node to a Paxos acceptor-subordinate of tx
+// (a coordinator keeps its coordinator role — its closed form already
+// includes the colocated acceptor's spend).
+func (r *Registry) CostAcceptor(tx, node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	nc := r.txCostLocked(tx).node(node)
+	if nc.role != RoleCoordinator {
+		nc.role = RoleAcceptorSub
 	}
 }
 

@@ -23,6 +23,18 @@ func fullPacket() Packet {
 			}},
 			{Type: MsgInquire, Tx: "C:1"},
 			{Type: MsgOutcome, Tx: "C:1", Outcome: OutcomeInProgress},
+			{Type: MsgPaxosAccept, Tx: "C:1", Vote: VoteYes, Presume: PresumePaxos,
+				Payload: PaxosMeta{Ballot: 0, Instance: "S1", Leader: "C",
+					Acceptors:    []string{"C", "S1", "S2"},
+					Participants: []string{"C", "S1", "S2", "S3"}}.Encode()},
+			{Type: MsgPaxosAccepted, Tx: "C:1", Vote: VoteNo,
+				Payload: PaxosMeta{Ballot: 7, Instance: "S2"}.Encode()},
+			{Type: MsgPaxosQuery, Tx: "C:1",
+				Payload: PaxosMeta{Ballot: 5, Leader: "S1", Acceptors: []string{"C", "S1", "S2"}}.Encode()},
+			{Type: MsgPaxosPromise, Tx: "C:1",
+				Payload: PaxosMeta{Ballot: 5, States: []PaxosInstanceState{
+					{Instance: "C", Ballot: 0, Vote: VoteYes},
+					{Instance: "S3", Ballot: 5, Vote: VoteNo}}}.Encode()},
 		},
 	}
 }

@@ -29,17 +29,29 @@ const (
 	MsgAck
 	MsgInquire // recovery: "what happened to tx?"
 	MsgOutcome // recovery reply
+
+	// Paxos Commit (Gray & Lamport): each participant's vote is one
+	// Paxos instance replicated across 2f+1 acceptors, so the commit
+	// decision survives a coordinator crash without a blocking window.
+	MsgPaxosAccept   // leader phase 2a: "accept this vote for instance Tx/participant"
+	MsgPaxosAccepted // acceptor phase 2b: "accepted, durably"
+	MsgPaxosQuery    // recovery leader phase 1a: "promise ballot b; report accepted state"
+	MsgPaxosPromise  // acceptor phase 1b: promise plus prior accepted values
 )
 
 var msgNames = map[MsgType]string{
-	MsgData:    "Data",
-	MsgPrepare: "Prepare",
-	MsgVote:    "Vote",
-	MsgCommit:  "Commit",
-	MsgAbort:   "Abort",
-	MsgAck:     "Ack",
-	MsgInquire: "Inquire",
-	MsgOutcome: "Outcome",
+	MsgData:          "Data",
+	MsgPrepare:       "Prepare",
+	MsgVote:          "Vote",
+	MsgCommit:        "Commit",
+	MsgAbort:         "Abort",
+	MsgAck:           "Ack",
+	MsgInquire:       "Inquire",
+	MsgOutcome:       "Outcome",
+	MsgPaxosAccept:   "PaxosAccept",
+	MsgPaxosAccepted: "PaxosAccepted",
+	MsgPaxosQuery:    "PaxosQuery",
+	MsgPaxosPromise:  "PaxosPromise",
 }
 
 // String returns the protocol name of the message type.
@@ -96,6 +108,11 @@ const (
 	// PresumeCommit: absence of information means commit (PC);
 	// commits need no subordinate forces or acknowledgments.
 	PresumeCommit
+	// PresumePaxos is Paxos Commit: the decision is replicated across
+	// 2f+1 acceptors, so no single node's amnesia can block anyone —
+	// an in-doubt participant reads the outcome from an acceptor
+	// quorum instead of inquiring at the coordinator.
+	PresumePaxos
 )
 
 // String returns the wire name of the presumption.
@@ -109,6 +126,8 @@ func (p Presumption) String() string {
 		return "PresumePending"
 	case PresumeCommit:
 		return "PresumeCommit"
+	case PresumePaxos:
+		return "PresumePaxos"
 	default:
 		return fmt.Sprintf("Presumption(%d)", int(p))
 	}
@@ -221,6 +240,8 @@ func (m Message) Label() string {
 		return s
 	case MsgOutcome:
 		return "Outcome" + m.Outcome.String()
+	case MsgPaxosAccept, MsgPaxosAccepted:
+		return m.Type.String() + "+" + m.Vote.String()
 	case MsgData:
 		if m.NewTx != "" {
 			return "Data+NewTx"

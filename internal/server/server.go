@@ -655,6 +655,8 @@ func ParseVariant(name string) (core.Variant, bool) {
 		return core.VariantPN, true
 	case "pc":
 		return core.VariantPC, true
+	case "paxos", "paxoscommit":
+		return core.VariantPaxos, true
 	}
 	return core.VariantBaseline, false
 }

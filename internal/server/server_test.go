@@ -33,10 +33,15 @@ func newTrio(t *testing.T, coordCfg Config) (coord, s1, s2 *Server) {
 	coord = mk(coordCfg)
 	s1 = mk(Config{Name: "S1", AuditInterval: -1})
 	s2 = mk(Config{Name: "S2", AuditInterval: -1})
+	// Full mesh: the classic variants only ever talk coordinator <->
+	// subordinate, but Paxos Commit's ballot-0 accepts flow between
+	// acceptor subordinates directly.
 	coord.RegisterPeer("S1", s1.ProtoAddr())
 	coord.RegisterPeer("S2", s2.ProtoAddr())
 	s1.RegisterPeer("C", coord.ProtoAddr())
+	s1.RegisterPeer("S2", s2.ProtoAddr())
 	s2.RegisterPeer("C", coord.ProtoAddr())
+	s2.RegisterPeer("S1", s1.ProtoAddr())
 	return coord, s1, s2
 }
 
@@ -55,7 +60,7 @@ func TestServerCommitAllVariantsOverTCP(t *testing.T) {
 	coord, s1, s2 := newTrio(t, Config{AuditInterval: -1})
 	ctx := context.Background()
 	seq := 0
-	for _, v := range []core.Variant{core.VariantBaseline, core.VariantPA, core.VariantPN, core.VariantPC} {
+	for _, v := range []core.Variant{core.VariantBaseline, core.VariantPA, core.VariantPN, core.VariantPC, core.VariantPaxos} {
 		seq++
 		tx := fmt.Sprintf("C:%d", seq)
 		out, err := coord.Commit(ctx, tx, nil, v)
@@ -76,7 +81,7 @@ func TestServerCommitAllVariantsOverTCP(t *testing.T) {
 			if !rep.OK() {
 				t.Fatalf("%s: %s", s.cfg.Name, rep)
 			}
-			if checked >= 4 {
+			if checked >= 5 {
 				break
 			}
 			if time.Now().After(deadline) {
@@ -85,7 +90,7 @@ func TestServerCommitAllVariantsOverTCP(t *testing.T) {
 			time.Sleep(5 * time.Millisecond)
 		}
 		rep, _ := s.AuditReport()
-		if rep.Exact != rep.Checked || rep.Checked < 4 {
+		if rep.Exact != rep.Checked || rep.Checked < 5 {
 			t.Fatalf("%s: checked=%d exact=%d", s.cfg.Name, rep.Checked, rep.Exact)
 		}
 	}

@@ -54,6 +54,28 @@ trap cleanup EXIT INT TERM
 echo "== building twopcd, twopcrouter, twopcload =="
 go build -o "$bindir" ./cmd/twopcd ./cmd/twopcrouter ./cmd/twopcload
 
+# portfree exits zero only when every argument port is bindable on
+# loopback: the probe half of the probe-and-retry port selection.
+cat >"$bindir/portfree.go" <<'EOF'
+package main
+
+import (
+	"net"
+	"os"
+)
+
+func main() {
+	for _, p := range os.Args[1:] {
+		l, err := net.Listen("tcp", "127.0.0.1:"+p)
+		if err != nil {
+			os.Exit(1)
+		}
+		l.Close()
+	}
+}
+EOF
+go build -o "$bindir/portfree" "$bindir/portfree.go"
+
 wait_healthy() { # url
     # POSIX sh has no locals: keep this counter's name distinct from
     # the callers' loop variables.
@@ -69,11 +91,34 @@ wait_healthy() { # url
 }
 
 for n in $FLEETS; do
-    # Distinct port blocks per fleet size so a slow drain from the
-    # previous sweep can't collide with the next one's binds.
-    proto_base=$((7400 + n * 20))
-    http_base=$((8400 + n * 20))
-    router_port=$((8300 + n))
+    # Port selection is probe-and-retry: derive a candidate block from
+    # the PID and an attempt counter, verify every port this fleet
+    # needs (n protocol + n HTTP + 1 router) is actually bindable, and
+    # move on at any collision. The old fixed blocks raced whatever
+    # else the host was running — and a slow drain from the previous
+    # sweep.
+    attempt=0
+    while :; do
+        block=$((20000 + (($$ + attempt * 613 + n * 41) % 25000)))
+        proto_base=$block
+        http_base=$((block + n))
+        router_port=$((block + 2 * n + 1))
+        ports="$router_port"
+        i=1
+        while [ "$i" -le "$n" ]; do
+            ports="$ports $((proto_base + i)) $((http_base + i))"
+            i=$((i + 1))
+        done
+        # shellcheck disable=SC2086  # ports is intentionally word-split
+        if "$bindir/portfree" $ports; then
+            break
+        fi
+        attempt=$((attempt + 1))
+        if [ "$attempt" -gt 50 ]; then
+            echo "fleetbench: no bindable port block after $attempt probes" >&2
+            exit 1
+        fi
+    done
 
     names=""
     i=1

@@ -103,6 +103,8 @@ const (
 	VariantPN       = core.VariantPN
 	// VariantPC is the presumed-commit extension variant.
 	VariantPC = core.VariantPC
+	// VariantPaxos is the non-blocking Paxos Commit extension variant.
+	VariantPaxos = core.VariantPaxos
 )
 
 // Votes.
@@ -218,7 +220,7 @@ func RecoverKVStore(name string, log *Log, eng *Engine, opts ...kvstore.Option) 
 type (
 	// LiveParticipant runs the commit protocol with goroutines over a
 	// netsim transport, pipelining many concurrent transactions; all
-	// four variants are supported via LiveWithVariant.
+	// five variants are supported via LiveWithVariant.
 	LiveParticipant = live.Participant
 	// LiveOption configures a live participant at construction.
 	LiveOption = live.Option
