@@ -9,9 +9,12 @@
 //
 // The default gates are committed throughput (commits/sec) of the
 // optimized live TCP multi-subordinate path — the headline number the
-// perf work in this repo optimises — and allocations per commit
-// (allocs/op) of the optimized in-process path, so the allocation
-// scrub can't silently regress either. Gates are direction-aware
+// perf work in this repo optimises — allocations per commit
+// (allocs/op) of the optimized in-process path so the allocation
+// scrub can't silently regress, and the fsync-honest pair: durable
+// commits/sec of the adaptive live TCP benchmark and syncs/force of
+// the adaptive WAL force benchmark at 16 forcers, so group-commit
+// amortization can't silently decay. Gates are direction-aware
 // (throughput improves upward, times and counts downward) with a 20%
 // tolerance to absorb shared-runner noise. Every benchmark common to
 // both files is printed for context; only the gates decide the exit
@@ -58,6 +61,8 @@ type gate struct {
 var defaultGates = []gate{
 	{"repro/internal/live.BenchmarkLiveParallelMultiSubTCP/optimized", "commits/sec"},
 	{"repro/internal/live.BenchmarkLiveParallelMultiSub/optimized", "allocs/op"},
+	{"repro/internal/live.BenchmarkLiveParallelMultiSubTCPFsync/adaptive", "commits/sec"},
+	{"repro/internal/wal.BenchmarkWALForceFsync/forcers16/adaptive", "syncs/force"},
 }
 
 // gateFlags collects repeated -gate key:metric flags.
@@ -138,7 +143,7 @@ func diff(oldF, newF benchFile, gates []gate, tolerance float64) (string, bool) 
 			continue
 		}
 		reg := regression(g.metric, oldV, newV)
-		fmt.Fprintf(&b, "gate %s %s: %.0f -> %.0f (regression %+.1f%%, tolerance %.0f%%)\n",
+		fmt.Fprintf(&b, "gate %s %s: %g -> %g (regression %+.1f%%, tolerance %.0f%%)\n",
 			g.key, g.metric, oldV, newV, 100*reg, 100*tolerance)
 		if reg > tolerance {
 			fmt.Fprintf(&b, "GATE FAIL: %q %s regressed %.1f%% > %.0f%%\n", g.key, g.metric, 100*reg, 100*tolerance)

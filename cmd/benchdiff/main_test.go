@@ -6,8 +6,10 @@ import (
 )
 
 const (
-	tcpKey  = "repro/internal/live.BenchmarkLiveParallelMultiSubTCP/optimized"
-	chanKey = "repro/internal/live.BenchmarkLiveParallelMultiSub/optimized"
+	tcpKey   = "repro/internal/live.BenchmarkLiveParallelMultiSubTCP/optimized"
+	chanKey  = "repro/internal/live.BenchmarkLiveParallelMultiSub/optimized"
+	fsyncKey = "repro/internal/live.BenchmarkLiveParallelMultiSubTCPFsync/adaptive"
+	forceKey = "repro/internal/wal.BenchmarkWALForceFsync/forcers16/adaptive"
 )
 
 func file(cps, allocs float64) benchFile {
@@ -17,6 +19,8 @@ func file(cps, allocs float64) benchFile {
 		Benchmarks: map[string]map[string]float64{
 			tcpKey:                              {"ns/op": 180000, "commits/sec": cps},
 			chanKey:                             {"ns/op": 110000, "allocs/op": allocs},
+			fsyncKey:                            {"ns/op": 400000, "commits/sec": 2500, "syncs/force": 0.09},
+			forceKey:                            {"ns/op": 14000, "forces/sec": 70000, "syncs/force": 0.06},
 			"repro/internal/wal.BenchmarkForce": {"ns/op": 900},
 		},
 	}
@@ -99,5 +103,10 @@ func TestRegressionDirection(t *testing.T) {
 	// Allocation counts improve downward too.
 	if r := regression("allocs/op", 200, 260); r != 0.3 {
 		t.Fatalf("allocs/op 200->260 = %v, want 0.3", r)
+	}
+	// Amortization ratios improve downward: syncs/force rising means
+	// group commit decayed ("/force" is not a throughput unit).
+	if r := regression("syncs/force", 0.5, 0.75); r != 0.5 {
+		t.Fatalf("syncs/force 0.5->0.75 = %v, want 0.5", r)
 	}
 }

@@ -62,7 +62,10 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 256, "admission limit; excess commits are shed with 503")
 	auditEvery := flag.Duration("audit-interval", time.Second, "conformance-audit period (negative disables)")
 	traceRing := flag.Int("trace-ring", 4096, "/tracez ring capacity (negative disables tracing)")
-	walPath := flag.String("wal", "", "durable WAL file path (empty = in-memory)")
+	walPath := flag.String("wal", "", "durable WAL segment directory (empty = in-memory; an existing plain file is opened as a legacy JSON log)")
+	walFsync := flag.Bool("wal-fsync", true, "issue real fdatasync on WAL forces (off trades durability for speed)")
+	walGroupWindow := flag.Duration("wal-group-window", 2*time.Millisecond, "max adaptive group-commit window; 0 forces every sync immediately")
+	walSegmentBytes := flag.Int64("wal-segment-bytes", 4<<20, "preallocated WAL segment size")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long a signal-triggered drain waits for inflight commits")
 	voteTimeout := flag.Duration("vote-timeout", 2*time.Second, "phase-one vote collection deadline")
 	ackTimeout := flag.Duration("ack-timeout", 2*time.Second, "phase-two ack collection deadline")
@@ -105,11 +108,28 @@ func main() {
 		cfg.Subs = strings.Split(*subs, ",")
 	}
 	if *walPath != "" {
-		store, err := wal.OpenFileStore(*walPath)
-		if err != nil {
-			log.Fatalf("twopcd: open wal: %v", err)
+		if st, err := os.Stat(*walPath); err == nil && !st.IsDir() {
+			// Legacy newline-JSON log file from earlier deployments.
+			store, err := wal.OpenFileStore(*walPath, wal.WithFsync(*walFsync))
+			if err != nil {
+				log.Fatalf("twopcd: open wal: %v", err)
+			}
+			cfg.Log = wal.New(store)
+		} else {
+			store, err := wal.OpenSegmentStore(*walPath,
+				wal.WithSegmentFsync(*walFsync),
+				wal.WithSegmentBytes(*walSegmentBytes))
+			if err != nil {
+				log.Fatalf("twopcd: open wal: %v", err)
+			}
+			cfg.Log = wal.New(store)
 		}
-		cfg.Log = wal.New(store)
+		if *walGroupWindow > 0 {
+			// The adaptive pipeline batches concurrent forces into
+			// shared fdatasyncs; with a zero window every force pays
+			// its own sync (ImmediateSync, the Log default).
+			cfg.LiveOptions = append(cfg.LiveOptions, live.WithAdaptiveCommit(*walGroupWindow))
+		}
 	}
 
 	s, err := server.New(cfg)

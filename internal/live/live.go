@@ -126,6 +126,14 @@ type Participant struct {
 	noCoalesce    bool
 	coalesceDelay time.Duration
 
+	// Deferred WAL force-policy configuration: options only record the
+	// choice; the constructor applies it once the scheduler is final,
+	// and Restarted re-applies it to the successor's fresh log.
+	walMode       walPolicyMode
+	walGroupSize  int
+	walGroupDelay time.Duration
+	walMaxWindow  time.Duration
+
 	stopped chan struct{}
 	wg      sync.WaitGroup
 
@@ -213,7 +221,28 @@ func NewParticipant(name string, ep netsim.Endpoint, log *wal.Log, resources []c
 	if !p.noCoalesce {
 		p.out = newCoalescer(p, p.coalesceDelay)
 	}
+	p.applyWALPolicy()
 	return p
+}
+
+// walPolicyMode names the deferred WAL force-policy choice.
+type walPolicyMode int
+
+const (
+	walPolicyNone walPolicyMode = iota
+	walPolicyGroup
+	walPolicyAdaptive
+)
+
+// applyWALPolicy installs the configured force policy on the log with
+// the participant's (final) scheduler driving its timers.
+func (p *Participant) applyWALPolicy() {
+	switch p.walMode {
+	case walPolicyGroup:
+		p.log.WithPolicy(wal.NewGroupCommit(p.walGroupSize, p.walGroupDelay).WithScheduler(p.sched))
+	case walPolicyAdaptive:
+		p.log.WithPolicy(wal.NewPipeline(p.sched, p.walMaxWindow))
+	}
 }
 
 // ShardCount reports how many shards back the per-transaction state
@@ -222,6 +251,10 @@ func (p *Participant) ShardCount() int { return len(p.shards) }
 
 // Name returns the participant's transport name.
 func (p *Participant) Name() string { return p.name }
+
+// Log returns the participant's write-ahead log; observability and
+// benchmarks read its force statistics through it.
+func (p *Participant) Log() *wal.Log { return p.log }
 
 // Variant returns the protocol variant this participant coordinates
 // with.
@@ -368,9 +401,17 @@ func (p *Participant) Restarted(ep netsim.Endpoint, opts ...Option) *Participant
 	np.trc = p.trc
 	np.lastAgent = p.lastAgent
 	np.hooks = p.hooks
+	np.walMode = p.walMode
+	np.walGroupSize = p.walGroupSize
+	np.walGroupDelay = p.walGroupDelay
+	np.walMaxWindow = p.walMaxWindow
 	for _, o := range opts {
 		o(np)
 	}
+	// Re-apply with the possibly-overridden config: the successor's
+	// log needs its own policy instance (the predecessor's pipeline
+	// died with the crash).
+	np.applyWALPolicy()
 	np.traceOn = np.trc.Enabled()
 	np.trc.Add(trace.Event{Node: np.name, Kind: trace.KindError, Detail: "restart"})
 	return np

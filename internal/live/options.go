@@ -7,7 +7,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/trace"
-	"repro/internal/wal"
 )
 
 // Option configures a Participant at construction time. Options are
@@ -70,13 +69,33 @@ func WithLastAgent() Option {
 	return func(p *Participant) { p.lastAgent = true }
 }
 
-// WithGroupCommit installs a group-commit sync policy on the
-// participant's log (§4 Group Commits): forced writes from concurrent
-// transactions coalesce into shared physical syncs — the natural
-// companion of pipelined commits. size is the batch size, maxDelay
-// the longest a force waits for company.
+// WithGroupCommit installs a fixed-parameter group-commit sync policy
+// on the participant's log (§4 Group Commits): forced writes from
+// concurrent transactions coalesce into shared physical syncs — the
+// natural companion of pipelined commits. size is the batch size,
+// maxDelay the longest a force waits for company. The policy is
+// applied at construction so its timer runs on the participant's
+// scheduler (WithClock order does not matter). See WithAdaptiveCommit
+// for the load-adaptive variant.
 func WithGroupCommit(size int, maxDelay time.Duration) Option {
-	return func(p *Participant) { p.log.WithPolicy(wal.NewGroupCommit(size, maxDelay)) }
+	return func(p *Participant) {
+		p.walMode = walPolicyGroup
+		p.walGroupSize = size
+		p.walGroupDelay = maxDelay
+	}
+}
+
+// WithAdaptiveCommit installs the adaptive single-writer force
+// pipeline on the participant's log: all forces funnel through one
+// writer goroutine whose batching window widens toward maxWindow
+// under load and collapses to zero when idle, so one fdatasync covers
+// an entire burst without taxing idle-latency. This is the policy the
+// daemon runs with fsync on.
+func WithAdaptiveCommit(maxWindow time.Duration) Option {
+	return func(p *Participant) {
+		p.walMode = walPolicyAdaptive
+		p.walMaxWindow = maxWindow
+	}
 }
 
 // WithRetrySeed fixes the jitter seed (tests want reproducible

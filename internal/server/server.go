@@ -533,6 +533,8 @@ func (s *Server) handleVarz(w http.ResponseWriter, _ *http.Request) {
 	if s.smap != nil {
 		shardMap = s.smap.String()
 	}
+	ws := s.cfg.Log.Stats()
+	fl := s.cfg.Log.ForceLatency()
 	s.mu.Lock()
 	v := map[string]any{
 		"name":             s.cfg.Name,
@@ -553,6 +555,15 @@ func (s *Server) handleVarz(w http.ResponseWriter, _ *http.Request) {
 		"audit_exact":      s.auditRep.Exact,
 		"audit_violations": len(s.auditRep.Violations),
 		"outcomes":         snap.Outcomes,
+		"wal_appends":      ws.Appends,
+		"wal_forces":       ws.Forces,
+		"wal_syncs":        ws.Syncs,
+		// syncs/force is the measured group-commit amortization: 1.0
+		// means every force paid its own sync, 1/N means batches of N.
+		"wal_syncs_per_force": ws.SyncsPerForce(),
+		"wal_force_p50_us":    fl.P50.Microseconds(),
+		"wal_force_p99_us":    fl.P99.Microseconds(),
+		"wal_force_max_us":    fl.Max.Microseconds(),
 	}
 	s.mu.Unlock()
 	w.Header().Set("Content-Type", "application/json")
@@ -777,6 +788,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 
 	fmt.Fprintf(&b, "# HELP twopc_inflight Commits currently admitted.\n# TYPE twopc_inflight gauge\ntwopc_inflight %d\n", inflight)
 	fmt.Fprintf(&b, "# HELP twopc_ledger_open Cost-ledger entries not yet closed.\n# TYPE twopc_ledger_open gauge\ntwopc_ledger_open %d\n", s.reg.CostLedgerSize())
+
+	ws := s.cfg.Log.Stats()
+	counter("twopc_wal_forces_total", "Logical WAL force requests (the paper's forced writes).", func(b *strings.Builder) {
+		fmt.Fprintf(b, "twopc_wal_forces_total %d\n", ws.Forces)
+	})
+	counter("twopc_wal_syncs_total", "Physical WAL syncs; syncs/forces is the group-commit amortization.", func(b *strings.Builder) {
+		fmt.Fprintf(b, "twopc_wal_syncs_total %d\n", ws.Syncs)
+	})
+	wfl := s.cfg.Log.ForceLatency()
+	fmt.Fprintf(&b, "# HELP twopc_wal_force_latency_seconds WAL force latency distribution (power-of-two bucket upper bounds).\n# TYPE twopc_wal_force_latency_seconds summary\n")
+	fmt.Fprintf(&b, "twopc_wal_force_latency_seconds{quantile=\"0.5\"} %g\n", wfl.P50.Seconds())
+	fmt.Fprintf(&b, "twopc_wal_force_latency_seconds{quantile=\"0.99\"} %g\n", wfl.P99.Seconds())
+	fmt.Fprintf(&b, "twopc_wal_force_latency_seconds_count %d\n", wfl.Count)
 
 	lat := snap.Latency
 	fmt.Fprintf(&b, "# HELP twopc_commit_latency_seconds Commit latency distribution.\n# TYPE twopc_commit_latency_seconds summary\n")

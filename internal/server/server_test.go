@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -92,6 +93,84 @@ func TestServerCommitAllVariantsOverTCP(t *testing.T) {
 		rep, _ := s.AuditReport()
 		if rep.Exact != rep.Checked || rep.Checked < 5 {
 			t.Fatalf("%s: checked=%d exact=%d", s.cfg.Name, rep.Checked, rep.Exact)
+		}
+	}
+}
+
+// TestServerAuditExactWithDurableWAL reruns the all-variants commit
+// sweep with every daemon logging to a real preallocated segment
+// store through the adaptive group-commit pipeline: batching forces
+// into shared fdatasyncs must not change what the audit counts — a
+// forced write is a forced write whether or not it shared a device
+// flush — so the runtime cost audit must stay exact under all five
+// variants.
+func TestServerAuditExactWithDurableWAL(t *testing.T) {
+	dir := t.TempDir()
+	mk := func(name string, subs []string) *Server {
+		store, err := wal.OpenSegmentStore(filepath.Join(dir, name), wal.WithSegmentFsync(true))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := New(Config{
+			Name:          name,
+			Subs:          subs,
+			AuditInterval: -1,
+			Log:           wal.New(store),
+			LiveOptions:   []live.Option{live.WithAdaptiveCommit(2 * time.Millisecond)},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { s.Close(); store.Close() })
+		return s
+	}
+	coord := mk("C", []string{"S1", "S2"})
+	s1 := mk("S1", nil)
+	s2 := mk("S2", nil)
+	coord.RegisterPeer("S1", s1.ProtoAddr())
+	coord.RegisterPeer("S2", s2.ProtoAddr())
+	s1.RegisterPeer("C", coord.ProtoAddr())
+	s1.RegisterPeer("S2", s2.ProtoAddr())
+	s2.RegisterPeer("C", coord.ProtoAddr())
+	s2.RegisterPeer("S1", s1.ProtoAddr())
+
+	ctx := context.Background()
+	seq := 0
+	for _, v := range []core.Variant{core.VariantBaseline, core.VariantPA, core.VariantPN, core.VariantPC, core.VariantPaxos} {
+		seq++
+		tx := fmt.Sprintf("C:%d", seq)
+		out, err := coord.Commit(ctx, tx, nil, v)
+		if err != nil || out != live.Committed {
+			t.Fatalf("%s commit = %v, %v", v, out, err)
+		}
+	}
+
+	for _, s := range []*Server{coord, s1, s2} {
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			rep := s.AuditNow()
+			s.mu.Lock()
+			checked := s.auditRep.Checked
+			s.mu.Unlock()
+			if !rep.OK() {
+				t.Fatalf("%s: %s", s.cfg.Name, rep)
+			}
+			if checked >= 5 {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("%s: only %d entries closed", s.cfg.Name, checked)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		rep, _ := s.AuditReport()
+		if rep.Exact != rep.Checked || rep.Checked < 5 {
+			t.Fatalf("%s: checked=%d exact=%d", s.cfg.Name, rep.Checked, rep.Exact)
+		}
+		// The durable path really was durable: the segment store saw
+		// physical flushes and the log attributed every force.
+		if ws := s.cfg.Log.Stats(); ws.Forces == 0 || ws.Syncs == 0 {
+			t.Fatalf("%s: wal stats %+v, want forces and syncs > 0", s.cfg.Name, ws)
 		}
 	}
 }

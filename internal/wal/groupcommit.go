@@ -3,12 +3,14 @@ package wal
 import (
 	"sync"
 	"time"
+
+	"repro/internal/clock"
 )
 
 // SyncPolicy decides how a logical force request is turned into
 // physical syncs. Policies may coalesce concurrent requests (group
 // commit) but must not return before the requester's record is in
-// stable storage.
+// stable storage (the LSN-coverage contract documented on Log.Force).
 type SyncPolicy interface {
 	ForceSync(l *Log) error
 }
@@ -27,14 +29,18 @@ func (ImmediateSync) ForceSync(l *Log) error { return l.flush() }
 // Every force request blocks until a sync covering it completes, so
 // durability guarantees are unchanged; only the number of physical
 // syncs (and individual latency) differ.
+//
+// GroupCommit is the fixed-parameter A/B baseline for the adaptive
+// Pipeline; its timer runs on an injectable clock.Scheduler so
+// virtual-time tests can drive batch expiry deterministically.
 type GroupCommit struct {
 	size     int
 	maxDelay time.Duration
+	sched    clock.Scheduler
 
 	mu      sync.Mutex
 	cur     *groupBatch
 	count   int
-	timer   *time.Timer
 	batches int // total batches fired, for tests and benchmarks
 }
 
@@ -46,7 +52,8 @@ type groupBatch struct {
 // NewGroupCommit returns a group-commit policy with the given batch
 // size and maximum delay. Size is clamped to at least 1; a
 // non-positive delay fires batches as soon as the scheduler allows,
-// degenerating to near-immediate syncs.
+// degenerating to near-immediate syncs. The timer defaults to wall
+// time; use WithScheduler to inject a virtual clock.
 func NewGroupCommit(size int, maxDelay time.Duration) *GroupCommit {
 	if size < 1 {
 		size = 1
@@ -54,7 +61,16 @@ func NewGroupCommit(size int, maxDelay time.Duration) *GroupCommit {
 	if maxDelay < 0 {
 		maxDelay = 0
 	}
-	return &GroupCommit{size: size, maxDelay: maxDelay}
+	return &GroupCommit{size: size, maxDelay: maxDelay, sched: clock.NewWall()}
+}
+
+// WithScheduler routes the batch-expiry timer through s and returns g
+// for chaining. Call it before the policy sees traffic.
+func (g *GroupCommit) WithScheduler(s clock.Scheduler) *GroupCommit {
+	if s != nil {
+		g.sched = s
+	}
+	return g
 }
 
 // ForceSync joins the current batch (opening one if needed) and
@@ -65,7 +81,15 @@ func (g *GroupCommit) ForceSync(l *Log) error {
 		b := &groupBatch{done: make(chan struct{})}
 		g.cur = b
 		g.count = 0
-		g.timer = time.AfterFunc(g.maxDelay, func() { g.fire(l, b) })
+		t := g.sched.NewTimer(g.maxDelay)
+		go func() {
+			select {
+			case <-t.C():
+				g.fire(l, b)
+			case <-b.done:
+				t.Stop()
+			}
+		}()
 	}
 	b := g.cur
 	g.count++
@@ -90,10 +114,6 @@ func (g *GroupCommit) fire(l *Log, b *groupBatch) {
 		return
 	}
 	g.cur = nil
-	if g.timer != nil {
-		g.timer.Stop()
-		g.timer = nil
-	}
 	g.batches++
 	g.mu.Unlock()
 

@@ -4,6 +4,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/clock"
 )
 
 func TestGroupCommitBatchesBySize(t *testing.T) {
@@ -122,5 +124,47 @@ func TestGroupCommitReducesSyncsVersusImmediate(t *testing.T) {
 	}
 	if grouped >= immediate {
 		t.Fatalf("group commit did not reduce syncs: %d >= %d", grouped, immediate)
+	}
+}
+
+// TestGroupCommitVirtualClockTimer proves the batch-expiry timer runs
+// on the injected scheduler: under a virtual clock a partial batch
+// fires exactly when the test advances past maxDelay, never from the
+// wall scheduler.
+func TestGroupCommitVirtualClockTimer(t *testing.T) {
+	v := clock.NewVirtual()
+	store := NewMemStore()
+	gc := NewGroupCommit(100, 10*time.Millisecond).WithScheduler(v)
+	l := New(store).WithPolicy(gc)
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := l.Force(rec("t", "Committed"))
+		done <- err
+	}()
+
+	// The force needs virtual time to reach the deadline. Wait for
+	// the timer to be registered, then advance exactly to it.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if d, ok := v.NextDeadline(); ok {
+			v.AdvanceTo(d)
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("group-commit timer never registered on the virtual clock")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("force: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("force did not complete after advancing the virtual clock")
+	}
+	if got, _ := l.Records(); len(got) != 1 {
+		t.Fatalf("record not durable after virtual-time fire: %v", got)
 	}
 }

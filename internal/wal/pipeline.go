@@ -1,0 +1,294 @@
+package wal
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// Pipeline is the adaptive single-writer force policy: every force
+// request is enqueued to one writer goroutine that absorbs concurrent
+// requests the way the TCP transport's writer absorbs sends. The
+// writer gathers a batch, hardens the whole log buffer with one
+// physical sync, and wakes every forcer the sync covered — encode,
+// write, and fsync all happen outside the callers' critical sections.
+//
+// The batching window adapts to the arrival rate: while batches keep
+// containing more than one request the window doubles toward
+// maxWindow, so a loaded disk absorbs ever-larger groups; as soon as
+// batches shrink to single requests the window halves back and then
+// collapses to zero, so an idle log forces with near-immediate
+// latency. This is the commit-interval adaptation the paper's §4
+// group-commit discussion points at: the fixed window of GroupCommit
+// either wastes latency when idle or caps batching under load, and
+// the right value changes with the offered load.
+//
+// A Pipeline serves exactly one Log. Timers run on the injected
+// clock.Scheduler, so virtual-time tests drive the window
+// deterministically.
+type Pipeline struct {
+	sched     clock.Scheduler
+	maxWindow time.Duration
+	base      time.Duration // smallest non-zero window
+	batchCap  int
+
+	start sync.Once
+	reqs  chan forceReq
+	stopc chan struct{}
+	stop1 sync.Once
+
+	mu      sync.Mutex
+	log     *Log
+	window  time.Duration
+	batches int
+}
+
+type forceReq struct {
+	lsn  int64
+	done chan error // buffered(1): the writer never blocks completing a request
+}
+
+// PipelineOption configures a Pipeline.
+type PipelineOption func(*Pipeline)
+
+// WithBaseWindow sets the smallest non-zero batching window the
+// adaptation passes through on its way up from (and down to) zero.
+// The default is maxWindow/16.
+func WithBaseWindow(d time.Duration) PipelineOption {
+	return func(p *Pipeline) {
+		if d > 0 {
+			p.base = d
+		}
+	}
+}
+
+// WithBatchCap bounds how many force requests one batch may absorb.
+func WithBatchCap(n int) PipelineOption {
+	return func(p *Pipeline) {
+		if n > 0 {
+			p.batchCap = n
+		}
+	}
+}
+
+// NewPipeline returns an adaptive single-writer policy whose batching
+// window grows under load up to maxWindow and collapses to zero when
+// idle. A nil scheduler defaults to wall time.
+func NewPipeline(sched clock.Scheduler, maxWindow time.Duration, opts ...PipelineOption) *Pipeline {
+	if sched == nil {
+		sched = clock.NewWall()
+	}
+	if maxWindow < 0 {
+		maxWindow = 0
+	}
+	p := &Pipeline{
+		sched:     sched,
+		maxWindow: maxWindow,
+		base:      maxWindow / 16,
+		batchCap:  1024,
+		reqs:      make(chan forceReq, 1024),
+		stopc:     make(chan struct{}),
+	}
+	if p.base <= 0 {
+		p.base = 50 * time.Microsecond
+	}
+	for _, o := range opts {
+		o(p)
+	}
+	return p
+}
+
+// ForceSync satisfies SyncPolicy for callers that don't thread an
+// LSN; it waits for a sync covering everything buffered at call time.
+func (p *Pipeline) ForceSync(l *Log) error {
+	l.mu.Lock()
+	var lsn int64
+	if n := len(l.buffered); n > 0 {
+		lsn = l.buffered[n-1].LSN
+	}
+	l.mu.Unlock()
+	return p.forceLSN(l, lsn)
+}
+
+// forceLSN implements the lsnForcer fast path Log.Force dispatches
+// to: enqueue a request for lsn and block until a sync covering it
+// completes (or the pipeline stops, yielding ErrClosed).
+func (p *Pipeline) forceLSN(l *Log, lsn int64) error {
+	p.start.Do(func() {
+		p.mu.Lock()
+		p.log = l
+		p.mu.Unlock()
+		go p.run(l)
+	})
+	req := forceReq{lsn: lsn, done: make(chan error, 1)}
+	select {
+	case p.reqs <- req:
+	case <-p.stopc:
+		return ErrClosed
+	}
+	select {
+	case err := <-req.done:
+		return err
+	case <-p.stopc:
+		// The writer may have completed the request concurrently with
+		// stopping; prefer its answer if one is already buffered.
+		select {
+		case err := <-req.done:
+			return err
+		default:
+			return ErrClosed
+		}
+	}
+}
+
+// stop shuts the writer down (policyStopper, called by Log.Close and
+// Log.Crash). Pending and queued forcers unblock with ErrClosed.
+func (p *Pipeline) stop() {
+	p.stop1.Do(func() { close(p.stopc) })
+}
+
+// run is the single writer. It owns all physical syncing for l.
+func (p *Pipeline) run(l *Log) {
+	batch := make([]forceReq, 0, p.batchCap)
+	for {
+		batch = batch[:0]
+		select {
+		case r := <-p.reqs:
+			batch = append(batch, r)
+		case <-p.stopc:
+			p.drain(batch)
+			return
+		}
+		// Absorb everything already queued, free of charge.
+		batch = p.absorb(batch)
+		// If the adaptive window is open, linger for stragglers.
+		if w := p.Window(); w > 0 && len(batch) < p.batchCap {
+			var stopped bool
+			batch, stopped = p.gather(batch, w)
+			if stopped {
+				p.drain(batch)
+				return
+			}
+		}
+
+		var max int64
+		for _, r := range batch {
+			if r.lsn > max {
+				max = r.lsn
+			}
+		}
+		var err error
+		if max > l.SyncedLSN() || max == 0 {
+			// max == 0 means an explicit Sync-style request with an
+			// empty buffer snapshot; flush is cheap and keeps the
+			// semantics simple.
+			err = l.flush()
+		}
+		for _, r := range batch {
+			r.done <- err
+		}
+		p.adapt(len(batch))
+	}
+}
+
+// quietSpins bounds how many empty scheduler yields gather tolerates
+// before declaring the queue dry and cutting the batch.
+const quietSpins = 128
+
+// gather lingers for straggler requests while they keep arriving. OS
+// timer resolution (a millisecond or more on some hosts) dwarfs an
+// fdatasync, so the linger is a bounded run of scheduler yields
+// rather than a timer: the countdown resets every time a request
+// lands, the batch cuts as soon as the queue stays dry, and the
+// window caps the total wait via the clock. Because the adaptation
+// collapses the window to zero on single-request batches, sparse
+// traffic never enters this loop at all. The second result is true
+// when the pipeline stopped mid-gather.
+func (p *Pipeline) gather(batch []forceReq, w time.Duration) ([]forceReq, bool) {
+	deadline := p.sched.Now() + w
+	for spins := 0; len(batch) < p.batchCap && spins < quietSpins; {
+		select {
+		case r := <-p.reqs:
+			batch = append(batch, r)
+			spins = 0
+		case <-p.stopc:
+			return batch, true
+		default:
+			spins++
+			runtime.Gosched()
+			if p.sched.Now() >= deadline {
+				return batch, false
+			}
+		}
+	}
+	return batch, false
+}
+
+// absorb appends every request already sitting in the queue, up to
+// the batch cap, without blocking.
+func (p *Pipeline) absorb(batch []forceReq) []forceReq {
+	for len(batch) < p.batchCap {
+		select {
+		case r := <-p.reqs:
+			batch = append(batch, r)
+		default:
+			return batch
+		}
+	}
+	return batch
+}
+
+// drain answers every queued request with ErrClosed after stop.
+func (p *Pipeline) drain(batch []forceReq) {
+	for _, r := range batch {
+		r.done <- ErrClosed
+	}
+	for {
+		select {
+		case r := <-p.reqs:
+			r.done <- ErrClosed
+		default:
+			return
+		}
+	}
+}
+
+// adapt widens the window while batches are multi-request and
+// collapses it when traffic thins.
+func (p *Pipeline) adapt(batchLen int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.batches++
+	if batchLen > 1 {
+		w := p.window * 2
+		if w < p.base {
+			w = p.base
+		}
+		if w > p.maxWindow {
+			w = p.maxWindow
+		}
+		p.window = w
+	} else {
+		p.window /= 2
+		if p.window < p.base {
+			p.window = 0
+		}
+	}
+}
+
+// Window reports the current adaptive batching window (zero when the
+// pipeline has collapsed to immediate mode).
+func (p *Pipeline) Window() time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.window
+}
+
+// Batches reports how many batches the writer has completed.
+func (p *Pipeline) Batches() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.batches
+}

@@ -1,0 +1,254 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// advanceVirtual runs a background driver that advances v to each
+// next timer deadline until stop is closed, so pipeline tests using a
+// virtual clock never hang on a window timer.
+func advanceVirtual(v *clock.Virtual, stop chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if d, ok := v.NextDeadline(); ok {
+				v.AdvanceTo(d)
+			} else {
+				time.Sleep(100 * time.Microsecond)
+			}
+		}
+	}()
+}
+
+func TestPipelineForceIsDurable(t *testing.T) {
+	store := NewMemStore()
+	l := New(store).WithPolicy(NewPipeline(nil, time.Millisecond))
+	defer l.Close()
+	for i := 0; i < 10; i++ {
+		lsn, err := l.Force(Record{Tx: "t", Kind: "Prepared"})
+		if err != nil {
+			t.Fatalf("force: %v", err)
+		}
+		if got := l.SyncedLSN(); got < lsn {
+			t.Fatalf("force returned before coverage: synced %d < lsn %d", got, lsn)
+		}
+		recs, _ := store.Records()
+		if int64(len(recs)) < lsn {
+			t.Fatalf("store has %d records, want >= %d", len(recs), lsn)
+		}
+	}
+}
+
+func TestPipelineConcurrentForcesAllDurable(t *testing.T) {
+	store := NewMemStore()
+	l := New(store).WithPolicy(NewPipeline(nil, time.Millisecond))
+	defer l.Close()
+	const workers = 32
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				lsn, err := l.Force(Record{Tx: fmt.Sprintf("t%d-%d", i, j), Kind: "Committed"})
+				if err != nil {
+					t.Errorf("force: %v", err)
+					return
+				}
+				if got := l.SyncedLSN(); got < lsn {
+					t.Errorf("synced %d < forced lsn %d", got, lsn)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	recs, _ := store.Records()
+	if len(recs) != workers*20 {
+		t.Fatalf("durable records = %d, want %d", len(recs), workers*20)
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].LSN <= recs[i-1].LSN {
+			t.Fatalf("store order broken at %d: %d after %d", i, recs[i].LSN, recs[i-1].LSN)
+		}
+	}
+}
+
+func TestPipelineBatchesConcurrentForces(t *testing.T) {
+	// A MemStore syncs instantly; an infinitely fast device never
+	// piles requests up, so give the sync a realistic latency.
+	store := &hookedStore{Store: NewMemStore(), beforeSync: func() { time.Sleep(200 * time.Microsecond) }}
+	l := New(store).WithPolicy(NewPipeline(nil, 2*time.Millisecond))
+	defer l.Close()
+	const workers = 16
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 25; j++ {
+				if _, err := l.Force(Record{Tx: fmt.Sprintf("t%d-%d", i, j)}); err != nil {
+					t.Errorf("force: %v", err)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	st := l.Stats()
+	if st.Syncs >= st.Forces {
+		t.Fatalf("no batching: %d syncs for %d forces", st.Syncs, st.Forces)
+	}
+}
+
+func TestPipelineAdaptiveWindowWidensAndCollapses(t *testing.T) {
+	v := clock.NewVirtual()
+	stop := make(chan struct{})
+	defer close(stop)
+	advanceVirtual(v, stop)
+
+	store := NewMemStore()
+	// A slow sync makes requests pile up so batches are reliably >1.
+	var slow atomic.Bool
+	store2 := &hookedStore{Store: store, beforeSync: func() {
+		if slow.Load() {
+			time.Sleep(time.Millisecond)
+		}
+	}}
+	p := NewPipeline(v, 8*time.Millisecond, WithBaseWindow(time.Millisecond))
+	l := New(store2).WithPolicy(p)
+	defer l.Close()
+
+	slow.Store(true)
+	// Sample the window while the burst runs: the tail of the burst
+	// can legitimately shrink it again, so the widening claim is about
+	// the maximum reached, not the final value.
+	var maxWindow atomic.Int64
+	sampleStop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-sampleStop:
+				return
+			default:
+			}
+			if w := int64(p.Window()); w > maxWindow.Load() {
+				maxWindow.Store(w)
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 10; j++ {
+				if _, err := l.Force(Record{Tx: fmt.Sprintf("burst%d-%d", i, j)}); err != nil {
+					t.Errorf("force: %v", err)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(sampleStop)
+	if maxWindow.Load() == 0 {
+		t.Fatalf("window never widened under concurrent load")
+	}
+	slow.Store(false)
+
+	// Idle traffic: strictly sequential forces shrink the window back
+	// to zero (each batch holds exactly one request).
+	for i := 0; i < 20; i++ {
+		if _, err := l.Force(Record{Tx: fmt.Sprintf("idle%d", i)}); err != nil {
+			t.Fatalf("force: %v", err)
+		}
+	}
+	if w := p.Window(); w != 0 {
+		t.Fatalf("window = %v after idle traffic, want 0", w)
+	}
+}
+
+func TestPipelineCrashUnblocksForcers(t *testing.T) {
+	store := NewMemStore()
+	release := make(chan struct{})
+	var once sync.Once
+	blocked := make(chan struct{})
+	hs := &hookedStore{Store: store, beforeSync: func() {
+		once.Do(func() { close(blocked) })
+		<-release
+	}}
+	l := New(hs).WithPolicy(NewPipeline(nil, time.Millisecond))
+
+	errc := make(chan error, 1)
+	go func() {
+		_, err := l.Force(Record{Tx: "stuck"})
+		errc <- err
+	}()
+	<-blocked // the writer is inside the sync
+	go func() {
+		_, err := l.Force(Record{Tx: "queued"})
+		errc <- err
+	}()
+	time.Sleep(time.Millisecond)
+	l.Crash()
+	close(release)
+
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-errc:
+			// The in-flight force may have been covered by the sync
+			// that was already running; the queued one must fail.
+			if err != nil && !errors.Is(err, ErrClosed) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("forcer still blocked after crash")
+		}
+	}
+	if _, err := l.Force(Record{Tx: "late"}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("force after crash = %v, want ErrClosed", err)
+	}
+}
+
+func TestPipelineSyncErrorPropagates(t *testing.T) {
+	store := NewMemStore()
+	l := New(store).WithPolicy(NewPipeline(nil, time.Millisecond))
+	defer l.Close()
+	if _, err := l.Force(Record{Tx: "ok"}); err != nil {
+		t.Fatalf("first force: %v", err)
+	}
+	boom := errors.New("device on fire")
+	store.FailNext(boom)
+	if _, err := l.Force(Record{Tx: "bad"}); !errors.Is(err, boom) {
+		t.Fatalf("force error = %v, want %v", err, boom)
+	}
+	// The pipeline must keep serving after an error.
+	if _, err := l.Force(Record{Tx: "after"}); err != nil {
+		t.Fatalf("force after error: %v", err)
+	}
+}
+
+// hookedStore wraps a Store with a before-sync hook (MemStore has no
+// stall injection of its own).
+type hookedStore struct {
+	Store
+	beforeSync func()
+}
+
+func (h *hookedStore) Sync() error {
+	if h.beforeSync != nil {
+		h.beforeSync()
+	}
+	return h.Store.Sync()
+}

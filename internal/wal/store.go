@@ -175,6 +175,11 @@ func (s *FileStore) Sync() error {
 // The write buffer is flushed first so the result includes synced
 // records; a real crash would lose the unflushed tail, which is
 // exactly the volatility the Log models.
+//
+// The scan is torn-tail tolerant: a crash mid-append can leave a
+// truncated or garbled final line, and recovery must come back with
+// every whole record rather than fail. Scanning stops at the first
+// line that is incomplete (no trailing newline) or does not parse.
 func (s *FileStore) Records() ([]Record, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -187,13 +192,20 @@ func (s *FileStore) Records() ([]Record, error) {
 	}
 	defer f.Close()
 	var out []Record
-	dec := json.NewDecoder(f)
+	r := bufio.NewReaderSize(f, 1<<20)
 	for {
-		var rec Record
-		if err := dec.Decode(&rec); err == io.EOF {
+		line, err := r.ReadBytes('\n')
+		if err == io.EOF {
+			// A final line without its newline never finished being
+			// written; it is the torn tail.
 			break
-		} else if err != nil {
+		}
+		if err != nil {
 			return nil, fmt.Errorf("wal: scan %s: %w", s.path, err)
+		}
+		var rec Record
+		if json.Unmarshal(line, &rec) != nil {
+			break
 		}
 		out = append(out, rec)
 	}

@@ -1,6 +1,7 @@
 package wal
 
 import (
+	"os"
 	"path/filepath"
 	"testing"
 )
@@ -84,5 +85,101 @@ func TestLogOverFileStore(t *testing.T) {
 	}
 	if len(got) != 2 {
 		t.Fatalf("records = %d, want 2", len(got))
+	}
+}
+
+// TestFileStoreTornTailRecovery: a crash mid-append can leave the
+// final JSON line truncated (or garbled). The recovery scan must
+// return every whole record instead of failing.
+func TestFileStoreTornTailRecovery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "torn.wal")
+	s, err := OpenFileStore(path, WithFsync(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := s.Append(Record{LSN: int64(i + 1), Tx: "t", Kind: "Prepared"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the last record: drop its closing bytes and newline.
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, st.Size()-7); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenFileStore(path, WithFsync(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got, err := s2.Records()
+	if err != nil {
+		t.Fatalf("recovery scan: %v", err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("recovered %d records, want 4 (torn tail dropped)", len(got))
+	}
+	// The store keeps working after recovery: the torn bytes are
+	// overwritten-by-append semantics are not required, only that new
+	// whole records land and the scan stays torn-tolerant.
+	if err := s2.Append(Record{LSN: 6, Tx: "t", Kind: "Committed"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFileStoreGarbageTailRecovery covers the bad-CRC analog for the
+// JSON store: a final line of garbage bytes (with newline) stops the
+// scan without error.
+func TestFileStoreGarbageTailRecovery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "garbage.wal")
+	s, err := OpenFileStore(path, WithFsync(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.Append(Record{LSN: int64(i + 1), Tx: "t", Kind: "Prepared"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("\x00\xff{{not json\n"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2, err := OpenFileStore(path, WithFsync(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got, err := s2.Records()
+	if err != nil {
+		t.Fatalf("recovery scan: %v", err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("recovered %d records, want 3", len(got))
 	}
 }

@@ -1,0 +1,9 @@
+//go:build !linux
+
+package wal
+
+import "os"
+
+// fdatasync falls back to a full fsync on platforms without a
+// distinct data-only sync.
+func fdatasync(f *os.File) error { return f.Sync() }

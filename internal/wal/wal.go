@@ -7,15 +7,18 @@
 // force (or some other log-manager event) hardens them. A system
 // crash loses the buffer but never synced records. Log exposes
 // exactly this model, plus the two log-manager optimizations of §4:
-// group commit (SyncPolicy) and log sharing between a transaction
-// manager and its local resource managers (a single *Log passed to
-// both; see Stats for how forces are attributed).
+// group commit (SyncPolicy, and the single-writer force Pipeline) and
+// log sharing between a transaction manager and its local resource
+// managers (a single *Log passed to both; see Stats for how forces
+// are attributed).
 package wal
 
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 	"sync"
+	"time"
 )
 
 // Record is one log entry. Kind and Tx are free-form strings so the
@@ -57,20 +60,41 @@ type Stats struct {
 	Lost    int // buffered records discarded by Crash
 }
 
+// SyncsPerForce is the measured group-commit amortization factor: the
+// paper's forced-write columns assume one physical sync per force;
+// batching drives this ratio toward 1/batch-size. Zero forces yield 0.
+func (s Stats) SyncsPerForce() float64 {
+	if s.Forces == 0 {
+		return 0
+	}
+	return float64(s.Syncs) / float64(s.Forces)
+}
+
 // Log is a write-ahead log manager. It is safe for concurrent use.
 type Log struct {
-	mu       sync.Mutex
-	store    Store
-	buffered []Record // appended to store but store-side volatile? No: not yet appended
-	nextLSN  int64
-	closed   bool
-	stats    Stats
-	observer Observer
-	policy   SyncPolicy
+	// flushMu serializes flush end to end (buffer snapshot + store
+	// append + sync) so records reach the store in LSN order even when
+	// several forcers (or Close racing the Pipeline writer) flush
+	// concurrently. It is always acquired before mu, never inside it.
+	flushMu sync.Mutex
+
+	mu        sync.Mutex
+	store     Store
+	buffered  []Record // records appended to the Log but not yet handed to the store (lost on Crash)
+	nextLSN   int64
+	syncedLSN int64 // highest LSN the store has hardened (flush updates it)
+	closed    bool
+	stats     Stats
+	observer  Observer
+	policy    SyncPolicy
+
+	// forceLat is a power-of-two latency histogram over force calls:
+	// bucket i counts forces that completed in < 2^i microseconds.
+	forceLat [32]int64
 }
 
 // New returns a log manager over store using immediate sync for
-// forces. Use WithPolicy to install group commit.
+// forces. Use WithPolicy to install group commit or a Pipeline.
 func New(store Store) *Log {
 	return &Log{store: store, nextLSN: 1, policy: ImmediateSync{}}
 }
@@ -114,9 +138,31 @@ func (l *Log) Append(rec Record) (int64, error) {
 // buffered record — is in stable storage (subject to the SyncPolicy,
 // which may coalesce syncs across writers but never weakens the
 // guarantee).
+//
+// The LSN-coverage contract every policy (and the Pipeline's writer
+// goroutine) upholds: a Force returning nil means a physical sync
+// completed that began after rec entered the buffer, i.e.
+// SyncedLSN() >= rec.LSN. Because flush always hardens the entire
+// buffer in LSN order, one sync may cover many concurrent forces —
+// that is the whole point of group commit — but no force may be
+// answered by a sync that started before its record was buffered.
 func (l *Log) Force(rec Record) (int64, error) {
 	rec.Forced = true
 	return l.write(rec, true)
+}
+
+// lsnForcer is the extended policy interface the Pipeline implements:
+// it receives the force's LSN so completions can be matched to the
+// sync that covered them (and already-covered requests short-circuit).
+type lsnForcer interface {
+	forceLSN(l *Log, lsn int64) error
+}
+
+// policyStopper is implemented by policies that own background
+// goroutines (the Pipeline's single writer); Close and Crash stop
+// them so pending forcers unblock with ErrClosed.
+type policyStopper interface {
+	stop()
 }
 
 func (l *Log) write(rec Record, force bool) (int64, error) {
@@ -140,7 +186,15 @@ func (l *Log) write(rec Record, force bool) (int64, error) {
 		obs(rec)
 	}
 	if force {
-		if err := policy.ForceSync(l); err != nil {
+		start := time.Now()
+		var err error
+		if fp, ok := policy.(lsnForcer); ok {
+			err = fp.forceLSN(l, rec.LSN)
+		} else {
+			err = policy.ForceSync(l)
+		}
+		l.observeForceLatency(time.Since(start))
+		if err != nil {
 			return rec.LSN, err
 		}
 	}
@@ -150,6 +204,8 @@ func (l *Log) write(rec Record, force bool) (int64, error) {
 // flush moves the buffer into the store and issues one physical sync.
 // It is the primitive SyncPolicies build on.
 func (l *Log) flush() error {
+	l.flushMu.Lock()
+	defer l.flushMu.Unlock()
 	l.mu.Lock()
 	if l.closed {
 		l.mu.Unlock()
@@ -160,6 +216,10 @@ func (l *Log) flush() error {
 	store := l.store
 	l.mu.Unlock()
 
+	var last int64
+	if len(buf) > 0 {
+		last = buf[len(buf)-1].LSN
+	}
 	for _, rec := range buf {
 		if err := store.Append(rec); err != nil {
 			return fmt.Errorf("wal: append to store: %w", err)
@@ -170,6 +230,9 @@ func (l *Log) flush() error {
 	}
 	l.mu.Lock()
 	l.stats.Syncs++
+	if last > l.syncedLSN {
+		l.syncedLSN = last
+	}
 	l.mu.Unlock()
 	return nil
 }
@@ -178,15 +241,27 @@ func (l *Log) flush() error {
 // explicit checkpoint-style flush).
 func (l *Log) Sync() error { return l.flush() }
 
-// Crash simulates a system failure: buffered (never-synced) records
-// are lost and the log refuses further writes. The hardened records
-// remain in the store for recovery.
-func (l *Log) Crash() {
+// SyncedLSN reports the highest LSN known to be in stable storage.
+func (l *Log) SyncedLSN() int64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	return l.syncedLSN
+}
+
+// Crash simulates a system failure: buffered (never-synced) records
+// are lost and the log refuses further writes. The hardened records
+// remain in the store for recovery. A policy with a writer goroutine
+// is stopped; its pending forcers unblock with ErrClosed.
+func (l *Log) Crash() {
+	l.mu.Lock()
 	l.stats.Lost += len(l.buffered)
 	l.buffered = nil
 	l.closed = true
+	policy := l.policy
+	l.mu.Unlock()
+	if st, ok := policy.(policyStopper); ok {
+		st.stop()
+	}
 }
 
 // Close flushes the buffer and marks the log closed.
@@ -195,8 +270,12 @@ func (l *Log) Close() error {
 		return err
 	}
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	l.closed = true
+	policy := l.policy
+	l.mu.Unlock()
+	if st, ok := policy.(policyStopper); ok {
+		st.stop()
+	}
 	return nil
 }
 
@@ -224,4 +303,63 @@ func (l *Log) BufferedLen() int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return len(l.buffered)
+}
+
+// observeForceLatency tallies one completed force into the histogram.
+func (l *Log) observeForceLatency(d time.Duration) {
+	us := d.Microseconds()
+	if us < 0 {
+		us = 0
+	}
+	idx := bits.Len64(uint64(us)) // < 2^idx microseconds
+	if idx >= len(l.forceLat) {
+		idx = len(l.forceLat) - 1
+	}
+	l.mu.Lock()
+	l.forceLat[idx]++
+	l.mu.Unlock()
+}
+
+// ForceLatencySummary condenses the force-latency distribution. The
+// quantiles are bucket upper bounds (power-of-two microseconds), so
+// they are conservative to within 2x — plenty for spotting a disk
+// stall or a group-commit window that is too wide.
+type ForceLatencySummary struct {
+	Count         int64
+	P50, P99, Max time.Duration
+}
+
+// ForceLatency summarizes the latency of every Force issued so far.
+func (l *Log) ForceLatency() ForceLatencySummary {
+	l.mu.Lock()
+	buckets := l.forceLat
+	l.mu.Unlock()
+
+	var s ForceLatencySummary
+	for _, n := range buckets {
+		s.Count += n
+	}
+	if s.Count == 0 {
+		return s
+	}
+	upper := func(i int) time.Duration {
+		return time.Duration(uint64(1)<<uint(i)) * time.Microsecond
+	}
+	var cum int64
+	p50n := (s.Count + 1) / 2
+	p99n := s.Count - s.Count/100
+	for i, n := range buckets {
+		if n == 0 {
+			continue
+		}
+		cum += n
+		if s.P50 == 0 && cum >= p50n {
+			s.P50 = upper(i)
+		}
+		if s.P99 == 0 && cum >= p99n {
+			s.P99 = upper(i)
+		}
+		s.Max = upper(i)
+	}
+	return s
 }

@@ -8,9 +8,15 @@
 # coalescing, per-packet codec) variant, so one run records the
 # before/after pair the acceptance criteria compare.
 #
+# Each benchmark runs COUNT times (default 3) and the written value is
+# the per-metric MEDIAN across runs: a single noisy neighbor or cold
+# page cache skews a mean but leaves the median alone, which is what a
+# 20%-tolerance regression gate needs to stay quiet.
+#
 # Environment knobs:
 #   BENCHTIME   go test -benchtime (default 1s)
-#   COUNT       go test -count; runs > 1 are averaged (default 1)
+#   COUNT       go test -count; medians are taken across runs (default 3)
+#   BENCH       go test -bench filter regexp (default: every benchmark)
 #   OUT         output path (default BENCH_live.json)
 #   PKGS        packages to bench (default: live wal lockmgr netsim protocol)
 #   CPUPROFILE  if set, write <CPUPROFILE>.<pkg> CPU profiles per package
@@ -19,7 +25,8 @@ set -eu
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-1s}"
-COUNT="${COUNT:-1}"
+COUNT="${COUNT:-3}"
+BENCH="${BENCH:-.}"
 OUT="${OUT:-BENCH_live.json}"
 PKGS="${PKGS:-./internal/live ./internal/wal ./internal/lockmgr ./internal/netsim ./internal/protocol}"
 
@@ -33,7 +40,7 @@ for pkg in $PKGS; do
     if [ -n "${MEMPROFILE:-}" ]; then flags="$flags -memprofile=${MEMPROFILE}.${base}"; fi
     echo "== $pkg (benchtime=$BENCHTIME, count=$COUNT) =="
     # shellcheck disable=SC2086  # flags is intentionally word-split
-    out=$(go test -run='^$' -bench=. -benchmem -benchtime="$BENCHTIME" -count="$COUNT" $flags "$pkg")
+    out=$(go test -run='^$' -bench="$BENCH" -benchmem -benchtime="$BENCHTIME" -count="$COUNT" $flags "$pkg")
     printf '%s\n' "$out"
     printf '%s\n' "$out" >>"$raw"
 done
@@ -50,22 +57,38 @@ done
             key = pkg "." $1
             if (!(key in runs)) order[n++] = key
             runs[key]++
-            iters[key] += $2
+            val[key, "@iters", runs[key]] = $2
             for (i = 3; i + 1 <= NF; i += 2) {
                 u = $(i + 1)
-                val[key, u] += $i
+                val[key, u, runs[key]] = $i
                 if (index("|" units[key], "|" u "|") == 0) units[key] = units[key] u "|"
             }
+        }
+        # median of a metric across the runs it appeared in (a custom
+        # metric may be reported by only some runs)
+        function median(key, u,   cnt, i, j, t, arr) {
+            cnt = 0
+            for (i = 1; i <= runs[key]; i++)
+                if ((key SUBSEP u SUBSEP i) in val)
+                    arr[++cnt] = val[key, u, i]
+            if (cnt == 0) return 0
+            for (i = 2; i <= cnt; i++) {
+                t = arr[i]
+                for (j = i - 1; j >= 1 && arr[j] > t; j--) arr[j + 1] = arr[j]
+                arr[j + 1] = t
+            }
+            if (cnt % 2) return arr[(cnt + 1) / 2]
+            return (arr[cnt / 2] + arr[cnt / 2 + 1]) / 2
         }
         END {
             sep = ""
             for (j = 0; j < n; j++) {
                 key = order[j]
-                printf "%s    \"%s\": {\"runs\": %d, \"iterations\": %d", sep, key, runs[key], iters[key] / runs[key]
+                printf "%s    \"%s\": {\"runs\": %d, \"iterations\": %d", sep, key, runs[key], median(key, "@iters")
                 m = split(units[key], us, "|")
                 for (k = 1; k <= m; k++)
                     if (us[k] != "")
-                        printf ", \"%s\": %g", us[k], val[key, us[k]] / runs[key]
+                        printf ", \"%s\": %g", us[k], median(key, us[k])
                 printf "}"
                 sep = ",\n"
             }

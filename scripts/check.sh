@@ -26,6 +26,12 @@ fi
 echo "== go test -race ./... =="
 go test -race ./...
 
+echo "== wal fsync smoke =="
+# Proves real fdatasyncs reach the device on this filesystem (and
+# that -wal-fsync=false really elides them) before anyone trusts a
+# durable benchmark number from this machine.
+go test -run='^TestFsyncSmoke$' -count=1 ./internal/wal
+
 echo "== fuzz smokes (10s each) =="
 go test -run='^$' -fuzz=FuzzDecode -fuzztime=10s ./internal/protocol
 go test -run='^$' -fuzz=FuzzBinaryVsGobRoundTrip -fuzztime=10s ./internal/protocol

@@ -153,6 +153,15 @@ type (
 	// GroupCommit coalesces concurrent force requests (§4 Group
 	// Commits).
 	GroupCommit = wal.GroupCommit
+	// ForcePipeline is the adaptive single-writer force policy: one
+	// writer goroutine absorbs concurrent forces into shared device
+	// syncs, with a batching window that widens under load and
+	// collapses when idle (DESIGN.md §14).
+	ForcePipeline = wal.Pipeline
+	// SegmentLog is durable stable storage over fixed-size
+	// preallocated segments with CRC-framed records, torn-tail
+	// recovery, and segment recycling.
+	SegmentLog = wal.SegmentStore
 )
 
 // NewMemLog returns a Log over in-memory stable storage.
@@ -167,9 +176,23 @@ func NewFileLog(path string) (*Log, error) {
 	return wal.New(store), nil
 }
 
+// NewSegmentLog returns a Log over a preallocated segment directory
+// with real fdatasync on every device flush.
+func NewSegmentLog(dir string) (*Log, error) {
+	store, err := wal.OpenSegmentStore(dir, wal.WithSegmentFsync(true))
+	if err != nil {
+		return nil, err
+	}
+	return wal.New(store), nil
+}
+
 // NewGroupCommit returns a group-commit sync policy; install it with
 // Log.WithPolicy.
 var NewGroupCommit = wal.NewGroupCommit
+
+// NewForcePipeline returns the adaptive single-writer force policy
+// (nil scheduler = wall clock); install it with Log.WithPolicy.
+var NewForcePipeline = wal.NewPipeline
 
 // Transactional key-value resource manager.
 type (
@@ -275,6 +298,11 @@ var (
 	// LiveWithGroupCommit coalesces concurrent WAL forces (§4 Group
 	// Commits).
 	LiveWithGroupCommit = live.WithGroupCommit
+	// LiveWithAdaptiveCommit installs the adaptive single-writer
+	// force pipeline on the participant's log (DESIGN.md §14): the
+	// batching window widens toward maxWindow under load and
+	// collapses when idle.
+	LiveWithAdaptiveCommit = live.WithAdaptiveCommit
 	// LiveWithShards overrides the per-transaction state table's shard
 	// count (default: GOMAXPROCS-derived).
 	LiveWithShards = live.WithShards
