@@ -60,6 +60,10 @@ func main() {
 	codecName := flag.String("codec", "binary", "outbound wire codec: binary, gob-stream, gob-packet")
 	shards := flag.Int("shards", 0, "state-table shard count (0 = derive from GOMAXPROCS)")
 	maxInflight := flag.Int("max-inflight", 256, "admission limit; excess commits are shed with 503")
+	admitRate := flag.Float64("admit-rate", 0, "admission token-bucket refill rate, tokens/sec (read-only = 1 token, read-write = 1/participant; 0 = inflight cap only)")
+	admitBurst := flag.Int("admit-burst", 256, "admission token-bucket capacity")
+	backpressure := flag.Bool("backpressure", false, "adapt the admit rate to live overload signals (WAL force P99, lock waiters, coalescer depth); needs -admit-rate")
+	backpressureInterval := flag.Duration("backpressure-interval", 100*time.Millisecond, "backpressure controller sample period")
 	auditEvery := flag.Duration("audit-interval", time.Second, "conformance-audit period (negative disables)")
 	traceRing := flag.Int("trace-ring", 4096, "/tracez ring capacity (negative disables tracing)")
 	walPath := flag.String("wal", "", "durable WAL segment directory (empty = in-memory; an existing plain file is opened as a legacy JSON log)")
@@ -96,6 +100,9 @@ func main() {
 		Variant:       variant,
 		Shards:        *shards,
 		MaxInflight:   *maxInflight,
+		AdmitRate:     *admitRate,
+		AdmitBurst:    *admitBurst,
+		Backpressure:  *backpressure,
 		AuditInterval: *auditEvery,
 		TraceRing:     *traceRing,
 		LiveOptions:   []live.Option{live.WithTimeout(*voteTimeout, *ackTimeout)},
@@ -103,6 +110,11 @@ func main() {
 		PeerHTTP:      peerHTTP,
 		StageTimeout:  *stageTimeout,
 		AdvertiseHTTP: *advertiseHTTP,
+
+		BackpressureInterval: *backpressureInterval,
+	}
+	if *backpressure && *admitRate <= 0 {
+		log.Fatalf("twopcd: -backpressure needs -admit-rate > 0 (the controller's ceiling)")
 	}
 	if *subs != "" {
 		cfg.Subs = strings.Split(*subs, ",")

@@ -1,0 +1,252 @@
+package admission
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+)
+
+func TestClassForAndCost(t *testing.T) {
+	cases := []struct {
+		readOnly     bool
+		participants int
+		want         Class
+		wantCost     float64
+	}{
+		{true, 1, ClassReadOnly, 1},
+		{true, 9, ClassReadOnly, 1}, // read-only wins regardless of width
+		{false, 1, ClassNormal, 1},
+		{false, 3, ClassNormal, 3},
+		{false, WideFanOut, ClassWide, float64(WideFanOut)},
+		{false, 9, ClassWide, 9},
+		{false, 0, ClassNormal, 1},
+	}
+	for _, c := range cases {
+		if got := ClassFor(c.readOnly, c.participants); got != c.want {
+			t.Errorf("ClassFor(%v, %d) = %s, want %s", c.readOnly, c.participants, got, c.want)
+		}
+		if got := CostOf(ClassFor(c.readOnly, c.participants), c.participants); got != c.wantCost {
+			t.Errorf("CostOf(readOnly=%v, %d) = %g, want %g", c.readOnly, c.participants, got, c.wantCost)
+		}
+	}
+	if ClassWide.String() != "wide" || ClassNormal.String() != "normal" || ClassReadOnly.String() != "read-only" {
+		t.Fatalf("class names: %s/%s/%s", ClassWide, ClassNormal, ClassReadOnly)
+	}
+}
+
+// TestTokenRefillDeterminism drives the bucket under virtual time:
+// refill is an exact function of rate and elapsed time, so the admit
+// sequence is reproducible decision by decision.
+func TestTokenRefillDeterminism(t *testing.T) {
+	clk := clock.NewVirtual()
+	l := NewLimiter(clk, 100, 10) // 100 tokens/sec, burst 10, starts full
+
+	// Drain the full burst with read-only admits (floor 0, cost 1).
+	for i := 0; i < 10; i++ {
+		if ok, _ := l.Admit(ClassReadOnly, 1); !ok {
+			t.Fatalf("admit %d from a full bucket: shed", i)
+		}
+	}
+	ok, retry := l.Admit(ClassReadOnly, 1)
+	if ok {
+		t.Fatal("11th admit from an empty bucket: admitted")
+	}
+	// Deficit is one token at 100/sec: 10ms.
+	if d := retry - 10*time.Millisecond; d < -time.Microsecond || d > time.Microsecond {
+		t.Fatalf("retry-after = %s, want ~10ms", retry)
+	}
+
+	// 10ms buys exactly one token.
+	clk.Advance(10 * time.Millisecond)
+	if ok, _ := l.Admit(ClassReadOnly, 1); !ok {
+		t.Fatal("admit after exactly one token refilled: shed")
+	}
+	if ok, _ := l.Admit(ClassReadOnly, 1); ok {
+		t.Fatal("second admit after one token refilled: admitted")
+	}
+
+	// 5ms buys half a token: still shed, hint shrinks accordingly.
+	clk.Advance(5 * time.Millisecond)
+	ok, retry = l.Admit(ClassReadOnly, 1)
+	if ok {
+		t.Fatal("admit on half a token: admitted")
+	}
+	if d := retry - 5*time.Millisecond; d < -time.Microsecond || d > time.Microsecond {
+		t.Fatalf("retry-after = %s, want ~5ms", retry)
+	}
+}
+
+// TestBurstBoundary checks the bucket caps at burst no matter how
+// long it idles, and that a full burst is admittable back-to-back.
+func TestBurstBoundary(t *testing.T) {
+	clk := clock.NewVirtual()
+	l := NewLimiter(clk, 100, 10)
+	for i := 0; i < 10; i++ {
+		if ok, _ := l.Admit(ClassReadOnly, 1); !ok {
+			t.Fatalf("initial burst admit %d: shed", i)
+		}
+	}
+	clk.Advance(time.Hour) // refills 360k tokens; caps at 10
+	if got := l.Stats().Tokens; got != 10 {
+		t.Fatalf("tokens after an idle hour = %g, want burst cap 10", got)
+	}
+	admits := 0
+	for i := 0; i < 100; i++ {
+		if ok, _ := l.Admit(ClassReadOnly, 1); ok {
+			admits++
+		}
+	}
+	if admits != 10 {
+		t.Fatalf("admits from a capped bucket = %d, want exactly burst 10", admits)
+	}
+}
+
+// TestPriorityOrderingUnderContention drains one bucket with no
+// refill and watches the classes starve in shed-priority order: wide
+// fan-out first, ordinary read-write second, read-only holding on
+// until the bucket is empty.
+func TestPriorityOrderingUnderContention(t *testing.T) {
+	clk := clock.NewVirtual() // never advanced: no refill
+	l := NewLimiter(clk, 1, 10)
+
+	// Full bucket: even wide fan-out admits (cost 4 + floor 5 <= 10).
+	if ok, _ := l.Admit(ClassWide, 4); !ok {
+		t.Fatal("wide from a full bucket: shed")
+	}
+	// tokens 6: wide's floor (5) + cost (4) is out of reach — wide
+	// sheds first, while both lower floors still admit.
+	if ok, _ := l.Admit(ClassWide, 4); ok {
+		t.Fatal("wide at 6 tokens: admitted, want shed (floor 5)")
+	}
+	for i := 0; i < 5; i++ { // normal: cost 1 + floor 1, drains 6 -> 1
+		if ok, _ := l.Admit(ClassNormal, 1); !ok {
+			t.Fatalf("normal admit %d above its floor: shed", i)
+		}
+	}
+	// tokens 1: normal's floor cuts it off next...
+	if ok, _ := l.Admit(ClassNormal, 1); ok {
+		t.Fatal("normal at 1 token: admitted, want shed (floor 1)")
+	}
+	// ...at the same instant read-only still gets the last token.
+	if ok, _ := l.Admit(ClassReadOnly, 1); !ok {
+		t.Fatal("read-only at 1 token: shed, want admitted")
+	}
+	// tokens 0: now everything sheds.
+	if ok, _ := l.Admit(ClassReadOnly, 1); ok {
+		t.Fatal("read-only from an empty bucket: admitted")
+	}
+
+	st := l.Stats()
+	if st.PerClass[ClassWide].Admitted != 1 || st.PerClass[ClassWide].Shed != 1 {
+		t.Fatalf("wide counts = %+v", st.PerClass[ClassWide])
+	}
+	if st.PerClass[ClassNormal].Admitted != 5 || st.PerClass[ClassNormal].Shed != 1 {
+		t.Fatalf("normal counts = %+v", st.PerClass[ClassNormal])
+	}
+	if st.PerClass[ClassReadOnly].Admitted != 1 || st.PerClass[ClassReadOnly].Shed != 1 {
+		t.Fatalf("read-only counts = %+v", st.PerClass[ClassReadOnly])
+	}
+}
+
+// TestOversizedCostStaysAdmissible: a cost that plus its reserve
+// floor exceeds burst must still be admissible from a full bucket.
+func TestOversizedCostStaysAdmissible(t *testing.T) {
+	clk := clock.NewVirtual()
+	l := NewLimiter(clk, 1, 10)
+	// Wide cost 8: 8 + floor 5 = 13 > burst 10; clamps to "full".
+	if ok, _ := l.Admit(ClassWide, 8); !ok {
+		t.Fatal("oversized wide from a full bucket: shed")
+	}
+}
+
+func TestUnlimitedRate(t *testing.T) {
+	clk := clock.NewVirtual()
+	l := NewLimiter(clk, 0, 1)
+	for i := 0; i < 1000; i++ {
+		if ok, _ := l.Admit(ClassWide, 100); !ok {
+			t.Fatal("unlimited limiter shed")
+		}
+	}
+	if got := l.Stats().PerClass[ClassWide].Admitted; got != 1000 {
+		t.Fatalf("unlimited admit count = %d", got)
+	}
+}
+
+// TestControllerAIMD drives the control law directly: overload
+// signals shrink the rate multiplicatively to the floor; healthy
+// signals grow it additively back to the ceiling.
+func TestControllerAIMD(t *testing.T) {
+	clk := clock.NewVirtual()
+	l := NewLimiter(clk, 1000, 100)
+	sig := Signal{}
+	ctrl := NewController(l, clk, func() Signal { return sig }, ControllerConfig{
+		MaxRate: 1000, // defaults: MinRate 50, decrease 0.8, step 20
+	})
+
+	// One overloaded tick per signal kind: each alone must trigger.
+	for _, s := range []Signal{
+		{WALForceP99: 25 * time.Millisecond},
+		{LockWaiters: 65},
+		{CoalesceDepth: 4097},
+	} {
+		before := l.Rate()
+		sig = s
+		ctrl.TickNow()
+		if got := l.Rate(); got >= before {
+			t.Fatalf("rate after overload signal %v: %g, want < %g", s, got, before)
+		}
+	}
+
+	// Sustained overload floors at MinRate.
+	sig = Signal{WALForceP99: time.Second}
+	for i := 0; i < 100; i++ {
+		ctrl.TickNow()
+	}
+	if got := l.Rate(); got != 50 {
+		t.Fatalf("floored rate = %g, want MinRate 50", got)
+	}
+
+	// Recovery: healthy ticks climb additively, capping at MaxRate.
+	sig = Signal{}
+	ctrl.TickNow()
+	if got := l.Rate(); got != 70 {
+		t.Fatalf("rate after one healthy tick = %g, want 50+20", got)
+	}
+	for i := 0; i < 200; i++ {
+		ctrl.TickNow()
+	}
+	if got := l.Rate(); got != 1000 {
+		t.Fatalf("recovered rate = %g, want MaxRate 1000", got)
+	}
+
+	snap := ctrl.Snapshot()
+	if snap.Decreases == 0 || snap.Increases == 0 || snap.OverloadTicks == 0 {
+		t.Fatalf("controller snapshot missing history: %+v", snap)
+	}
+	if snap.LastSignal != (Signal{}) {
+		t.Fatalf("last signal = %+v, want healthy", snap.LastSignal)
+	}
+}
+
+// TestControllerLoop runs the Start/Stop goroutine against a virtual
+// scheduler: advancing time past the interval fires ticks.
+func TestControllerLoop(t *testing.T) {
+	clk := clock.NewVirtual()
+	l := NewLimiter(clk, 1000, 100)
+	ctrl := NewController(l, clk, func() Signal { return Signal{WALForceP99: time.Second} },
+		ControllerConfig{MaxRate: 1000, Interval: 10 * time.Millisecond})
+	ctrl.Start()
+	deadline := time.Now().Add(5 * time.Second)
+	for ctrl.Snapshot().Ticks < 3 {
+		if time.Now().After(deadline) {
+			t.Fatal("controller loop never ticked under virtual time")
+		}
+		clk.Advance(10 * time.Millisecond)
+		time.Sleep(time.Millisecond) // let the loop goroutine run
+	}
+	ctrl.Stop()
+	if got := l.Rate(); got >= 1000 {
+		t.Fatalf("rate after overloaded loop ticks = %g, want decreased", got)
+	}
+}

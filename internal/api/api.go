@@ -215,6 +215,11 @@ const (
 type Error struct {
 	Code  string `json:"code"`
 	Error string `json:"error"`
+	// RetryAfterMS accompanies CodeOverloaded: the admission bucket's
+	// refill time to this request's admission point — when retrying is
+	// worthwhile rather than more load to shed. Mirrored in the HTTP
+	// Retry-After header (seconds).
+	RetryAfterMS float64 `json:"retry_after_ms,omitempty"`
 }
 
 // ErrorOf builds an Error with a formatted message.

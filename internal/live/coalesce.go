@@ -109,6 +109,20 @@ func (c *coalescer) flush(to string, q *peerQueue) {
 	}
 }
 
+// depth reports how many messages are enqueued across every peer's
+// pending batch — outbound work accepted but not yet on the wire. A
+// persistently deep queue means the transport is falling behind the
+// protocol, which is why admission backpressure samples it.
+func (c *coalescer) depth() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	total := 0
+	for _, q := range c.peers {
+		total += len(q.pending)
+	}
+	return total
+}
+
 func (c *coalescer) isClosed() bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -256,6 +256,17 @@ func (p *Participant) Name() string { return p.name }
 // benchmarks read its force statistics through it.
 func (p *Participant) Log() *wal.Log { return p.log }
 
+// CoalesceDepth reports how many outbound protocol messages are
+// queued in the flow coalescer awaiting the wire (0 when coalescing
+// is disabled). Admission backpressure samples it as a transport
+// congestion signal.
+func (p *Participant) CoalesceDepth() int {
+	if p.out == nil {
+		return 0
+	}
+	return p.out.depth()
+}
+
 // Variant returns the protocol variant this participant coordinates
 // with.
 func (p *Participant) Variant() core.Variant { return p.variant }

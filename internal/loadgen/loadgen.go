@@ -142,12 +142,23 @@ type Result struct {
 	latencies []time.Duration
 }
 
-// CommitsPerSec is the committed throughput over the whole run.
+// CommitsPerSec is the committed throughput over the whole run —
+// goodput, when the offered rate exceeds it.
 func (r Result) CommitsPerSec() float64 {
 	if r.Elapsed <= 0 {
 		return 0
 	}
 	return float64(r.Committed) / r.Elapsed.Seconds()
+}
+
+// ShedRate is the fraction of offered arrivals refused under load —
+// server-side 503s plus client-side drops (no worker free), both of
+// which are the open loop hitting a full system.
+func (r Result) ShedRate() float64 {
+	if r.Offered == 0 {
+		return 0
+	}
+	return float64(r.Shed+r.Dropped) / float64(r.Offered)
 }
 
 // Quantile returns the q-quantile (0..1) of commit latency.
@@ -216,12 +227,14 @@ func (r Result) MarshalJSON() ([]byte, error) {
 	return json.Marshal(struct {
 		alias
 		CommitsPerSec float64 `json:"commits_per_sec"`
+		ShedRate      float64 `json:"shed_rate"`
 		P50Ms         float64 `json:"p50_ms"`
 		P95Ms         float64 `json:"p95_ms"`
 		P99Ms         float64 `json:"p99_ms"`
 	}{
 		alias:         alias(r),
 		CommitsPerSec: r.CommitsPerSec(),
+		ShedRate:      r.ShedRate(),
 		P50Ms:         float64(r.Quantile(0.50)) / float64(time.Millisecond),
 		P95Ms:         float64(r.Quantile(0.95)) / float64(time.Millisecond),
 		P99Ms:         float64(r.Quantile(0.99)) / float64(time.Millisecond),

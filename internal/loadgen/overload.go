@@ -1,0 +1,133 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// OverloadConfig shapes an overload sweep: calibrate the system's
+// capacity with a saturating open-loop run, then measure goodput and
+// shedding at offered loads that are multiples of it.
+type OverloadConfig struct {
+	// Multiples are the offered-load points, as multiples of measured
+	// capacity. Default {0.5, 2, 5, 10} — 0.5x is the unloaded
+	// baseline the loaded points' latency is judged against.
+	Multiples []float64
+	// CalibrateRate is the saturating probe's offered rate; it should
+	// exceed any plausible capacity so committed/sec measures the
+	// system, not the schedule. Default 20000/s.
+	CalibrateRate float64
+	// CalibrateDuration bounds the probe. Default the sweep Config's
+	// Duration.
+	CalibrateDuration time.Duration
+	// BaselineRate, when set, skips calibration and is used as the
+	// capacity (committed transactions/sec) directly — for pinning a
+	// known baseline across runs.
+	BaselineRate float64
+}
+
+// OverloadPoint is one offered-load multiple's measurement.
+type OverloadPoint struct {
+	// Multiple of measured capacity this point offered.
+	Multiple float64 `json:"multiple"`
+	// OfferedRate is the absolute open-loop arrival rate.
+	OfferedRate float64 `json:"offered_rate"`
+	// Goodput is committed transactions/sec at this offered load.
+	Goodput float64 `json:"goodput"`
+	// ShedRate is the refused fraction of offered arrivals.
+	ShedRate float64 `json:"shed_rate"`
+	// P99Ms is the 99th-percentile latency of committed transactions.
+	P99Ms float64 `json:"p99_ms"`
+	// Result is the full tally.
+	Result Result `json:"result"`
+}
+
+// OverloadReport is one sweep: the measured capacity and each
+// offered-load point.
+type OverloadReport struct {
+	// CapacityCPS is the calibrated capacity, committed/sec.
+	CapacityCPS float64 `json:"capacity_cps"`
+	// Calibration is the saturating probe's tally (zero when
+	// BaselineRate pinned the capacity instead).
+	Calibration Result `json:"calibration"`
+	// Points are the sweep measurements, in Multiples order.
+	Points []OverloadPoint `json:"points"`
+}
+
+// Point returns the measurement at multiple m.
+func (r OverloadReport) Point(m float64) (OverloadPoint, bool) {
+	for _, p := range r.Points {
+		if p.Multiple == m {
+			return p, true
+		}
+	}
+	return OverloadPoint{}, false
+}
+
+// Summary renders the human-readable sweep report.
+func (r OverloadReport) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "capacity %.1f commits/sec\n", r.CapacityCPS)
+	fmt.Fprintf(&b, "%8s %12s %12s %10s %10s\n", "multiple", "offered/s", "goodput/s", "shed", "p99")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%7.1fx %12.1f %12.1f %9.1f%% %9.2fms\n",
+			p.Multiple, p.OfferedRate, p.Goodput, 100*p.ShedRate, p.P99Ms)
+	}
+	return b.String()
+}
+
+// RunOverload measures overload survival: calibrate capacity (unless
+// pinned), then drive each multiple of it through c on base's workers
+// and duration. An admission-controlled daemon should hold goodput
+// near capacity while the shed rate absorbs the excess; a daemon
+// without admission control collapses instead.
+func RunOverload(ctx context.Context, c Committer, base Config, cfg OverloadConfig) OverloadReport {
+	if len(cfg.Multiples) == 0 {
+		cfg.Multiples = []float64{0.5, 2, 5, 10}
+	}
+	if cfg.CalibrateRate <= 0 {
+		cfg.CalibrateRate = 20000
+	}
+	if cfg.CalibrateDuration <= 0 {
+		cfg.CalibrateDuration = base.Duration
+	}
+	if base.TxPrefix == "" {
+		base.TxPrefix = "load"
+	}
+
+	var rep OverloadReport
+	if cfg.BaselineRate > 0 {
+		rep.CapacityCPS = cfg.BaselineRate
+	} else {
+		probe := base
+		probe.Rate = cfg.CalibrateRate
+		probe.Duration = cfg.CalibrateDuration
+		probe.TxPrefix = base.TxPrefix + "-cal"
+		rep.Calibration = Run(ctx, c, probe)
+		rep.CapacityCPS = rep.Calibration.CommitsPerSec()
+	}
+	if rep.CapacityCPS <= 0 {
+		return rep // nothing commits: the sweep would divide by zero
+	}
+
+	for _, m := range cfg.Multiples {
+		if ctx.Err() != nil {
+			break
+		}
+		run := base
+		run.Rate = m * rep.CapacityCPS
+		run.TxPrefix = fmt.Sprintf("%s-x%g", base.TxPrefix, m)
+		res := Run(ctx, c, run)
+		rep.Points = append(rep.Points, OverloadPoint{
+			Multiple:    m,
+			OfferedRate: run.Rate,
+			Goodput:     res.CommitsPerSec(),
+			ShedRate:    res.ShedRate(),
+			P99Ms:       float64(res.Quantile(0.99)) / float64(time.Millisecond),
+			Result:      res,
+		})
+	}
+	return rep
+}

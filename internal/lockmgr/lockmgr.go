@@ -493,6 +493,24 @@ func (m *Manager) TotalHoldTime() time.Duration {
 	return sum
 }
 
+// TotalWaiters reports how many lock requests are blocked across the
+// whole manager. It is the live congestion signal admission-control
+// backpressure samples: a deep wait queue means transactions are
+// serializing on data contention, so admitting more offered load only
+// lengthens lock hold times (the paper's Section 4 observation that
+// lock time, not message count, bounds throughput under contention).
+func (m *Manager) TotalWaiters() int {
+	total := 0
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		for _, ls := range sh.locks {
+			total += len(ls.queue)
+		}
+		sh.mu.Unlock()
+	}
+	return total
+}
+
 // WaiterCount reports how many requests are queued on key; tests use
 // it to assert fairness behavior.
 func (m *Manager) WaiterCount(key string) int {

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/api"
 )
@@ -67,11 +68,16 @@ type Router struct {
 	pick   Pick
 	client *http.Client
 
-	mu    sync.RWMutex
-	smap  *ShardMap
-	http  map[string]string
-	loads map[string]*atomic.Int64
+	mu      sync.RWMutex
+	smap    *ShardMap
+	http    map[string]string
+	loads   map[string]*atomic.Int64
+	penalty map[string]time.Time // member -> avoid-as-coordinator until
 }
+
+// penaltyDefault is how long a 503 keeps a member out of coordinator
+// picks when the daemon sent no Retry-After hint.
+const penaltyDefault = 250 * time.Millisecond
 
 // New builds a router from cfg, bootstrapping from Seeds when no
 // static map is given.
@@ -107,7 +113,28 @@ func (r *Router) adopt(m *ShardMap, httpTable map[string]string) {
 	r.smap = m
 	r.http = httpTable
 	r.loads = loads
+	r.penalty = make(map[string]time.Time)
 	r.mu.Unlock()
+}
+
+// notePenalty records that a member shed a forwarded commit with 503:
+// least-loaded picking avoids it as coordinator for retryAfter (the
+// daemon's own Retry-After hint, or a default when it sent none). The
+// member still participates in transactions whose keys it owns — only
+// the router's choice of who coordinates moves.
+func (r *Router) notePenalty(node string, retryAfter time.Duration) {
+	if retryAfter <= 0 {
+		retryAfter = penaltyDefault
+	}
+	r.mu.Lock()
+	r.penalty[node] = time.Now().Add(retryAfter)
+	r.mu.Unlock()
+}
+
+// penalizedLocked reports whether node is inside a 503 penalty window.
+func (r *Router) penalizedLocked(node string) bool {
+	until, ok := r.penalty[node]
+	return ok && time.Now().Before(until)
 }
 
 // Refresh re-fetches the fleet view from one member's /v1/shards.
@@ -169,27 +196,45 @@ func (r *Router) MemberURL(node string) (string, bool) {
 
 // Coordinator picks the coordinating shard for a transaction whose
 // ops resolve to participants (sorted). The load table only moves
-// under PickLeastLoaded.
+// under PickLeastLoaded, which also steers around members inside a
+// 503 penalty window — a daemon shedding load is the wrong place to
+// send more coordination work — unless every candidate is penalized,
+// in which case load alone decides.
 func (r *Router) Coordinator(firstOwner string, participants []string) string {
 	if r.pick == PickFirstShard || len(participants) <= 1 {
 		return firstOwner
 	}
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	best, bestLoad := firstOwner, int64(1<<62)
-	if c := r.loads[firstOwner]; c != nil {
-		bestLoad = c.Load()
-	}
-	for _, p := range participants {
-		c := r.loads[p]
-		if c == nil {
-			continue
+	pick := func(skipPenalized bool) (string, bool) {
+		best, bestLoad, found := "", int64(1<<62), false
+		consider := func(p string) {
+			if skipPenalized && r.penalizedLocked(p) {
+				return
+			}
+			c := r.loads[p]
+			if c == nil {
+				return
+			}
+			if l := c.Load(); !found || l < bestLoad {
+				best, bestLoad, found = p, l, true
+			}
 		}
-		if l := c.Load(); l < bestLoad {
-			best, bestLoad = p, l
+		consider(firstOwner)
+		for _, p := range participants {
+			if p != firstOwner {
+				consider(p)
+			}
 		}
+		return best, found
 	}
-	return best
+	if best, ok := pick(true); ok {
+		return best
+	}
+	if best, ok := pick(false); ok {
+		return best
+	}
+	return firstOwner
 }
 
 func (r *Router) loadOf(node string) *atomic.Int64 {

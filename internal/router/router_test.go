@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"testing"
+	"time"
 
 	"repro/internal/api"
 )
@@ -170,6 +171,38 @@ func TestCoordinatorPick(t *testing.T) {
 	// A single participant is always its own coordinator.
 	if got := least.Coordinator("S2", []string{"S2"}); got != "S2" {
 		t.Fatalf("single-participant pick = %s, want S2", got)
+	}
+}
+
+func TestCoordinatorPickAvoidsPenalized(t *testing.T) {
+	m, _ := Parse("hash:S1,S2,S3")
+	httpTable := map[string]string{"S1": "http://a", "S2": "http://b", "S3": "http://c"}
+	least := &Router{pick: PickLeastLoaded}
+	least.adopt(m, httpTable)
+
+	// S3 is idle but shed a commit with 503: least-loaded must steer
+	// around it even though its load counter is the lowest.
+	least.loadOf("S2").Add(5)
+	least.loadOf("S1").Add(3)
+	least.notePenalty("S3", time.Second)
+	if got := least.Coordinator("S2", []string{"S1", "S2", "S3"}); got != "S1" {
+		t.Fatalf("pick with S3 penalized = %s, want S1", got)
+	}
+
+	// Every candidate penalized: load decides again (nobody is refused
+	// outright — the daemons' own admission does the final shedding).
+	least.notePenalty("S1", time.Second)
+	least.notePenalty("S2", time.Second)
+	if got := least.Coordinator("S2", []string{"S1", "S2", "S3"}); got != "S3" {
+		t.Fatalf("pick with all penalized = %s, want least-loaded S3", got)
+	}
+
+	// Penalties expire: an elapsed window stops steering.
+	least.mu.Lock()
+	least.penalty["S3"] = time.Now().Add(-time.Millisecond)
+	least.mu.Unlock()
+	if got := least.Coordinator("S2", []string{"S1", "S2", "S3"}); got != "S3" {
+		t.Fatalf("pick after penalty expiry = %s, want S3", got)
 	}
 }
 

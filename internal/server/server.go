@@ -21,17 +21,20 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/audit"
 	"repro/internal/clock"
 	"repro/internal/core"
@@ -75,6 +78,21 @@ type Config struct {
 	// MaxInflight bounds concurrently admitted commits; excess
 	// requests are shed with 503. Default 256.
 	MaxInflight int
+	// AdmitRate is the admission token-bucket refill rate in
+	// tokens/second (a read-only transaction costs one token, a
+	// read-write one token per participant). 0 disables rate admission:
+	// only MaxInflight bounds load.
+	AdmitRate float64
+	// AdmitBurst is the token bucket's capacity. Default 256.
+	AdmitBurst int
+	// Backpressure enables the adaptive controller: the admit rate
+	// tracks live overload signals (WAL force-latency P99, lock-manager
+	// wait-queue depth, coalescer queue depth) between AdmitRate/20 and
+	// AdmitRate. Requires AdmitRate > 0.
+	Backpressure bool
+	// BackpressureInterval is the controller's sample period. Default
+	// 100ms.
+	BackpressureInterval time.Duration
 	// AuditInterval is the conformance-audit period. Default 1s;
 	// negative disables the loop (tests drive AuditNow directly).
 	AuditInterval time.Duration
@@ -109,6 +127,31 @@ var ErrOverloaded = fmt.Errorf("server: admission limit reached")
 // ErrDraining is returned by Commit once Drain has begun.
 var ErrDraining = fmt.Errorf("server: draining")
 
+// ShedError reports one shed admission decision: which priority class
+// was refused, by which limit, and when retrying is worthwhile. It
+// matches ErrOverloaded under errors.Is so existing 503 mappings hold.
+type ShedError struct {
+	// Class is the transaction's shed-priority class.
+	Class admission.Class
+	// Reason is the limit that shed it: "rate" (token bucket) or
+	// "inflight" (concurrency cap).
+	Reason string
+	// RetryAfter hints how long until the same request would admit.
+	RetryAfter time.Duration
+}
+
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("server: shed %s transaction (%s limit, retry after %s)",
+		e.Class, e.Reason, e.RetryAfter)
+}
+
+// Is makes errors.Is(err, ErrOverloaded) true for every shed.
+func (e *ShedError) Is(target error) bool { return target == ErrOverloaded }
+
+// shedRetryInflight is the retry hint for inflight-cap sheds, where no
+// refill rate predicts slot turnover.
+const shedRetryInflight = 250 * time.Millisecond
+
 // Server is one running daemon.
 type Server struct {
 	cfg   Config
@@ -123,8 +166,14 @@ type Server struct {
 	httpLn  net.Listener
 	httpSrv *http.Server
 
-	sem   chan struct{}
-	start time.Time
+	sem     chan struct{}
+	start   time.Time
+	limiter *admission.Limiter
+	ctrl    *admission.Controller // nil unless Backpressure
+
+	// shedInflight counts per-class sheds at the concurrency cap; the
+	// limiter itself counts rate sheds.
+	shedInflight [admission.NumClasses]atomic.Uint64
 
 	txSeq     atomic.Uint64 // generated-tx-id counter
 	stagedOps atomic.Int64  // operations staged on this shard
@@ -164,6 +213,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.MaxInflight < 1 {
 		cfg.MaxInflight = 256
+	}
+	if cfg.AdmitBurst < 1 {
+		cfg.AdmitBurst = 256
 	}
 	if cfg.AuditInterval == 0 {
 		cfg.AuditInterval = time.Second
@@ -247,6 +299,14 @@ func New(cfg Config) (*Server, error) {
 		knownPeers: make(map[string]bool),
 		stopc:      make(chan struct{}),
 	}
+	// The limiter always exists — with AdmitRate 0 it admits everything
+	// but still labels traffic by class, so /metrics reads the same
+	// whether rate admission is on or off.
+	s.limiter = admission.NewLimiter(clock.NewWall(), cfg.AdmitRate, cfg.AdmitBurst)
+	if cfg.Backpressure && cfg.AdmitRate > 0 {
+		s.ctrl = admission.NewController(s.limiter, clock.NewWall(), s.sampleSignals(),
+			admission.ControllerConfig{MaxRate: cfg.AdmitRate, Interval: cfg.BackpressureInterval})
+	}
 	for name := range cfg.Peers {
 		s.knownPeers[name] = true
 	}
@@ -260,6 +320,9 @@ func New(cfg Config) (*Server, error) {
 	s.httpSrv = &http.Server{Handler: s.mux()}
 
 	part.Start()
+	if s.ctrl != nil {
+		s.ctrl.Start()
+	}
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
@@ -337,33 +400,64 @@ func (s *Server) Registry() *metrics.Registry { return s.reg }
 // Participant exposes the underlying live participant.
 func (s *Server) Participant() *live.Participant { return s.part }
 
+// AdmissionStats snapshots the admission limiter (tests and embedding
+// harnesses; external observers scrape /metrics).
+func (s *Server) AdmissionStats() admission.Stats { return s.limiter.Stats() }
+
+// sampleSignals builds the backpressure controller's signal closure.
+// The WAL force-latency P99 is windowed: each sample diffs the
+// lifetime bucket histogram against the previous sample's snapshot,
+// so the controller reacts to the last interval, not history.
+func (s *Server) sampleSignals() func() admission.Signal {
+	prev := s.cfg.Log.ForceLatencyBuckets()
+	return func() admission.Signal {
+		cur := s.cfg.Log.ForceLatencyBuckets()
+		window := cur.Delta(prev)
+		prev = cur
+		return admission.Signal{
+			WALForceP99:   window.Summary().P99,
+			LockWaiters:   s.store.Locks().TotalWaiters(),
+			CoalesceDepth: s.part.CoalesceDepth(),
+		}
+	}
+}
+
 // Commit admits and runs one transaction as coordinator, under v,
 // against subs (nil means the configured default set). Admission
-// fails with ErrOverloaded at the inflight limit and ErrDraining
-// during drain.
+// fails with a ShedError (matching ErrOverloaded) at either limit and
+// ErrDraining during drain. The v0 plane carries no ops, so the class
+// is read-write with the subordinate tree's width.
 func (s *Server) Commit(ctx context.Context, tx string, subs []string, v core.Variant) (live.Outcome, error) {
-	if err := s.acquire(); err != nil {
-		return live.Aborted, err
-	}
-	defer s.release()
 	if subs == nil {
 		subs = s.cfg.Subs
 	}
+	class := admission.ClassFor(false, len(subs)+1)
+	if err := s.acquire(class, admission.CostOf(class, len(subs)+1)); err != nil {
+		return live.Aborted, err
+	}
+	defer s.release()
 	return s.part.CommitVariant(ctx, tx, subs, v)
 }
 
-// acquire claims an admission slot, failing with ErrDraining during
-// drain and ErrOverloaded at the inflight limit.
-func (s *Server) acquire() error {
+// acquire admits one transaction of the given class and token cost:
+// ErrDraining during drain, then the token bucket (priority-aware
+// rate), then the inflight cap. Sheds happen before any protocol or
+// staging work, so a shed transaction leaves no cost-ledger entry and
+// the conformance audit stays exact under overload.
+func (s *Server) acquire(class admission.Class, cost float64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
 		return ErrDraining
 	}
+	if ok, retry := s.limiter.Admit(class, cost); !ok {
+		return &ShedError{Class: class, Reason: "rate", RetryAfter: retry}
+	}
 	select {
 	case s.sem <- struct{}{}:
 	default:
-		return ErrOverloaded
+		s.shedInflight[class].Add(1)
+		return &ShedError{Class: class, Reason: "inflight", RetryAfter: shedRetryInflight}
 	}
 	s.inflight++
 	return nil
@@ -411,6 +505,9 @@ func (s *Server) Drain(ctx context.Context) error {
 // and protocol endpoint.
 func (s *Server) Close() error {
 	s.stopMu.Do(func() { close(s.stopc) })
+	if s.ctrl != nil {
+		s.ctrl.Stop()
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 	defer cancel()
 	_ = s.httpSrv.Shutdown(ctx)
@@ -535,6 +632,15 @@ func (s *Server) handleVarz(w http.ResponseWriter, _ *http.Request) {
 	}
 	ws := s.cfg.Log.Stats()
 	fl := s.cfg.Log.ForceLatency()
+	adm := s.limiter.Stats()
+	admitted, shed := map[string]uint64{}, map[string]map[string]uint64{}
+	for c := admission.Class(0); c < admission.NumClasses; c++ {
+		admitted[c.String()] = adm.PerClass[c].Admitted
+		shed[c.String()] = map[string]uint64{
+			"rate":     adm.PerClass[c].Shed,
+			"inflight": s.shedInflight[c].Load(),
+		}
+	}
 	s.mu.Lock()
 	v := map[string]any{
 		"name":             s.cfg.Name,
@@ -547,6 +653,11 @@ func (s *Server) handleVarz(w http.ResponseWriter, _ *http.Request) {
 		"uptime_seconds":   time.Since(s.start).Seconds(),
 		"inflight":         s.inflight,
 		"max_inflight":     s.cfg.MaxInflight,
+		"admit_rate":       adm.Rate,
+		"admit_burst":      adm.Burst,
+		"admit_tokens":     adm.Tokens,
+		"admitted":         admitted,
+		"shed":             shed,
 		"draining":         s.draining,
 		"in_doubt":         inDoubt,
 		"ledger_open":      s.reg.CostLedgerSize(),
@@ -566,6 +677,17 @@ func (s *Server) handleVarz(w http.ResponseWriter, _ *http.Request) {
 		"wal_force_max_us":    fl.Max.Microseconds(),
 	}
 	s.mu.Unlock()
+	if s.ctrl != nil {
+		cs := s.ctrl.Snapshot()
+		v["backpressure"] = map[string]any{
+			"rate":           cs.Rate,
+			"ticks":          cs.Ticks,
+			"overload_ticks": cs.OverloadTicks,
+			"decreases":      cs.Decreases,
+			"increases":      cs.Increases,
+			"last_signal":    cs.LastSignal.String(),
+		}
+	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -645,7 +767,11 @@ func (s *Server) handleCommit(w http.ResponseWriter, r *http.Request) {
 	}
 	out, err := s.Commit(r.Context(), tx, subs, v)
 	switch {
-	case err == ErrOverloaded, err == ErrDraining:
+	case errors.Is(err, ErrOverloaded), errors.Is(err, ErrDraining):
+		var shed *ShedError
+		if errors.As(err, &shed) {
+			w.Header().Set("Retry-After", strconv.FormatFloat(shed.RetryAfter.Seconds(), 'f', 3, 64))
+		}
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 	case err != nil:
 		http.Error(w, fmt.Sprintf("%s: %v", out, err), http.StatusInternalServerError)
@@ -788,6 +914,28 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 
 	fmt.Fprintf(&b, "# HELP twopc_inflight Commits currently admitted.\n# TYPE twopc_inflight gauge\ntwopc_inflight %d\n", inflight)
 	fmt.Fprintf(&b, "# HELP twopc_ledger_open Cost-ledger entries not yet closed.\n# TYPE twopc_ledger_open gauge\ntwopc_ledger_open %d\n", s.reg.CostLedgerSize())
+
+	adm := s.limiter.Stats()
+	counter("twopc_admission_admitted_total", "Transactions admitted, by shed-priority class.", func(b *strings.Builder) {
+		for c := admission.Class(0); c < admission.NumClasses; c++ {
+			fmt.Fprintf(b, "twopc_admission_admitted_total{class=%q} %d\n", c, adm.PerClass[c].Admitted)
+		}
+	})
+	counter("twopc_admission_shed_total", "Transactions shed, by class and limit.", func(b *strings.Builder) {
+		for c := admission.Class(0); c < admission.NumClasses; c++ {
+			fmt.Fprintf(b, "twopc_admission_shed_total{class=%q,reason=\"rate\"} %d\n", c, adm.PerClass[c].Shed)
+			fmt.Fprintf(b, "twopc_admission_shed_total{class=%q,reason=\"inflight\"} %d\n", c, s.shedInflight[c].Load())
+		}
+	})
+	fmt.Fprintf(&b, "# HELP twopc_admission_rate Current admit rate, tokens/sec (0 = unlimited).\n# TYPE twopc_admission_rate gauge\ntwopc_admission_rate %g\n", adm.Rate)
+	fmt.Fprintf(&b, "# HELP twopc_admission_tokens Admission tokens available.\n# TYPE twopc_admission_tokens gauge\ntwopc_admission_tokens %g\n", adm.Tokens)
+	if s.ctrl != nil {
+		cs := s.ctrl.Snapshot()
+		counter("twopc_backpressure_ticks_total", "Backpressure controller ticks (overloaded ticks saw a signal over target).", func(b *strings.Builder) {
+			fmt.Fprintf(b, "twopc_backpressure_ticks_total{state=\"healthy\"} %d\n", cs.Ticks-cs.OverloadTicks)
+			fmt.Fprintf(b, "twopc_backpressure_ticks_total{state=\"overloaded\"} %d\n", cs.OverloadTicks)
+		})
+	}
 
 	ws := s.cfg.Log.Stats()
 	counter("twopc_wal_forces_total", "Logical WAL force requests (the paper's forced writes).", func(b *strings.Builder) {

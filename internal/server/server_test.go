@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -237,8 +238,12 @@ func TestServerAdmissionShedsLoad(t *testing.T) {
 	// Occupy the only admission slot, then watch the next request shed.
 	coord.sem <- struct{}{}
 	_, err := coord.Commit(context.Background(), "C:9", nil, core.VariantPA)
-	if err != ErrOverloaded {
+	if !errors.Is(err, ErrOverloaded) {
 		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+	var shed *ShedError
+	if !errors.As(err, &shed) || shed.Reason != "inflight" {
+		t.Fatalf("err = %v, want inflight ShedError", err)
 	}
 	resp, herr := http.Post("http://"+coord.HTTPAddr()+"/commit", "", nil)
 	if herr != nil {

@@ -8,9 +8,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/analytic"
 	"repro/internal/api"
 	"repro/internal/core"
@@ -23,24 +25,29 @@ import (
 const maxBody = 1 << 20
 
 // httpError pairs an HTTP status with the machine-readable error body
-// of the v1 taxonomy.
+// of the v1 taxonomy. retryAfter, when set, becomes the Retry-After
+// header (admission sheds tell clients when retrying is worthwhile).
 type httpError struct {
-	status int
-	e      api.Error
+	status     int
+	e          api.Error
+	retryAfter time.Duration
 }
 
 func (h *httpError) Error() string { return h.e.Error }
 
 func errBadRequest(format string, args ...any) *httpError {
-	return &httpError{http.StatusBadRequest, api.ErrorOf(api.CodeBadRequest, format, args...)}
+	return &httpError{status: http.StatusBadRequest, e: api.ErrorOf(api.CodeBadRequest, format, args...)}
 }
 
 func errUnknownShard(format string, args ...any) *httpError {
-	return &httpError{http.StatusUnprocessableEntity, api.ErrorOf(api.CodeUnknownShard, format, args...)}
+	return &httpError{status: http.StatusUnprocessableEntity, e: api.ErrorOf(api.CodeUnknownShard, format, args...)}
 }
 
 func writeAPIError(w http.ResponseWriter, herr *httpError) {
 	w.Header().Set("Content-Type", "application/json")
+	if herr.retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.FormatFloat(herr.retryAfter.Seconds(), 'f', 3, 64))
+	}
 	w.WriteHeader(herr.status)
 	_ = json.NewEncoder(w).Encode(herr.e)
 }
@@ -49,7 +56,7 @@ func writeAPIError(w http.ResponseWriter, herr *httpError) {
 // plane. See runV1 for the taxonomy.
 func (s *Server) handleV1Commit(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeAPIError(w, &httpError{http.StatusMethodNotAllowed, api.ErrorOf(api.CodeBadRequest, "POST only")})
+		writeAPIError(w, &httpError{status: http.StatusMethodNotAllowed, e: api.ErrorOf(api.CodeBadRequest, "POST only")})
 		return
 	}
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxBody))
@@ -88,7 +95,7 @@ func (s *Server) runV1(ctx context.Context, creq api.CommitRequest) (*api.Commit
 			return nil, errBadRequest("%v", err)
 		}
 		if kind != s.cfg.Codec {
-			return nil, &httpError{http.StatusConflict, api.ErrorOf(api.CodeCodecMismatch,
+			return nil, &httpError{status: http.StatusConflict, e: api.ErrorOf(api.CodeCodecMismatch,
 				"codec mismatch: daemon speaks %s, request pinned %s", s.cfg.Codec, kind)}
 		}
 	}
@@ -146,12 +153,31 @@ func (s *Server) runV1(ctx context.Context, creq api.CommitRequest) (*api.Commit
 		subs = s.cfg.Subs
 	}
 
-	if err := s.acquire(); err != nil {
-		code, apiCode := http.StatusServiceUnavailable, api.CodeOverloaded
-		if err == ErrDraining {
+	// Classify the transaction's cost profile for admission: a request
+	// of only gets is read-only (shed last — no forced writes, no
+	// second phase under PA), and the participant count its keys
+	// resolved to is its width (wide fan-out sheds first).
+	readOnly := len(creq.Ops) > 0
+	for _, op := range creq.Ops {
+		if op.Writes() {
+			readOnly = false
+			break
+		}
+	}
+	width := len(subs) + 1
+	class := admission.ClassFor(readOnly, width)
+	if err := s.acquire(class, admission.CostOf(class, width)); err != nil {
+		apiCode := api.CodeOverloaded
+		if errors.Is(err, ErrDraining) {
 			apiCode = api.CodeDraining
 		}
-		return nil, &httpError{code, api.ErrorOf(apiCode, "%v", err)}
+		herr := &httpError{status: http.StatusServiceUnavailable, e: api.ErrorOf(apiCode, "%v", err)}
+		var shed *ShedError
+		if errors.As(err, &shed) {
+			herr.e.RetryAfterMS = float64(shed.RetryAfter) / float64(time.Millisecond)
+			herr.retryAfter = shed.RetryAfter
+		}
+		return nil, herr
 	}
 	defer s.release()
 
@@ -319,7 +345,7 @@ func (s *Server) stageRemote(ctx context.Context, node string, sreq api.StageReq
 // reached phase one.
 func (s *Server) handleStage(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeAPIError(w, &httpError{http.StatusMethodNotAllowed, api.ErrorOf(api.CodeBadRequest, "POST only")})
+		writeAPIError(w, &httpError{status: http.StatusMethodNotAllowed, e: api.ErrorOf(api.CodeBadRequest, "POST only")})
 		return
 	}
 	var sreq api.StageRequest
@@ -349,7 +375,7 @@ func (s *Server) handleStage(w http.ResponseWriter, r *http.Request) {
 		// not take the transaction's locks. The staged remainder is
 		// discarded here; the coordinator aborts the transaction.
 		_ = s.store.Abort(core.ParseTxID(sreq.Tx))
-		writeAPIError(w, &httpError{http.StatusConflict, api.ErrorOf("conflict", "%v", err)})
+		writeAPIError(w, &httpError{status: http.StatusConflict, e: api.ErrorOf("conflict", "%v", err)})
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")

@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/api"
 	"repro/internal/protocol"
 )
@@ -161,7 +162,7 @@ func TestV1Taxonomy503(t *testing.T) {
 	defer s.Close()
 
 	// Occupy the only admission slot, then get shed.
-	if err := s.acquire(); err != nil {
+	if err := s.acquire(admission.ClassNormal, 1); err != nil {
 		t.Fatal(err)
 	}
 	status, _, e := postV1(t, s, `{"tx":"shed-me"}`)

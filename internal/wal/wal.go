@@ -329,14 +329,37 @@ type ForceLatencySummary struct {
 	P50, P99, Max time.Duration
 }
 
-// ForceLatency summarizes the latency of every Force issued so far.
-func (l *Log) ForceLatency() ForceLatencySummary {
-	l.mu.Lock()
-	buckets := l.forceLat
-	l.mu.Unlock()
+// ForceLatencyBuckets is the raw force-latency histogram: bucket i
+// counts forces that completed in < 2^i microseconds. Counts only
+// grow, so the difference of two snapshots is the histogram of the
+// forces that completed between them — how admission backpressure
+// turns the lifetime histogram into a windowed signal.
+type ForceLatencyBuckets [32]int64
 
+// ForceLatencyBuckets snapshots the raw histogram.
+func (l *Log) ForceLatencyBuckets() ForceLatencyBuckets {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.forceLat
+}
+
+// Delta returns the histogram of forces counted in b but not in prev.
+// Negative differences (a fresh log reusing a stale snapshot) clamp
+// to zero.
+func (b ForceLatencyBuckets) Delta(prev ForceLatencyBuckets) ForceLatencyBuckets {
+	var d ForceLatencyBuckets
+	for i := range b {
+		if n := b[i] - prev[i]; n > 0 {
+			d[i] = n
+		}
+	}
+	return d
+}
+
+// Summary condenses the histogram to count and quantiles.
+func (b ForceLatencyBuckets) Summary() ForceLatencySummary {
 	var s ForceLatencySummary
-	for _, n := range buckets {
+	for _, n := range b {
 		s.Count += n
 	}
 	if s.Count == 0 {
@@ -348,7 +371,7 @@ func (l *Log) ForceLatency() ForceLatencySummary {
 	var cum int64
 	p50n := (s.Count + 1) / 2
 	p99n := s.Count - s.Count/100
-	for i, n := range buckets {
+	for i, n := range b {
 		if n == 0 {
 			continue
 		}
@@ -362,4 +385,9 @@ func (l *Log) ForceLatency() ForceLatencySummary {
 		s.Max = upper(i)
 	}
 	return s
+}
+
+// ForceLatency summarizes the latency of every Force issued so far.
+func (l *Log) ForceLatency() ForceLatencySummary {
+	return l.ForceLatencyBuckets().Summary()
 }

@@ -20,7 +20,7 @@ echo "== staticcheck =="
 if command -v staticcheck >/dev/null 2>&1; then
     staticcheck ./...
 else
-    echo "staticcheck not installed; skipping (CI runs it)" >&2
+    echo "SKIPPED: staticcheck not installed (CI runs it; go install honnef.co/go/tools/cmd/staticcheck@latest to run locally)"
 fi
 
 echo "== go test -race ./... =="
@@ -31,6 +31,19 @@ echo "== wal fsync smoke =="
 # that -wal-fsync=false really elides them) before anyone trusts a
 # durable benchmark number from this machine.
 go test -run='^TestFsyncSmoke$' -count=1 ./internal/wal
+
+echo "== overload admission smoke =="
+# Proves the admission path sheds by priority class, surfaces
+# retry_after, and keeps the conformance audit exact while shedding.
+go test -run='^TestServerOverload' -count=1 ./internal/server
+if [ "${OVERLOAD_SMOKE:-0}" = "1" ]; then
+    # The full contract against real daemons: a tiny overloadbench
+    # sweep (x0.5 baseline + x5 survival point) that enforces the
+    # goodput floor and p99 ceiling and drain-audits every node.
+    DURATION=2s MULTIPLES='0.5 5' OUT=/tmp/overload-smoke.json ./scripts/overloadbench.sh
+else
+    echo "SKIPPED: overloadbench end-to-end sweep (set OVERLOAD_SMOKE=1 to run; the nightly overload job gates it in CI)"
+fi
 
 echo "== fuzz smokes (10s each) =="
 go test -run='^$' -fuzz=FuzzDecode -fuzztime=10s ./internal/protocol
