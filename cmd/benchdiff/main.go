@@ -11,10 +11,13 @@
 // optimized live TCP multi-subordinate path — the headline number the
 // perf work in this repo optimises — allocations per commit
 // (allocs/op) of the optimized in-process path so the allocation
-// scrub can't silently regress, and the fsync-honest pair: durable
+// scrub can't silently regress, the fsync-honest pair: durable
 // commits/sec of the adaptive live TCP benchmark and syncs/force of
 // the adaptive WAL force benchmark at 16 forcers, so group-commit
-// amortization can't silently decay. Gates are direction-aware
+// amortization can't silently decay, and the one-phase fast path's
+// commit latency (p50_us on both the in-memory and fsync-honest
+// 1PC-vs-Basic2PC pairs, p99_us on the durable one) so the variant's
+// latency win can't silently erode. Gates are direction-aware
 // (throughput improves upward, times and counts downward) with a 20%
 // tolerance to absorb shared-runner noise. Every benchmark common to
 // both files is printed for context; only the gates decide the exit
@@ -58,11 +61,18 @@ type gate struct {
 }
 
 // defaultGates are what CI evaluates when no -gate flags are given.
+// The p50_us entries are latency gates: lower is better (the metric
+// carries no "/sec"), so the one-phase fast path's commit latency —
+// the whole point of the variant — cannot silently regress toward the
+// two-phase baseline's.
 var defaultGates = []gate{
 	{"repro/internal/live.BenchmarkLiveParallelMultiSubTCP/optimized", "commits/sec"},
 	{"repro/internal/live.BenchmarkLiveParallelMultiSub/optimized", "allocs/op"},
 	{"repro/internal/live.BenchmarkLiveParallelMultiSubTCPFsync/adaptive", "commits/sec"},
 	{"repro/internal/wal.BenchmarkWALForceFsync/forcers16/adaptive", "syncs/force"},
+	{"repro/internal/live.BenchmarkLive1PCVsBasicTCP/OnePhase", "p50_us"},
+	{"repro/internal/live.BenchmarkLive1PCVsBasicTCP/OnePhaseFsync", "p50_us"},
+	{"repro/internal/live.BenchmarkLive1PCVsBasicTCP/OnePhaseFsync", "p99_us"},
 }
 
 // gateFlags collects repeated -gate key:metric flags.

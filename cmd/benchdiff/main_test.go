@@ -6,13 +6,19 @@ import (
 )
 
 const (
-	tcpKey   = "repro/internal/live.BenchmarkLiveParallelMultiSubTCP/optimized"
-	chanKey  = "repro/internal/live.BenchmarkLiveParallelMultiSub/optimized"
-	fsyncKey = "repro/internal/live.BenchmarkLiveParallelMultiSubTCPFsync/adaptive"
-	forceKey = "repro/internal/wal.BenchmarkWALForceFsync/forcers16/adaptive"
+	tcpKey      = "repro/internal/live.BenchmarkLiveParallelMultiSubTCP/optimized"
+	chanKey     = "repro/internal/live.BenchmarkLiveParallelMultiSub/optimized"
+	fsyncKey    = "repro/internal/live.BenchmarkLiveParallelMultiSubTCPFsync/adaptive"
+	forceKey    = "repro/internal/wal.BenchmarkWALForceFsync/forcers16/adaptive"
+	opcKey      = "repro/internal/live.BenchmarkLive1PCVsBasicTCP/OnePhase"
+	opcFsyncKey = "repro/internal/live.BenchmarkLive1PCVsBasicTCP/OnePhaseFsync"
 )
 
 func file(cps, allocs float64) benchFile {
+	return fileLat(cps, allocs, 1400)
+}
+
+func fileLat(cps, allocs, p50 float64) benchFile {
 	return benchFile{
 		Benchtime: "1s",
 		Go:        "go1.24.0",
@@ -21,6 +27,8 @@ func file(cps, allocs float64) benchFile {
 			chanKey:                             {"ns/op": 110000, "allocs/op": allocs},
 			fsyncKey:                            {"ns/op": 400000, "commits/sec": 2500, "syncs/force": 0.09},
 			forceKey:                            {"ns/op": 14000, "forces/sec": 70000, "syncs/force": 0.06},
+			opcKey:                              {"ns/op": 112000, "commits/sec": 8900, "p50_us": p50, "p99_us": 7900},
+			opcFsyncKey:                         {"ns/op": 122000, "commits/sec": 8100, "p50_us": p50, "p99_us": 10400, "syncs/force": 0.07},
 			"repro/internal/wal.BenchmarkForce": {"ns/op": 900},
 		},
 	}
@@ -56,6 +64,21 @@ func TestDiffGate(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestDiffLatencyGate pins the latency gates' direction: p50 rising
+// past tolerance fails; p50 falling (an improvement) never does.
+func TestDiffLatencyGate(t *testing.T) {
+	base := fileLat(5593, 110, 1400)
+	if report, failed := diff(base, fileLat(5593, 110, 1700), defaultGates, 0.20); !failed {
+		t.Fatalf("p50 1400->1700 (+21%%) must fail the latency gate:\n%s", report)
+	}
+	if report, failed := diff(base, fileLat(5593, 110, 1600), defaultGates, 0.20); failed {
+		t.Fatalf("p50 1400->1600 (+14%%) is within tolerance:\n%s", report)
+	}
+	if report, failed := diff(base, fileLat(5593, 110, 700), defaultGates, 0.20); failed {
+		t.Fatalf("p50 halving is an improvement, not a regression:\n%s", report)
 	}
 }
 
@@ -108,5 +131,12 @@ func TestRegressionDirection(t *testing.T) {
 	// group commit decayed ("/force" is not a throughput unit).
 	if r := regression("syncs/force", 0.5, 0.75); r != 0.5 {
 		t.Fatalf("syncs/force 0.5->0.75 = %v, want 0.5", r)
+	}
+	// Latency quantiles improve downward.
+	if r := regression("p50_us", 1000, 1250); r != 0.25 {
+		t.Fatalf("p50_us 1000->1250 = %v, want 0.25", r)
+	}
+	if r := regression("p99_us", 8000, 6000); r != -0.25 {
+		t.Fatalf("p99_us 8000->6000 = %v, want -0.25", r)
 	}
 }

@@ -56,7 +56,7 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:0", "protocol (TCP) listen address")
 	httpAddr := flag.String("http", "127.0.0.1:0", "observability/admin listen address")
 	subs := flag.String("subs", "", "comma-separated default subordinate names (coordinator role)")
-	variantName := flag.String("variant", "pa", "default protocol variant: basic, pa, pn, pc, paxos")
+	variantName := flag.String("variant", "pa", "default protocol variant: basic, pa, pn, pc, paxos, 1pc")
 	codecName := flag.String("codec", "binary", "outbound wire codec: binary, gob-stream, gob-packet")
 	shards := flag.Int("shards", 0, "state-table shard count (0 = derive from GOMAXPROCS)")
 	maxInflight := flag.Int("max-inflight", 256, "admission limit; excess commits are shed with 503")

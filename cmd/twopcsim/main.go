@@ -23,7 +23,7 @@ import (
 )
 
 func main() {
-	variant := flag.String("variant", "pa", "protocol variant: basic, pa, pn, pc, paxos")
+	variant := flag.String("variant", "pa", "protocol variant: basic, pa, pn, pc, paxos, 1pc")
 	n := flag.Int("n", 3, "participants including the coordinator")
 	depth := flag.Int("depth", 1, "tree depth (1 = flat)")
 	readFrac := flag.Float64("readfrac", 0, "fraction of members that are read-only")
@@ -55,6 +55,8 @@ func main() {
 		cfg.Options.ReadOnly = true
 	case "paxos":
 		cfg.Variant = core.VariantPaxos
+	case "1pc", "onephase":
+		cfg.Variant = core.Variant1PC
 	default:
 		fail("unknown variant %q", *variant)
 	}

@@ -245,6 +245,14 @@ func CommitCostByRole(variant string, subs int) (RoleCost, bool) {
 		// Committed + End. Acceptor-subordinates additionally force the
 		// bundle and send one Accepted: see PaxosAcceptorSubCost.
 		sub = Triplet{Flows: a, Writes: 3, Forced: 1}
+	case "1PC":
+		// Logless one-phase fast path: the flow count matches the
+		// baseline (prepare, vote, commit, ack per subordinate — the
+		// latency win comes from overlapping them, not deleting them),
+		// but the subordinate forces NOTHING: its vote's durability is
+		// delegated to the coordinator's single forced decision record.
+		// Subordinate: lazy Committed + lazy End only.
+		sub = Triplet{Flows: 2, Writes: 2, Forced: 0}
 	default:
 		return RoleCost{}, false
 	}
@@ -283,6 +291,16 @@ func AbortCostBoundByRole(variant string, subs int) (RoleCost, bool) {
 		a := PaxosAcceptorCount(subs)
 		coord = Triplet{Flows: 2*subs + a - 1, Writes: 3, Forced: 1}
 		sub = Triplet{Flows: a, Writes: 4, Forced: 2}
+	case "1PC":
+		// Fully PA-style: absence of the coordinator's decision record
+		// presumes abort, so nothing on the abort path is forced and no
+		// abort ack flows. The voter never wrote a Prepared record in
+		// the first place, so its ceiling is one flow (the vote) and the
+		// lazy Aborted + End pair.
+		coord.Forced--
+		sub.Flows--
+		sub.Writes--
+		sub.Forced -= 2
 	default:
 		return RoleCost{}, false
 	}
@@ -342,6 +360,29 @@ func PaxosCommitTotal(n int) Triplet {
 // for a tree whose acceptor set has a members (see PaxosCommitTotal).
 func PaxosAcceptorSubCost(a int) Triplet {
 	return Triplet{Flows: a, Writes: 4, Forced: 2}
+}
+
+// OnePhase is the logless one-phase fast path for a flat tree of n
+// members, commit case. Derivation (s = n-1 leaf subordinates):
+//
+//	flows:  4(n-1)  unchanged from the baseline — prepare, vote,
+//	        commit, ack still all flow; the win is that the vote
+//	        carries the redo so the coordinator decides after ONE round
+//	        and acks leave the caller's critical path.
+//	writes: 2n      coordinator forced Committed (naming members and
+//	        embedding redos) + lazy End; each subordinate lazy
+//	        Committed + lazy End, no Prepared record at all.
+//	forced: 1       the coordinator's decision record is the only
+//	        stable state in the whole tree.
+//
+// Against Basic2PC {4(n-1), 3n-1, 2n-1} this saves n-1 writes and
+// 2(n-1) forces — every subordinate fsync on the commit path is gone.
+// The tradeoff (see DESIGN.md §16): the decision record grows with the
+// tree's redo volume, aborts discard the subordinates' work with no
+// local record of it, and wide fan-outs concentrate all durability
+// bandwidth on the coordinator's log.
+func OnePhase(n int) Triplet {
+	return Triplet{Flows: 4 * (n - 1), Writes: 2 * n, Forced: 1}
 }
 
 // PC is Presumed Commit (the R*-lineage dual of PA, implemented here

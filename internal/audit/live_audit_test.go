@@ -81,7 +81,7 @@ func drainClosed(t *testing.T, reg *metrics.Registry, want int) []metrics.TxCost
 // exactly — the paper's Tables 2-4 re-derived from a running system.
 func TestLiveConformanceAllVariants(t *testing.T) {
 	const perVariant = 5
-	variants := []core.Variant{core.VariantBaseline, core.VariantPA, core.VariantPN, core.VariantPC}
+	variants := []core.Variant{core.VariantBaseline, core.VariantPA, core.VariantPN, core.VariantPC, core.Variant1PC}
 	lc := newLiveCluster(t)
 	var seq uint64
 	for _, v := range variants {
@@ -158,7 +158,7 @@ func TestLiveConformanceCatchesMisCost(t *testing.T) {
 // variant and checks the measured spend stays under the abort
 // ceilings.
 func TestLiveConformanceAbortPath(t *testing.T) {
-	variants := []core.Variant{core.VariantBaseline, core.VariantPA, core.VariantPN, core.VariantPC}
+	variants := []core.Variant{core.VariantBaseline, core.VariantPA, core.VariantPN, core.VariantPC, core.Variant1PC}
 	for _, v := range variants {
 		t.Run(v.String(), func(t *testing.T) {
 			reg := metrics.New()

@@ -19,7 +19,7 @@ import (
 var seedFlag = flag.Int64("seed", 0, "replay a single chaos schedule by seed")
 
 // Sweep width: seeds per variant per engine. The defaults make the
-// full sweep the CI tier — 5 variants x (32 sim + 16 live) = 240
+// full sweep the CI tier — 6 variants x (32 sim + 16 live) = 288
 // schedules — and -short a quick local smoke. Both are overridable,
 // by flag or by environment (the flag wins):
 //
@@ -76,7 +76,7 @@ func runSeed(t *testing.T, seed int64, withTrace bool) bool {
 	return false
 }
 
-// TestChaos sweeps seeded failure schedules over all five variants on
+// TestChaos sweeps seeded failure schedules over all six variants on
 // both engines and runs every trace through the safety oracle. Seeds
 // are structured so variant and engine coverage is exact: the low
 // three bits pick the variant, bit 3 the engine.
@@ -88,13 +88,13 @@ func TestChaos(t *testing.T) {
 		return
 	}
 
-	simDef, liveDef := 32, 16 // the 240-schedule CI sweep
+	simDef, liveDef := 32, 16 // the 288-schedule CI sweep (6 variants)
 	if testing.Short() {
 		simDef, liveDef = 8, 4
 	}
 	simPerVariant := sweepWidth(*simSeedsFlag, "CHAOS_SIM_SEEDS", simDef)
 	livePerVariant := sweepWidth(*liveSeedsFlag, "CHAOS_LIVE_SEEDS", liveDef)
-	variants := int64(core.VariantPaxos) + 1
+	variants := int64(core.Variant1PC) + 1
 
 	// Simulator runs: cheap, fully deterministic, sequential. The
 	// first failure gets the full mermaid trace; a run of failures
@@ -141,8 +141,8 @@ func TestScheduleDeterminism(t *testing.T) {
 			t.Fatalf("seed %d expanded to two different schedules:\n%+v\n%+v", seed, a, b)
 		}
 		wantVariant := seed & 7
-		if wantVariant > int64(core.VariantPaxos) {
-			wantVariant -= 5
+		if wantVariant > int64(core.Variant1PC) {
+			wantVariant -= 6
 		}
 		if got := int64(a.Variant); got != wantVariant {
 			t.Fatalf("seed %d: variant bit mapping broke: got %d want %d", seed, got, wantVariant)

@@ -15,10 +15,10 @@ func TestChaosLiveCodecPinned(t *testing.T) {
 		codec := codec
 		t.Run(codec, func(t *testing.T) {
 			t.Parallel()
-			// Live-engine seeds have bit 3 set; sweep the five variants
+			// Live-engine seeds have bit 3 set; sweep the six variants
 			// (low three bits) with a crash/loss mix decided by the seed.
-			for i := int64(0); i < 10; i++ {
-				seed := i*16 + 8 + (i % 5)
+			for i := int64(0); i < 12; i++ {
+				seed := i*16 + 8 + (i % 6)
 				s := FromSeed(seed)
 				if s.Engine != "live" {
 					t.Fatalf("seed %d: expected live engine, got %s", seed, s.Engine)

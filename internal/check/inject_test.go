@@ -180,6 +180,88 @@ func TestInjectedAcceptorForceBugLive(t *testing.T) {
 	t.Logf("oracle convicted the unforced acceptance in %v (seed=%d): %v", time.Since(start), seed, vs)
 }
 
+// TestInjectedOnePhaseLazyDecisionSim plants the one-phase variant's
+// deliberate bug in the simulator: the coordinator writes its combined
+// decision record lazily (core.TestHooks.OnePhaseLazyDecision) instead
+// of forcing it. In 1PC that single force is the transaction's entire
+// durability — the voters logged nothing — so skipping it must convict
+// under AC3 even though the commit itself sails through.
+func TestInjectedOnePhaseLazyDecisionSim(t *testing.T) {
+	const seed = int64(424246)
+	eng := core.NewEngine(core.Config{
+		Variant: core.Variant1PC,
+		Hooks:   core.TestHooks{OnePhaseLazyDecision: true},
+	})
+	nodes := []string{"C", "S1", "S2"}
+	for _, name := range nodes {
+		eng.AddNode(core.NodeID(name)).AttachResource(core.NewStaticResource(name + "-res"))
+	}
+	tx := eng.Begin("C")
+	for _, sub := range nodes[1:] {
+		if err := tx.Send("C", core.NodeID(sub), "work"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tx.CommitAsync("C")
+	eng.Drain()
+	eng.FlushSessions()
+	eng.Drain()
+
+	if o, ok := eng.OutcomeAt("C", tx.ID()); !ok || o != core.OutcomeCommitted {
+		t.Fatalf("outcome at C = %v, %v (the bug must not block the happy path)", o, ok)
+	}
+	vs := Check(Run{Variant: core.Variant1PC, Events: eng.Trace().Events()})
+	wantRule(t, vs, "AC3")
+	t.Logf("oracle convicted the lazy 1PC decision (seed=%d): %v", seed, vs)
+}
+
+// TestInjectedOnePhaseLazyDecisionLive does the same through the live
+// runtime: the coordinator decides on real unforced votes and then
+// buffers — rather than forces — the one record that carries every
+// voter's durability. Must convict under AC3 well inside a minute.
+func TestInjectedOnePhaseLazyDecisionLive(t *testing.T) {
+	start := time.Now()
+	const seed = int64(424247)
+	trc := trace.New()
+	net := netsim.NewChanNetwork()
+	mk := func(name string, hooks core.TestHooks) *live.Participant {
+		p := live.NewParticipant(name, net.Endpoint(name), wal.New(wal.NewMemStore()),
+			[]core.Resource{core.NewStaticResource(name + "-res")},
+			live.WithVariant(core.Variant1PC),
+			live.WithTrace(trc),
+			live.WithTimeout(liveTimeout, liveTimeout),
+			live.WithRetry(liveRetry()),
+			live.WithRetrySeed(seed),
+			live.WithHooks(hooks),
+		)
+		p.Start()
+		t.Cleanup(p.Stop)
+		return p
+	}
+	c := mk("C", core.TestHooks{OnePhaseLazyDecision: true})
+	s1 := mk("S1", core.TestHooks{})
+	s2 := mk("S2", core.TestHooks{})
+
+	ctx, cancel := context.WithTimeout(context.Background(), liveRecovery)
+	defer cancel()
+	if out, err := c.Commit(ctx, "C:1", []string{"S1", "S2"}); err != nil || out != live.Committed {
+		t.Fatalf("commit = %v, %v (the bug must not block the happy path)", out, err)
+	}
+	time.Sleep(30 * time.Millisecond)
+
+	final := map[string]Final{
+		"C":  {Outcomes: c.Decided()},
+		"S1": {Outcomes: s1.Decided()},
+		"S2": {Outcomes: s2.Decided()},
+	}
+	vs := Check(Run{Variant: core.Variant1PC, Events: trc.Events(), Final: final})
+	wantRule(t, vs, "AC3")
+	if el := time.Since(start); el > time.Minute {
+		t.Errorf("conviction took %v; the acceptance bar is under a minute", el)
+	}
+	t.Logf("oracle convicted the lazy 1PC decision in %v (seed=%d): %v", time.Since(start), seed, vs)
+}
+
 // TestInjectedQuorumBugLive plants the second bug — the coordinator
 // counts an acceptor "quorum" of one (core.TestHooks.QuorumOverride)
 // — and arranges the schedule that makes it lethal: the coordinator's

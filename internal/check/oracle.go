@@ -185,6 +185,16 @@ func (v *txView) receivedBefore(node string, seq int, bases ...string) bool {
 	})
 }
 
+// sentPrepareBefore reports whether node sent any Prepare of its own
+// before seq — true for coordinators and cascaded intermediates, false
+// for leaf voters. 1PC's vote-force elision is sanctioned only for the
+// latter.
+func (v *txView) sentPrepareBefore(node string, seq int) bool {
+	return v.before(seq, func(e trace.Event) bool {
+		return e.Kind == trace.KindSend && e.Node == node && msgBase(e.Detail) == "Prepare"
+	})
+}
+
 // receivedPlainPrepare reports whether node was asked to prepare as an
 // ordinary subordinate (a Prepare without the Delegate flag) — the
 // role that must never invent an outcome and whose PC commit record
@@ -449,6 +459,15 @@ func (v *txView) ac3() []Violation {
 		}
 		switch base {
 		case "VoteYes":
+			if v.variant == core.Variant1PC && !v.sentPrepareBefore(e.Node, e.Seq) {
+				// 1PC's one sanctioned vote-force elision: a LEAF voter
+				// (one that asked nobody else to prepare) may answer yes
+				// with nothing forced — its durability is delegated to the
+				// coordinator's decision record. A cascaded intermediate
+				// sent Prepares of its own; its subtree's votes are stable
+				// nowhere else, so it must still force Prepared below.
+				break
+			}
 			if !v.logWriteBefore(e.Node, e.Seq, map[string]bool{"Prepared": true}, true) {
 				out = append(out, v.vio("AC3", e.Node, e.Seq,
 					"yes vote sent without a forced Prepared record"))
@@ -465,7 +484,16 @@ func (v *txView) ac3() []Violation {
 				}
 				break
 			}
-			mustForce := !(v.variant == core.VariantPC && v.receivedPlainPrepare(e.Node))
+			// Lazy Committed before a relayed Commit is sanctioned for a
+			// PC subordinate (commits are presumed) and for a 1PC
+			// intermediate (the root's forced decision record is the
+			// tree's durability). The decision OWNER's record must be
+			// forced under both — under 1PC it is the only stable state
+			// in the whole tree, which is exactly what the
+			// OnePhaseLazyDecision injected bug violates.
+			sub := v.receivedPlainPrepare(e.Node)
+			mustForce := !(v.variant == core.VariantPC && sub) &&
+				!(v.variant == core.Variant1PC && sub)
 			if !v.logWriteBefore(e.Node, e.Seq, map[string]bool{"Committed": true}, mustForce) {
 				out = append(out, v.vio("AC3", e.Node, e.Seq,
 					"Commit sent without a preceding Committed record (forced=%v required)", mustForce))
@@ -479,7 +507,7 @@ func (v *txView) ac3() []Violation {
 					"acceptance acknowledged without a forced PaxAccept record"))
 			}
 		case "Abort":
-			if v.variant == core.VariantPA {
+			if v.variant == core.VariantPA || v.variant == core.Variant1PC {
 				break // presumed abort: aborts need no stable record
 			}
 			forcedAny := v.before(e.Seq, func(ev trace.Event) bool {
@@ -524,18 +552,24 @@ func (v *txView) ac3() []Violation {
 		case "End":
 			// Always lazy: its loss only costs redundant recovery work.
 		case "Aborted":
-			if v.variant != core.VariantPA && v.variant != core.VariantPaxos {
+			if v.variant != core.VariantPA && v.variant != core.VariantPaxos &&
+				v.variant != core.Variant1PC {
 				out = append(out, v.vio("AC3", e.Node, e.Seq,
-					"lazy Aborted record outside Presumed Abort"))
+					"lazy Aborted record outside a presumed-abort variant"))
 			}
 		case "Committed":
 			// Paxos Commit keeps every local outcome record lazy: the
 			// acceptor quorum, not the node's own log, is what survives a
-			// crash, so forcing here would buy nothing.
+			// crash, so forcing here would buy nothing. Likewise a PC
+			// subordinate (commits presumed) and a 1PC subordinate (the
+			// coordinator's forced decision record is the tree's
+			// durability) — but a 1PC decision OWNER's lazy Committed is
+			// the injected OnePhaseLazyDecision bug, convicted here.
 			if v.variant != core.VariantPaxos &&
-				!(v.variant == core.VariantPC && v.receivedPlainPrepare(e.Node)) {
+				!(v.variant == core.VariantPC && v.receivedPlainPrepare(e.Node)) &&
+				!(v.variant == core.Variant1PC && v.receivedPlainPrepare(e.Node)) {
 				out = append(out, v.vio("AC3", e.Node, e.Seq,
-					"lazy Committed record outside a PC subordinate"))
+					"lazy Committed record outside a subordinate whose variant presumes it"))
 			}
 		default:
 			out = append(out, v.vio("AC3", e.Node, e.Seq,

@@ -64,14 +64,14 @@ type Schedule struct {
 // same seed always yields the same schedule, which is what makes a
 // failing run a one-line repro.
 //
-// The low three bits pick the variant (0..4 directly; the spare
-// values 5..7 wrap back onto 0..2 so every seed is valid), bit 3
+// The low three bits pick the variant (0..5 directly; the spare
+// values 6..7 wrap back onto 0..1 so every seed is valid), bit 3
 // picks the engine, and the rest of the seed drives the failure rng.
 func FromSeed(seed int64) Schedule {
 	s := Schedule{Seed: seed, PartitionSub: -1}
 	v := seed & 7
-	if v > int64(core.VariantPaxos) {
-		v -= 5
+	if v > int64(core.Variant1PC) {
+		v -= 6
 	}
 	s.Variant = core.Variant(v)
 	if (seed>>3)&1 == 0 {

@@ -51,12 +51,12 @@ func checkSweepRun(t *testing.T, s Schedule, what string) {
 // TestLiveCrashPointSweep kills the coordinator — and then a
 // subordinate — at every instrumented protocol step (before and after
 // each forced log write, before and after each message send) for all
-// five variants, restarts the victim, drives recovery, and requires
+// six variants, restarts the victim, drives recovery, and requires
 // the oracle green every time. The step counts come from a clean
 // probe run of the same schedule. For Paxos Commit the subordinate
 // sweep doubles as an acceptor-crash sweep (S1 sits in the quorum).
 func TestLiveCrashPointSweep(t *testing.T) {
-	for v := core.VariantBaseline; v <= core.VariantPaxos; v++ {
+	for v := core.VariantBaseline; v <= core.Variant1PC; v++ {
 		v := v
 		t.Run(v.String(), func(t *testing.T) {
 			t.Parallel()

@@ -41,6 +41,20 @@ const (
 	// acceptor failures at the cost of one extra message delay and
 	// the acceptor forces.
 	VariantPaxos
+	// Variant1PC is the logless one-phase fast path ("vote before
+	// decide"): a leaf subordinate's yes vote carries its redo payload
+	// and is NOT preceded by a forced prepare record — the vote's
+	// durability is delegated to the coordinator's single forced
+	// decision record, which names the participants and embeds their
+	// redos. The coordinator decides in one round and does not wait
+	// for commit acknowledgments on the caller's critical path, so a
+	// commit costs one forced write in the whole tree and roughly one
+	// network round trip less of latency. Absence of information means
+	// abort (PA-style), which is what makes the voter's amnesia safe:
+	// a restarted voter knows nothing, and either the presumption
+	// aborts it or the coordinator's retransmitted Commit (carrying
+	// the redo) completes it.
+	Variant1PC
 )
 
 // String returns the paper's abbreviation for the variant.
@@ -56,6 +70,8 @@ func (v Variant) String() string {
 		return "PC"
 	case VariantPaxos:
 		return "PaxosCommit"
+	case Variant1PC:
+		return "1PC"
 	default:
 		return fmt.Sprintf("Variant(%d)", int(v))
 	}
@@ -136,6 +152,12 @@ type TestHooks struct {
 	// majority), letting two recovery leaders learn different
 	// outcomes (AC1/AC4Strict).
 	QuorumOverride int
+	// OnePhaseLazyDecision makes a 1PC coordinator write its decision
+	// record lazily instead of forced before announcing the commit.
+	// Under 1PC that record is the ONLY stable state in the whole
+	// tree, so skipping the force silently voids every voter's
+	// delegated durability — the bug AC3 must convict.
+	OnePhaseLazyDecision bool
 }
 
 // Config parameterizes an Engine.

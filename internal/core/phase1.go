@@ -584,6 +584,15 @@ func (n *Node) voteUpstream(c *txCtx) {
 				c.pnPendingLogged = true
 			}
 			n.logTx(c, recPrepared, recPayload{Coord: c.coord, Subs: c.yesSubIDs("")}, true)
+		} else if cfg.Variant == Variant1PC && len(c.yesSubIDs("")) == 0 {
+			// 1PC leaf: the yes vote goes out with NOTHING forced — its
+			// durability is delegated to the coordinator's forced
+			// decision record. A crash here loses the prepared state
+			// entirely, which is safe because absence of information
+			// means abort and a committed outcome is retransmitted
+			// (with the redo) by the coordinator. Only leaves elide the
+			// force: a cascaded intermediate's subtree votes are stable
+			// nowhere else, so it still writes Prepared below.
 		} else {
 			n.logTx(c, recPrepared, recPayload{Coord: c.coord, Subs: c.yesSubIDs("")}, true)
 		}

@@ -24,15 +24,23 @@ func (n *Node) ownDecision(c *txCtx, commit bool) {
 	// Paxos Commit never forces outcome records: the acceptor quorum is
 	// the durable decision, and recovery re-learns it from there.
 	force := cfg.Variant != VariantPaxos
+	if cfg.Variant == Variant1PC && cfg.Hooks.OnePhaseLazyDecision {
+		// Injected bug for the chaos oracle: under 1PC the decision
+		// record is the only stable state in the whole tree, so writing
+		// it lazily voids every voter's delegated durability (AC3).
+		force = false
+	}
 	if commit {
 		if !(c.allReadOnly && cfg.Options.ReadOnly) {
 			n.logTx(c, recCommitted, recPayload{Coord: c.coord, Subs: c.yesSubIDs("")}, force)
 		}
 	} else {
 		// PA presumes abort: nothing is logged and recovery answers
-		// inquiries from the absence of information. Baseline and PN
-		// force the abort record.
-		if cfg.Variant != VariantPA && (c.loggedAny || len(c.yesSubIDs("")) > 0 || c.anyNo) {
+		// inquiries from the absence of information. 1PC inherits the
+		// abort presumption wholesale. Baseline and PN force the abort
+		// record.
+		if cfg.Variant != VariantPA && cfg.Variant != Variant1PC &&
+			(c.loggedAny || len(c.yesSubIDs("")) > 0 || c.anyNo) {
 			n.logTx(c, recAborted, recPayload{Coord: c.coord, Subs: c.yesSubIDs("")}, force)
 		}
 	}
@@ -63,14 +71,19 @@ func (n *Node) receivedDecision(c *txCtx, commit bool) {
 		// Presumed commit: the subordinate's commit record need not
 		// be forced — if it is lost, recovery inquires and the
 		// presumption answers commit. Paxos: the acceptor quorum
-		// already holds the decision durably.
-		forced := cfg.Variant != VariantPC && cfg.Variant != VariantPaxos
+		// already holds the decision durably. 1PC: the coordinator's
+		// forced decision record is the durable truth; the voter's
+		// own commit record is an optimization, never a promise.
+		forced := cfg.Variant != VariantPC && cfg.Variant != VariantPaxos &&
+			cfg.Variant != Variant1PC
 		n.logTx(c, recCommitted, recPayload{Coord: c.coord, Subs: c.yesSubIDs("")}, forced)
 	} else {
 		// PA subordinates do not force abort records: a lost abort
 		// record merely repeats recovery work that ends in abort
-		// anyway. Same reasoning for Paxos, via the quorum.
-		forced := cfg.Variant != VariantPA && cfg.Variant != VariantPaxos
+		// anyway. Same reasoning for Paxos, via the quorum, and for
+		// 1PC, via the abort presumption.
+		forced := cfg.Variant != VariantPA && cfg.Variant != VariantPaxos &&
+			cfg.Variant != Variant1PC
 		if c.loggedAny {
 			n.logTx(c, recAborted, recPayload{Coord: c.coord, Subs: c.yesSubIDs("")}, forced)
 		}
@@ -88,7 +101,7 @@ func (n *Node) expectsAck(s *subInfo, commit bool) bool {
 		// any participant can always re-learn the outcome.
 		return false
 	}
-	if !commit && cfg.Variant == VariantPA {
+	if !commit && (cfg.Variant == VariantPA || cfg.Variant == Variant1PC) {
 		return false // presumed abort: aborts are not acknowledged
 	}
 	if commit && cfg.Variant == VariantPC {
@@ -242,7 +255,7 @@ func (n *Node) noteResourceHeuristic(c *txCtx, r Resource, commit bool, err erro
 // variant's presumption rules.
 func (n *Node) redeliveryAck(commit bool) bool {
 	switch n.eng.cfg.Variant {
-	case VariantPA:
+	case VariantPA, Variant1PC:
 		return commit
 	case VariantPC:
 		return !commit
@@ -259,8 +272,23 @@ func (n *Node) handleOutcomeMsg(from NodeID, m protocol.Message, commit bool) {
 	tx := ParseTxID(m.Tx)
 	c, ok := n.txs[tx]
 	if !ok {
-		// Forgotten or never known: idempotent completion. Ack if the
-		// sender can be waiting for one.
+		// Forgotten or never known: idempotent completion. Under 1PC
+		// "never known" includes the amnesiac logless voter — it forced
+		// nothing before crashing, so a restart leaves no trace of the
+		// transaction at all and the coordinator's retransmitted Commit
+		// IS its durability. Install the outcome (the redo replay the
+		// decision record carries) before acknowledging: an Ack releases
+		// the coordinator's record, so AC3 demands the outcome be logged
+		// first. Completed-and-recovered nodes are in n.done (rebuilt
+		// from the log on restart) and keep the plain re-ack.
+		if n.eng.cfg.Variant == Variant1PC && commit {
+			if _, known := n.done[tx]; !known {
+				n.logRec(tx, recCommitted, recPayload{Coord: from}, false)
+				n.logRec(tx, recEnd, recPayload{}, false)
+				n.done[tx] = OutcomeCommitted
+			}
+		}
+		// Ack if the sender can be waiting for one.
 		if n.redeliveryAck(commit) {
 			n.send(from, protocol.Message{Type: protocol.MsgAck, Tx: m.Tx})
 		}
@@ -405,7 +433,7 @@ func (n *Node) checkAcks(c *txCtx) {
 		n.defer_(c.coord, n.ackMessage(c))
 		n.trcState(c.id, "ack deferred (long locks)")
 		n.writeEndAndForget(c)
-	case !c.decisionCommit && n.eng.cfg.Variant == VariantPA:
+	case !c.decisionCommit && (n.eng.cfg.Variant == VariantPA || n.eng.cfg.Variant == Variant1PC):
 		// Presumed abort: aborts are not acknowledged.
 		n.writeEndAndForget(c)
 	case c.decisionCommit && n.eng.cfg.Variant == VariantPC:

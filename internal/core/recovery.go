@@ -416,8 +416,11 @@ func (n *Node) handleInquire(from NodeID, m protocol.Message) {
 	}
 	// No information at all: presumption.
 	switch n.eng.cfg.Variant {
-	case VariantPA:
-		reply(protocol.OutcomeAbort) // presumed abort, by definition
+	case VariantPA, Variant1PC:
+		// Presumed abort, by definition. Under 1PC this is what makes
+		// the logless voter safe: had the coordinator decided commit,
+		// its forced decision record would still be here.
+		reply(protocol.OutcomeAbort)
 	case VariantPC:
 		// Presumed commit: the collecting record precedes every
 		// prepare, so total amnesia for a prepared inquirer can only

@@ -343,6 +343,52 @@ func (s *Store) finish(tx core.TxID, commit, heuristic bool) error {
 	return nil
 }
 
+// RedoPayload implements the live runtime's RedoCarrier extension for
+// the 1PC fast path: the prepared transaction's buffered write-set,
+// in the same encoding as the LRMUpdate record. Nil for unknown,
+// unprepared, or write-free transactions — a nil payload simply means
+// there is nothing the coordinator's decision record must carry.
+func (s *Store) RedoPayload(tx core.TxID) []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.txs[tx]
+	if !ok || st.phase != phasePrepared || len(st.writes) == 0 {
+		return nil
+	}
+	b, err := json.Marshal(st.writes)
+	if err != nil {
+		return nil
+	}
+	return b
+}
+
+// ApplyRedo implements the live runtime's RedoApplier extension: it
+// installs a redo payload delivered alongside a committed outcome for
+// a transaction this store has no memory of (the process lost its
+// prepared write-set in a crash after a logless 1PC vote). A
+// transaction the store still remembers is left to the normal Commit
+// path — the redelivery is a duplicate there.
+func (s *Store) ApplyRedo(tx core.TxID, payload []byte) error {
+	var writes []pendingWrite
+	if err := json.Unmarshal(payload, &writes); err != nil {
+		return fmt.Errorf("kvstore %s: decode redo payload: %w", s.name, err)
+	}
+	s.mu.Lock()
+	if _, known := s.txs[tx]; known {
+		s.mu.Unlock()
+		return nil
+	}
+	for _, w := range writes {
+		if w.Delete {
+			delete(s.data, w.Key)
+		} else {
+			s.data[w.Key] = w.Value
+		}
+	}
+	s.mu.Unlock()
+	return s.writeLog(tx, recCommitted, outcomePayload(true), !s.sharedLog)
+}
+
 func outcomePayload(commit bool) []byte {
 	if commit {
 		return []byte(`{"commit":true}`)

@@ -392,8 +392,12 @@ func BenchmarkLiveParallelMultiSubTCPFsync(b *testing.B) {
 // benchVariantTCP drives one commit variant over loopback TCP with a
 // full mesh (Paxos Commit's ballot-0 accepts flow subordinate to
 // subordinate) and reports throughput and the latency distribution
-// from the metrics histogram.
-func benchVariantTCP(b *testing.B, variant core.Variant) {
+// from the metrics histogram. With fsync set, every participant logs
+// to a real preallocated segment store with real fdatasync behind the
+// adaptive force pipeline, and the benchmark additionally reports
+// syncs/force — the physical price of each variant's forced-write
+// budget.
+func benchVariantTCP(b *testing.B, variant core.Variant, fsync bool) {
 	const (
 		workers = 16
 		subs    = 2 // acceptor set {C, S1, S2}: one failure tolerated
@@ -417,18 +421,35 @@ func benchVariantTCP(b *testing.B, variant core.Variant) {
 			}
 		}
 	}
+	var dir string
+	if fsync {
+		dir = b.TempDir()
+	}
 	reg := metrics.New()
 	var parts []*Participant
 	var coord *Participant
+	var stores []*wal.SegmentStore
 	for name, ep := range eps {
-		opts := []Option{
-			WithVariant(variant),
-			WithGroupCommit(8, 200*time.Microsecond),
+		opts := []Option{WithVariant(variant)}
+		if fsync {
+			opts = append(opts, WithAdaptiveCommit(2*time.Millisecond))
+		} else {
+			opts = append(opts, WithGroupCommit(8, 200*time.Microsecond))
 		}
 		if name == "C" {
 			opts = append(opts, WithMetrics(reg))
 		}
-		p := NewParticipant(name, ep, wal.New(wal.NewMemStore()),
+		log := wal.New(wal.NewMemStore())
+		if fsync {
+			store, err := wal.OpenSegmentStore(filepath.Join(dir, name), wal.WithSegmentFsync(true))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer store.Close()
+			stores = append(stores, store)
+			log = wal.New(store)
+		}
+		p := NewParticipant(name, ep, log,
 			[]core.Resource{core.NewStaticResource("r" + name)}, opts...)
 		if name == "C" {
 			coord = p
@@ -474,6 +495,18 @@ func benchVariantTCP(b *testing.B, variant core.Variant) {
 		b.ReportMetric(float64(snap.Latency.P50.Microseconds()), "p50_us")
 		b.ReportMetric(float64(snap.Latency.P99.Microseconds()), "p99_us")
 	}
+	if fsync {
+		var forces, phys int64
+		for _, p := range parts {
+			forces += int64(p.Log().Stats().Forces)
+		}
+		for _, s := range stores {
+			phys += int64(s.PhysSyncs())
+		}
+		if forces > 0 {
+			b.ReportMetric(float64(phys)/float64(forces), "syncs/force")
+		}
+	}
 }
 
 // BenchmarkLivePaxosVsBasicTCP is the non-blocking-commit price tag:
@@ -483,6 +516,21 @@ func benchVariantTCP(b *testing.B, variant core.Variant) {
 // the coordinator's critical path for both — the benchmark records
 // what that costs end to end.
 func BenchmarkLivePaxosVsBasicTCP(b *testing.B) {
-	b.Run("Basic2PC", func(b *testing.B) { benchVariantTCP(b, core.VariantBaseline) })
-	b.Run("PaxosCommit", func(b *testing.B) { benchVariantTCP(b, core.VariantPaxos) })
+	b.Run("Basic2PC", func(b *testing.B) { benchVariantTCP(b, core.VariantBaseline, false) })
+	b.Run("PaxosCommit", func(b *testing.B) { benchVariantTCP(b, core.VariantPaxos, false) })
+}
+
+// BenchmarkLive1PCVsBasicTCP is the one-phase fast path's price tag:
+// the logless vote-before-decide variant against Basic2PC on identical
+// 2-subordinate trees over loopback TCP. The analytic model prices the
+// tree at one forced write total (the coordinator's combined decision
+// record) against the baseline's 2n-1, with the voters' prepare forces
+// and the ack round both off the caller's critical path — the p50 gap
+// is the headline, and the fsync-honest pair shows the saved device
+// syncs directly (syncs/force collapses with only one log forcing).
+func BenchmarkLive1PCVsBasicTCP(b *testing.B) {
+	b.Run("Basic2PC", func(b *testing.B) { benchVariantTCP(b, core.VariantBaseline, false) })
+	b.Run("OnePhase", func(b *testing.B) { benchVariantTCP(b, core.Variant1PC, false) })
+	b.Run("Basic2PCFsync", func(b *testing.B) { benchVariantTCP(b, core.VariantBaseline, true) })
+	b.Run("OnePhaseFsync", func(b *testing.B) { benchVariantTCP(b, core.Variant1PC, true) })
 }

@@ -47,6 +47,12 @@ func (p *Participant) CommitVariant(ctx context.Context, txName string, subs []s
 }
 
 func (p *Participant) runCommit(ctx context.Context, txName string, subs []string, v core.Variant) (Outcome, error) {
+	// The logless fast path manages its own registration: its ack
+	// collection outlives this call (acks leave the caller's critical
+	// path), so the deferred unregister below must not fire for it.
+	if v == core.Variant1PC {
+		return p.runOnePhase(ctx, txName, subs)
+	}
 	tx := core.ParseTxID(txName)
 	st := p.registerCoord(txName, len(subs))
 	defer p.unregisterCoord(txName)
@@ -338,6 +344,11 @@ func (p *Participant) collectAcks(ctx context.Context, st *txState, txName strin
 				}
 			}
 			return heur, fmt.Errorf("live: %d/%d acks outstanding for %s; delivery falls to recovery: %w", missing, len(targets), txName, ErrInDoubt)
+		case <-p.stopped:
+			// Shutdown mid-collection (e.g. a 1PC background collector
+			// when the participant stops): the outcome is decided and
+			// durable; outstanding deliveries fall to recovery.
+			return heur, fmt.Errorf("live: participant stopped with acks outstanding for %s: %w", txName, ErrInDoubt)
 		case <-p.crashc:
 			return heur, ErrCrashed
 		case <-ctx.Done():
@@ -368,11 +379,12 @@ func (p *Participant) abortTx(tx core.TxID, txName string, subs []string, v core
 }
 
 // logAbort writes the coordinator's abort record: non-forced under
-// Presumed Abort (absence already means abort) and under Paxos Commit
-// (the acceptor quorum holds the durable outcome), forced otherwise.
+// Presumed Abort (absence already means abort), under Paxos Commit
+// (the acceptor quorum holds the durable outcome), and under 1PC
+// (fully abort-presumptive), forced otherwise.
 func (p *Participant) logAbort(txName string, v core.Variant) {
 	rec := wal.Record{Tx: txName, Node: p.name, Kind: "Aborted"}
-	if v == core.VariantPA || v == core.VariantPaxos {
+	if v == core.VariantPA || v == core.VariantPaxos || v == core.Variant1PC {
 		_ = p.lazy(rec)
 	} else {
 		_ = p.force(rec)

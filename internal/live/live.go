@@ -133,6 +133,7 @@ type Participant struct {
 	walGroupSize  int
 	walGroupDelay time.Duration
 	walMaxWindow  time.Duration
+	pipe          *wal.Pipeline // set when walMode is adaptive; hinted on prepare bursts
 
 	stopped chan struct{}
 	wg      sync.WaitGroup
@@ -241,7 +242,8 @@ func (p *Participant) applyWALPolicy() {
 	case walPolicyGroup:
 		p.log.WithPolicy(wal.NewGroupCommit(p.walGroupSize, p.walGroupDelay).WithScheduler(p.sched))
 	case walPolicyAdaptive:
-		p.log.WithPolicy(wal.NewPipeline(p.sched, p.walMaxWindow))
+		p.pipe = wal.NewPipeline(p.sched, p.walMaxWindow)
+		p.log.WithPolicy(p.pipe)
 	}
 }
 
@@ -448,6 +450,23 @@ func (p *Participant) handle(pkt protocol.Packet) {
 	if p.Crashed() {
 		return
 	}
+	// A packet carrying several Prepares is a cross-transaction force
+	// burst about to hit this log (one Prepared force per yes vote).
+	// Announce it so the adaptive pipeline groups the forces under one
+	// physical sync even when its window has collapsed to immediate
+	// mode between bursts. 1PC prepares are excluded: the logless fast
+	// path forces nothing on the voter.
+	if p.pipe != nil {
+		prepares := 0
+		for i := range pkt.Messages {
+			if pkt.Messages[i].Type == protocol.MsgPrepare && pkt.Messages[i].Presume != protocol.Presume1PC {
+				prepares++
+			}
+		}
+		if prepares >= 2 {
+			p.pipe.Hint(prepares)
+		}
+	}
 	for i := range pkt.Messages {
 		m := pkt.Messages[i]
 		if p.met != nil {
@@ -542,7 +561,7 @@ func (p *Participant) routeVote(from string, m protocol.Message) {
 		// forever "in progress".
 		sh.mu.Unlock()
 		rec := wal.Record{Tx: m.Tx, Node: p.name, Kind: "Aborted"}
-		if p.variant == core.VariantPA {
+		if p.variant == core.VariantPA || p.variant == core.Variant1PC {
 			_ = p.lazy(rec)
 		} else if err := p.force(rec); err != nil {
 			return // crashed again; the next restart retries
@@ -695,6 +714,8 @@ func presumptionOf(v core.Variant) protocol.Presumption {
 		return protocol.PresumeCommit
 	case core.VariantPaxos:
 		return protocol.PresumePaxos
+	case core.Variant1PC:
+		return protocol.Presume1PC
 	default:
 		return protocol.PresumeNothingKnown
 	}
@@ -716,6 +737,7 @@ func presumeFromData(b []byte) (protocol.Presumption, bool) {
 	for _, pr := range []protocol.Presumption{
 		protocol.PresumeNothingKnown, protocol.PresumeAbort,
 		protocol.PresumePending, protocol.PresumeCommit, protocol.PresumePaxos,
+		protocol.Presume1PC,
 	} {
 		if string(b) == pr.String() {
 			return pr, true
@@ -736,6 +758,8 @@ func variantOf(pr protocol.Presumption) core.Variant {
 		return core.VariantPC
 	case protocol.PresumePaxos:
 		return core.VariantPaxos
+	case protocol.Presume1PC:
+		return core.Variant1PC
 	default:
 		return core.VariantBaseline
 	}
@@ -745,6 +769,9 @@ func variantOf(pr protocol.Presumption) core.Variant {
 // under the given variant: PA skips abort acks, PC skips commit acks,
 // and Paxos Commit never acks — the acceptor quorum is the durable
 // record of the outcome, so delivery needs no per-subordinate receipt.
+// 1PC keeps commit acks (collected off the critical path; they bound
+// how long the coordinator must retain the redo-bearing decision
+// record) but skips abort acks like PA.
 func expectsAckFor(v core.Variant, commit bool) bool {
 	if v == core.VariantPaxos {
 		return false
@@ -752,5 +779,5 @@ func expectsAckFor(v core.Variant, commit bool) bool {
 	if commit {
 		return v != core.VariantPC
 	}
-	return v != core.VariantPA
+	return v != core.VariantPA && v != core.Variant1PC
 }

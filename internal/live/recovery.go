@@ -28,6 +28,7 @@ func (p *Participant) replayLog() {
 		subs          []string
 		init, decided bool
 		committed     bool
+		onePhase      []byte // a 1PC decision record's opc1 payload
 	}
 	states := make(map[string]*coordState)
 	var order []string
@@ -49,6 +50,9 @@ func (p *Participant) replayLog() {
 			}
 		case "Committed":
 			st.decided, st.committed = true, true
+			if protocol.IsOnePhasePayload(r.Data) {
+				st.onePhase = r.Data
+			}
 		case "Aborted":
 			st.decided, st.committed = true, false
 		}
@@ -58,6 +62,24 @@ func (p *Participant) replayLog() {
 		switch {
 		case st.decided:
 			p.recordDecision(tx, st.committed)
+			if st.onePhase != nil {
+				// A 1PC coordinator's decision record is the only stable
+				// copy of its voters' fates AND their redo payloads: a
+				// crash between the force and the Commit fan-out leaves
+				// voters that hold nothing durable. Re-announce to the
+				// recorded membership best-effort, redo attached, so even
+				// amnesiac voters complete; survivors treat it as a
+				// duplicate.
+				if meta, err := protocol.DecodeOnePhaseMeta(st.onePhase); err == nil {
+					for i, s := range meta.Subs {
+						m := protocol.Message{Type: protocol.MsgCommit, Tx: tx}
+						if i < len(meta.Redos) {
+							m.Payload = meta.Redos[i]
+						}
+						_ = p.sendExtra(s, m)
+					}
+				}
+			}
 		case st.init:
 			if err := p.force(wal.Record{Tx: tx, Node: p.name, Kind: "Aborted"}); err != nil {
 				continue // leave undecided; the next restart retries
@@ -137,6 +159,18 @@ func (p *Participant) RecoverInDoubt(ctx context.Context, coordinator string) ([
 	inDoubt, announced, err := p.scanInDoubt()
 	if err != nil {
 		return nil, err
+	}
+	// 1PC voters hold their prepared state only in memory — the log
+	// scan cannot see them. Union the in-memory set in (deduplicated:
+	// variants that force Prepared appear in both).
+	seen := make(map[string]bool, len(inDoubt))
+	for _, tx := range inDoubt {
+		seen[tx] = true
+	}
+	for _, tx := range p.PreparedUndecided() {
+		if !seen[tx] {
+			inDoubt = append(inDoubt, tx)
+		}
 	}
 
 	var unresolved []string

@@ -53,10 +53,16 @@ func (p *Participant) handlePrepare(from string, m protocol.Message) {
 	st.presume = m.Presume
 	tx := core.ParseTxID(m.Tx)
 	vote := p.prepareLocal(tx)
-	if vote == protocol.VoteYes {
+	if vote == protocol.VoteYes && m.Presume != protocol.Presume1PC {
 		// The announced presumption rides in the record's payload so a
 		// restart recovers this transaction under the coordinator's
 		// variant, not whatever this node happens to be configured with.
+		//
+		// Under 1PC nothing is forced before the yes vote — that is the
+		// whole point of the fast path. The vote carries the redo
+		// payload instead, and its durability is the coordinator's
+		// forced decision record; a crash here loses only in-memory
+		// state the abort presumption already covers.
 		if err := p.force(wal.Record{Tx: m.Tx, Node: p.name, Kind: "Prepared", Data: presumeData(m.Presume)}); err != nil {
 			vote = protocol.VoteNo
 		}
@@ -78,6 +84,9 @@ func (p *Participant) handlePrepare(from string, m protocol.Message) {
 		defer p.forget(m.Tx)
 	}
 	st.voteMsg = protocol.Message{Type: protocol.MsgVote, Tx: m.Tx, Vote: vote}
+	if vote == protocol.VoteYes && m.Presume == protocol.Presume1PC {
+		st.voteMsg.Payload = p.redoPayload(tx)
+	}
 	_ = p.send(from, st.voteMsg)
 	if p.met != nil && vote != protocol.VoteYes {
 		// No-voters and read-only voters are out of phase two: their
@@ -186,13 +195,21 @@ func (p *Participant) applyOutcome(from string, m protocol.Message, commit bool)
 	}
 
 	tx := core.ParseTxID(m.Tx)
+	if commit && len(m.Payload) > 0 && !st.prepared {
+		// A redo-bearing Commit redelivered to a voter with no memory of
+		// the transaction (it crashed after its logless yes vote): the
+		// coordinator's decision record carried our write-set here.
+		p.applyRedo(tx, m.Payload)
+	}
 	// PC subordinate commits are presumed: no force. Paxos outcomes are
 	// never forced anywhere — the acceptor quorum is the durable truth.
+	// A 1PC voter's outcome records are all lazy: the coordinator's
+	// forced decision record is the durable truth for the whole tree.
 	rec := wal.Record{Tx: m.Tx, Node: p.name, Kind: "Committed"}
-	forced := v != core.VariantPC && v != core.VariantPaxos
+	forced := v != core.VariantPC && v != core.VariantPaxos && v != core.Variant1PC
 	if !commit {
 		rec.Kind = "Aborted"
-		forced = v != core.VariantPA && v != core.VariantPaxos // PA subordinate aborts are presumed: no force
+		forced = v != core.VariantPA && v != core.VariantPaxos && v != core.Variant1PC // presumed-abort variants: no force
 	}
 	if forced {
 		if err := p.force(rec); err != nil {
@@ -242,7 +259,10 @@ func (p *Participant) handleInquire(from string, m protocol.Message) {
 		out = protocol.OutcomeInProgress
 	default:
 		switch p.variant {
-		case core.VariantPA:
+		case core.VariantPA, core.Variant1PC:
+			// Under 1PC this is what makes the logless voter safe: had
+			// the coordinator decided commit, its forced decision record
+			// would still be here answering from the decided table.
 			out = protocol.OutcomeAbort
 		case core.VariantPC:
 			out = protocol.OutcomeCommit

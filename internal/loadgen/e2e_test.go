@@ -46,7 +46,7 @@ func TestLoadgenDaemonEndToEnd(t *testing.T) {
 	s2.RegisterPeer("S1", s1.ProtoAddr())
 
 	totalCommitted := 0
-	for _, variant := range []string{"basic", "pa", "pn", "pc", "paxos"} {
+	for _, variant := range []string{"basic", "pa", "pn", "pc", "paxos", "1pc"} {
 		res := loadgen.Run(context.Background(), &loadgen.HTTPCommitter{
 			BaseURL: "http://" + coord.HTTPAddr(),
 			Variant: variant,
@@ -95,7 +95,7 @@ func TestLoadgenDaemonEndToEnd(t *testing.T) {
 	}
 
 	// Operator view: the scrape must show zero violations and per-variant
-	// cost accounting for all five variants on the coordinator.
+	// cost accounting for all six variants on the coordinator.
 	resp, err := http.Get("http://" + coord.HTTPAddr() + "/metrics")
 	if err != nil {
 		t.Fatal(err)
@@ -111,7 +111,7 @@ func TestLoadgenDaemonEndToEnd(t *testing.T) {
 			t.Errorf("/metrics missing %q", want)
 		}
 	}
-	for _, v := range []core.Variant{core.VariantBaseline, core.VariantPA, core.VariantPN, core.VariantPC, core.VariantPaxos} {
+	for _, v := range []core.Variant{core.VariantBaseline, core.VariantPA, core.VariantPN, core.VariantPC, core.VariantPaxos, core.Variant1PC} {
 		want := fmt.Sprintf("twopc_cost_total{variant=%q,role=\"coordinator\",outcome=\"committed\",kind=\"flows\"}", v)
 		if !strings.Contains(metrics, want) {
 			t.Errorf("/metrics missing coordinator cost series for %s", v)

@@ -118,7 +118,7 @@ func TestFleetRouterEndToEnd(t *testing.T) {
 	routerURL := startRouter(t, fleet, router.PickFirstShard)
 
 	totalCommitted := 0
-	for _, variant := range []string{"basic", "pa", "pn", "pc"} {
+	for _, variant := range []string{"basic", "pa", "pn", "pc", "1pc"} {
 		profile := workload.Profile{
 			Kind:   workload.KindHotkey,
 			Keys:   512,

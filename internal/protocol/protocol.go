@@ -113,6 +113,14 @@ const (
 	// an in-doubt participant reads the outcome from an acceptor
 	// quorum instead of inquiring at the coordinator.
 	PresumePaxos
+	// Presume1PC is the logless one-phase fast path: the subordinate's
+	// yes vote carries its redo payload and is NOT preceded by a forced
+	// prepare record — durability of the vote is delegated to the
+	// coordinator's forced decision record. Absence of information
+	// means abort, exactly as under PresumeAbort; a restarted voter has
+	// no local state at all and relearns a commit (with its redo) from
+	// the coordinator's retransmission.
+	Presume1PC
 )
 
 // String returns the wire name of the presumption.
@@ -128,6 +136,8 @@ func (p Presumption) String() string {
 		return "PresumeCommit"
 	case PresumePaxos:
 		return "PresumePaxos"
+	case Presume1PC:
+		return "Presume1PC"
 	default:
 		return fmt.Sprintf("Presumption(%d)", int(p))
 	}

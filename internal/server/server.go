@@ -794,6 +794,8 @@ func ParseVariant(name string) (core.Variant, bool) {
 		return core.VariantPC, true
 	case "paxos", "paxoscommit":
 		return core.VariantPaxos, true
+	case "1pc", "onephase":
+		return core.Variant1PC, true
 	}
 	return core.VariantBaseline, false
 }

@@ -52,13 +52,28 @@ func TestServerMixedCodecCluster(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			coord, s1, s2 := newMixedTrio(t, tc.coord, tc.sub1, tc.sub2)
 			ctx := context.Background()
-			for i, v := range []core.Variant{core.VariantBaseline, core.VariantPA, core.VariantPN, core.VariantPC} {
+			variants := []core.Variant{core.VariantBaseline, core.VariantPA, core.VariantPN, core.VariantPC, core.Variant1PC}
+			for i, v := range variants {
 				tx := fmt.Sprintf("C:%d", i+1)
 				out, err := coord.Commit(ctx, tx, nil, v)
 				if err != nil || out != live.Committed {
 					t.Fatalf("%s commit = %v, %v", v, out, err)
 				}
 			}
+			// The 1PC fast path again, but as an operator would reach it:
+			// a per-request ?variant=1pc override over HTTP, its vote and
+			// decision payloads crossing the mixed-codec wire.
+			resp, err := http.Post("http://"+coord.HTTPAddr()+"/commit?tx=C:http1pc&variant=1pc", "", nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			body := make([]byte, 256)
+			n, _ := resp.Body.Read(body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK || !strings.Contains(string(body[:n]), "committed") {
+				t.Fatalf("?variant=1pc override: %d %q", resp.StatusCode, body[:n])
+			}
+			wantChecked := len(variants) + 1
 			for _, s := range []*Server{coord, s1, s2} {
 				deadline := time.Now().Add(5 * time.Second)
 				for {
@@ -69,14 +84,14 @@ func TestServerMixedCodecCluster(t *testing.T) {
 					s.mu.Lock()
 					checked, exact := s.auditRep.Checked, s.auditRep.Exact
 					s.mu.Unlock()
-					if checked >= 4 {
+					if checked >= wantChecked {
 						if exact != checked {
 							t.Fatalf("%s: %d/%d node-entries exact", s.cfg.Name, exact, checked)
 						}
 						break
 					}
 					if time.Now().After(deadline) {
-						t.Fatalf("%s: audited %d node-entries, want >= 4", s.cfg.Name, checked)
+						t.Fatalf("%s: audited %d node-entries, want >= %d", s.cfg.Name, checked, wantChecked)
 					}
 					time.Sleep(10 * time.Millisecond)
 				}

@@ -39,10 +39,11 @@ type Pipeline struct {
 	stopc chan struct{}
 	stop1 sync.Once
 
-	mu      sync.Mutex
-	log     *Log
-	window  time.Duration
-	batches int
+	mu       sync.Mutex
+	log      *Log
+	window   time.Duration
+	batches  int
+	expected int // forces announced via Hint but not yet absorbed
 }
 
 type forceReq struct {
@@ -149,9 +150,57 @@ func (p *Pipeline) stop() {
 	p.stop1.Do(func() { close(p.stopc) })
 }
 
+// Hint announces that n force requests are imminent: a caller that
+// just learned a burst is coming — one wire packet fanning several
+// Prepares into the same log, each about to force — posts the count
+// before dispatching the work. The writer then holds at least the base
+// batching window open even when the adaptation has collapsed to
+// immediate mode, so the announced burst hardens under one physical
+// sync instead of one apiece. Hints are advisory: an announced force
+// that never arrives (a voter that voted no, a logless 1PC leaf) costs
+// at most one base-window linger before the expectation is discarded.
+func (p *Pipeline) Hint(n int) {
+	if n <= 0 {
+		return
+	}
+	p.mu.Lock()
+	p.expected += n
+	p.mu.Unlock()
+}
+
+// takeHint consumes served outstanding expectations and reports
+// whether any remain.
+func (p *Pipeline) takeHint(served int) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.expected -= served
+	if p.expected < 0 {
+		p.expected = 0
+	}
+	return p.expected > 0
+}
+
+// clearHint drops whatever expectation is left: called after a linger,
+// which is all the waiting an announcement buys.
+func (p *Pipeline) clearHint() {
+	p.mu.Lock()
+	p.expected = 0
+	p.mu.Unlock()
+}
+
+// rhythmMinSync gates the rhythm breaker to real devices: a sync
+// cheaper than this (an in-memory store) never justifies lingering.
+const rhythmMinSync = 20 * time.Microsecond
+
 // run is the single writer. It owns all physical syncing for l.
 func (p *Pipeline) run(l *Log) {
 	batch := make([]forceReq, 0, p.batchCap)
+	var (
+		lastSync  time.Duration // device time of the previous batch's flush
+		lastDone  time.Duration // sched.Now() when the previous batch completed
+		idleAvg   time.Duration // EWMA of writer idle gaps between batches
+		rhythmArm = true        // disarmed after a held linger nobody joined
+	)
 	for {
 		batch = batch[:0]
 		select {
@@ -161,16 +210,60 @@ func (p *Pipeline) run(l *Log) {
 			p.drain(batch)
 			return
 		}
+		idle := p.sched.Now() - lastDone
+		idleAvg = (3*idleAvg + idle) / 4
 		// Absorb everything already queued, free of charge.
 		batch = p.absorb(batch)
-		// If the adaptive window is open, linger for stragglers.
-		if w := p.Window(); w > 0 && len(batch) < p.batchCap {
+		// If the adaptive window is open — or a Hint promises more
+		// requests than have arrived — linger for stragglers.
+		w := p.Window()
+		if p.takeHint(len(batch)) && w < p.base {
+			w = p.base
+		}
+		// Rhythm breaker. The adaptation only opens the window after it
+		// OBSERVES a multi-request batch, but a closed loop of workers
+		// serialized on this log settles into a phase-locked rhythm
+		// where each force completes just before the next arrives:
+		// batches stay at one forever, every force pays a full device
+		// sync, and the observation never happens (1PC is the extreme
+		// case — one force per transaction, all on the coordinator's
+		// log). When the window is collapsed but the device is busy a
+		// large fraction of wall time, hold one gather open past the
+		// dry-cut for about an inter-arrival gap: catching even one
+		// phase-locked neighbor makes a real batch, and the ordinary
+		// adaptation takes over from there. A held linger nobody joins
+		// disarms the breaker (a lone sequential forcer must not pay it
+		// on every force) until a multi-request batch re-arms it.
+		hold := false
+		if w < p.base && rhythmArm && lastSync > rhythmMinSync && idleAvg < 2*lastSync {
+			hold = true
+			w = 2 * idleAvg
+			if w < lastSync {
+				w = lastSync
+			}
+			if w > p.maxWindow {
+				w = p.maxWindow
+			}
+		}
+		if w > 0 && len(batch) < p.batchCap {
+			joined := -len(batch)
 			var stopped bool
-			batch, stopped = p.gather(batch, w)
+			batch, stopped = p.gather(batch, w, hold)
 			if stopped {
 				p.drain(batch)
 				return
 			}
+			joined += len(batch)
+			if hold {
+				rhythmArm = joined > 0
+			}
+			// The linger gave every announced straggler its shot;
+			// whatever expectation remains is stale and must not haunt
+			// later batches.
+			p.clearHint()
+		}
+		if len(batch) > 1 {
+			rhythmArm = true
 		}
 
 		var max int64
@@ -184,11 +277,16 @@ func (p *Pipeline) run(l *Log) {
 			// max == 0 means an explicit Sync-style request with an
 			// empty buffer snapshot; flush is cheap and keeps the
 			// semantics simple.
+			t0 := p.sched.Now()
 			err = l.flush()
+			lastSync = p.sched.Now() - t0
+		} else {
+			lastSync = 0
 		}
 		for _, r := range batch {
 			r.done <- err
 		}
+		lastDone = p.sched.Now()
 		p.adapt(len(batch))
 	}
 }
@@ -204,19 +302,30 @@ const quietSpins = 128
 // lands, the batch cuts as soon as the queue stays dry, and the
 // window caps the total wait via the clock. Because the adaptation
 // collapses the window to zero on single-request batches, sparse
-// traffic never enters this loop at all. The second result is true
-// when the pipeline stopped mid-gather.
-func (p *Pipeline) gather(batch []forceReq, w time.Duration) ([]forceReq, bool) {
+// traffic never enters this loop at all. With hold set (the rhythm
+// breaker), only the deadline cuts: the linger exists precisely to
+// outlast a dry spell. The second result is true when the pipeline
+// stopped mid-gather.
+func (p *Pipeline) gather(batch []forceReq, w time.Duration, hold bool) ([]forceReq, bool) {
 	deadline := p.sched.Now() + w
-	for spins := 0; len(batch) < p.batchCap && spins < quietSpins; {
+	for spins := 0; len(batch) < p.batchCap; {
 		select {
 		case r := <-p.reqs:
 			batch = append(batch, r)
 			spins = 0
+			p.takeHint(1)
 		case <-p.stopc:
 			return batch, true
 		default:
 			spins++
+			// A dry queue cuts the batch — unless a Hint still promises
+			// stragglers, in which case only the deadline does: the
+			// announced forces are mid-dispatch and worth the bounded
+			// wait (one base window, the same order as the fsync the
+			// grouping saves).
+			if spins >= quietSpins && !hold && !p.hintOutstanding() {
+				return batch, false
+			}
 			runtime.Gosched()
 			if p.sched.Now() >= deadline {
 				return batch, false
@@ -224,6 +333,13 @@ func (p *Pipeline) gather(batch []forceReq, w time.Duration) ([]forceReq, bool) 
 		}
 	}
 	return batch, false
+}
+
+// hintOutstanding reports whether announced forces have yet to arrive.
+func (p *Pipeline) hintOutstanding() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.expected > 0
 }
 
 // absorb appends every request already sitting in the queue, up to

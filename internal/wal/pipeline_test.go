@@ -179,6 +179,95 @@ func TestPipelineAdaptiveWindowWidensAndCollapses(t *testing.T) {
 	}
 }
 
+// TestPipelineHintGroupsAnnouncedBurst collapses the adaptive window,
+// announces a burst via Hint, and trickles the burst's forces in with
+// real gaps between them: the hint must hold the writer's window open
+// so the whole burst hardens under one physical sync.
+func TestPipelineHintGroupsAnnouncedBurst(t *testing.T) {
+	store := NewMemStore()
+	p := NewPipeline(nil, 400*time.Millisecond, WithBaseWindow(200*time.Millisecond))
+	l := New(store).WithPolicy(p)
+	defer l.Close()
+
+	// Sequential singles collapse the window to immediate mode.
+	for i := 0; i < 8; i++ {
+		if _, err := l.Force(Record{Tx: fmt.Sprintf("warm%d", i)}); err != nil {
+			t.Fatalf("force: %v", err)
+		}
+	}
+	if w := p.Window(); w != 0 {
+		t.Fatalf("window = %v after sequential traffic, want 0", w)
+	}
+
+	const burst = 4
+	before := l.Stats().Syncs
+	p.Hint(burst)
+	var wg sync.WaitGroup
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			time.Sleep(time.Duration(i) * 3 * time.Millisecond) // mid-dispatch gaps
+			if _, err := l.Force(Record{Tx: fmt.Sprintf("burst%d", i)}); err != nil {
+				t.Errorf("force: %v", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := l.Stats().Syncs - before; got != 1 {
+		t.Fatalf("announced burst took %d syncs, want 1", got)
+	}
+}
+
+// TestPipelineHintNoShowDoesNotWedge announces forces that never
+// arrive: the one that does must still complete (after at most one
+// base window), and the stale expectation must not haunt later
+// batches.
+func TestPipelineHintNoShowDoesNotWedge(t *testing.T) {
+	store := NewMemStore()
+	p := NewPipeline(nil, time.Millisecond, WithBaseWindow(500*time.Microsecond))
+	l := New(store).WithPolicy(p)
+	defer l.Close()
+
+	p.Hint(3) // only one will show up
+	if _, err := l.Force(Record{Tx: "lonely"}); err != nil {
+		t.Fatalf("force with unfulfilled hint: %v", err)
+	}
+	if p.hintOutstanding() {
+		t.Fatal("stale hint survived its linger")
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := l.Force(Record{Tx: fmt.Sprintf("after%d", i)}); err != nil {
+			t.Fatalf("force after stale hint: %v", err)
+		}
+	}
+}
+
+// TestPipelineRhythmBreakerDisarmsForLoneForcer drives a strictly
+// sequential forcer against a slow device — the pattern whose duty
+// cycle trips the rhythm breaker but where no neighbor can ever join
+// a held linger. The first held gather must disarm the breaker, and
+// every force must complete with its own sync (nothing to group, and
+// nothing wedged).
+func TestPipelineRhythmBreakerDisarmsForLoneForcer(t *testing.T) {
+	store := &hookedStore{Store: NewMemStore(), beforeSync: func() { time.Sleep(100 * time.Microsecond) }}
+	l := New(store).WithPolicy(NewPipeline(nil, 2*time.Millisecond))
+	defer l.Close()
+	const forces = 50
+	for i := 0; i < forces; i++ {
+		if _, err := l.Force(Record{Tx: fmt.Sprintf("solo%d", i)}); err != nil {
+			t.Fatalf("force: %v", err)
+		}
+	}
+	st := l.Stats()
+	if st.Forces != forces {
+		t.Fatalf("forces = %d, want %d", st.Forces, forces)
+	}
+	if st.Syncs != forces {
+		t.Fatalf("sequential forcer got %d syncs for %d forces; grouping is impossible with one caller", st.Syncs, forces)
+	}
+}
+
 func TestPipelineCrashUnblocksForcers(t *testing.T) {
 	store := NewMemStore()
 	release := make(chan struct{})

@@ -105,6 +105,11 @@ const (
 	VariantPC = core.VariantPC
 	// VariantPaxos is the non-blocking Paxos Commit extension variant.
 	VariantPaxos = core.VariantPaxos
+	// Variant1PC is the logless one-phase fast path: the yes-vote
+	// carries the redo, subordinates force nothing, and the
+	// coordinator's single forced decision record is the whole tree's
+	// durable state.
+	Variant1PC = core.Variant1PC
 )
 
 // Votes.
@@ -243,7 +248,7 @@ func RecoverKVStore(name string, log *Log, eng *Engine, opts ...kvstore.Option) 
 type (
 	// LiveParticipant runs the commit protocol with goroutines over a
 	// netsim transport, pipelining many concurrent transactions; all
-	// five variants are supported via LiveWithVariant.
+	// six variants are supported via LiveWithVariant.
 	LiveParticipant = live.Participant
 	// LiveOption configures a live participant at construction.
 	LiveOption = live.Option
